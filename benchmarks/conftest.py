@@ -1,0 +1,16 @@
+"""Benchmark-suite helpers: every benchmark regenerates one paper
+table/figure, prints it, and archives it under results/."""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a regenerated table and archive it under results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

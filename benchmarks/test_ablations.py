@@ -1,0 +1,72 @@
+"""Ablations of the design choices called out in DESIGN.md.
+
+These are not paper figures; each isolates a claim the paper makes in
+prose: NaT-source generation granularity (4.4), Itanium vs x86-style
+tag translation (6.4), compare-relaxation cost (4.1), and how much
+instrumentation EPIC issue slack hides.
+"""
+
+from benchmarks.conftest import publish
+from repro.harness import (
+    format_ablations,
+    format_width_ablation,
+    run_ablations,
+    run_width_ablation,
+)
+
+
+def test_design_ablations(benchmark):
+    result = benchmark.pedantic(
+        run_ablations, kwargs={"scale": "ref", "benchmarks": ["gzip", "gcc", "mcf"]},
+        rounds=1, iterations=1,
+    )
+    publish("ablations", format_ablations(result))
+    base = result.mean("byte (baseline)")
+    # Per-use NaT generation is strictly worse (paper 4.4).
+    assert result.mean("natgen per use") > base
+    # A kept global NaT source is at least as cheap as per-function.
+    assert result.mean("natgen global") <= base * 1.01
+    # x86-style flat translation is cheaper than the Itanium combine
+    # (paper 6.4 blames the unimplemented bits for the computation cost).
+    assert result.mean("x86-style tag xlat") < base
+    # Compare relaxation has a visible static cost even on clean data.
+    assert result.mean("no relax (safe)") < result.mean("byte (safe input)")
+
+
+def test_issue_width_ablation(benchmark):
+    rows = benchmark.pedantic(
+        run_width_ablation,
+        kwargs={"benchmark": "gzip", "scale": "test", "widths": (1, 2, 6)},
+        rounds=1, iterations=1,
+    )
+    publish("ablation_width", format_width_ablation(rows))
+    by_width = {row.width: row.slowdown for row in rows}
+    # A scalar machine cannot hide instrumentation in empty slots.
+    assert by_width[1] > by_width[6]
+
+
+def test_static_pruning_never_hurts(benchmark):
+    """The paper-4.4 compiler optimisation: statically-clean compares
+    skip relaxation entirely, with identical program results."""
+    from repro.apps.spec import BENCHMARKS
+    from repro.compiler.instrument import ShiftOptions
+    from repro.harness.runners import PERF_OPTIONS, run_spec
+
+    pruned_options = ShiftOptions(granularity=1, pointer_policy="permissive",
+                                  prune_clean_compares=True)
+
+    def measure():
+        rows = []
+        for name in ("gzip", "crafty", "mcf"):
+            bench = BENCHMARKS[name]
+            base = run_spec(bench, PERF_OPTIONS["none"], "test")
+            plain = run_spec(bench, PERF_OPTIONS["byte"], "test")
+            pruned = run_spec(bench, pruned_options, "test")
+            rows.append((name, base.checksum, pruned.checksum,
+                         plain.cycles, pruned.cycles))
+        return rows
+
+    for name, base_sum, pruned_sum, plain_cycles, pruned_cycles in \
+            benchmark.pedantic(measure, rounds=1, iterations=1):
+        assert pruned_sum == base_sum, name
+        assert pruned_cycles <= plain_cycles * 1.01, name

@@ -1,0 +1,25 @@
+"""Related-work comparison (paper section 7.1 context).
+
+SHIFT's hardware-assisted register tracking beats a LIFT-style software
+DBT tracker, which in turn beats interpretation-based emulation — the
+paper's 2.81X vs 4.6X vs tens-of-X related-work ordering.
+"""
+
+from benchmarks.conftest import publish
+from repro.harness import format_baselines, run_baseline_comparison
+
+SCALE = "ref"
+
+
+def test_baseline_comparison(benchmark):
+    result = benchmark.pedantic(run_baseline_comparison, kwargs={"scale": SCALE},
+                                rounds=1, iterations=1)
+    publish("baselines", format_baselines(result))
+
+    shift_byte = result.mean("shift_byte")
+    shift_word = result.mean("shift_word")
+    lift = result.mean("lift")
+    interp = result.mean("interpreter")
+    assert shift_word < shift_byte < lift < interp
+    assert lift > shift_byte * 1.2  # SHIFT's clear win over software DBT
+    assert interp > 5.0  # emulation is far slower than everything

@@ -1,0 +1,29 @@
+"""Figure 6: web-server overhead at 4/8/16/512 KB file sizes.
+
+Paper result: about 1% geometric-mean overhead for both latency and
+throughput at both granularities, with the 4 KB request the worst point
+(~4.2%) because it has the smallest I/O share.
+"""
+
+from benchmarks.conftest import publish
+from repro.harness import format_figure6, run_figure6
+
+REQUESTS = 25
+
+
+def test_figure6(benchmark):
+    result = benchmark.pedantic(
+        run_figure6,
+        kwargs={"sizes_kb": (4, 8, 16, 512), "requests": REQUESTS},
+        rounds=1, iterations=1,
+    )
+    publish("figure6", format_figure6(result))
+    # Headline: overhead is small at every size and level.
+    assert 0.0 <= result.mean_overhead_percent < 5.0
+    for row in result.rows:
+        assert row.byte_latency < 1.10
+        assert row.word_latency <= row.byte_latency * 1.01
+        assert row.byte_throughput > 0.90
+    # The smallest file pays the largest relative overhead.
+    by_size = {row.file_kb: row for row in result.rows}
+    assert by_size[4].byte_overhead_percent >= by_size[512].byte_overhead_percent

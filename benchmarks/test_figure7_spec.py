@@ -1,0 +1,37 @@
+"""Figure 7: SPEC-INT2000 slowdown, four bars per benchmark.
+
+Paper result: byte-level 2.81X average (1.32X-4.73X), word-level 2.27X
+(1.34X-3.80X); gcc worst, mcf best; safe-input runs cheaper.
+"""
+
+from benchmarks.conftest import publish
+from repro.harness import format_figure7, run_figure7
+from repro.harness.charts import figure7_chart
+
+SCALE = "ref"
+
+
+def test_figure7(benchmark):
+    result = benchmark.pedantic(run_figure7, kwargs={"scale": SCALE},
+                                rounds=1, iterations=1)
+    publish("figure7", format_figure7(result) + "\n\n" + figure7_chart(result))
+    rows = {row.benchmark: row for row in result.rows}
+    assert len(rows) == 8
+
+    # Per-benchmark orderings the paper reports:
+    for row in result.rows:
+        assert row.byte_unsafe > 1.0, row.benchmark
+        # byte-level tracking costs more than word-level
+        assert row.byte_unsafe >= row.word_unsafe * 0.98, row.benchmark
+        # tainting the input never makes it cheaper
+        assert row.byte_unsafe >= row.byte_safe * 0.98, row.benchmark
+
+    # mcf (cache-miss bound) is the least-affected benchmark.
+    assert rows["mcf"].byte_unsafe == min(r.byte_unsafe for r in result.rows)
+
+    # The averages land in a sensible band around the paper's numbers.
+    byte_mean = result.mean("byte_unsafe")
+    word_mean = result.mean("word_unsafe")
+    assert 1.6 < byte_mean < 3.5, byte_mean
+    assert 1.5 < word_mean < 3.0, word_mean
+    assert byte_mean > word_mean

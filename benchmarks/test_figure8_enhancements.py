@@ -1,0 +1,33 @@
+"""Figure 8: impact of the proposed architectural enhancements.
+
+Paper result: set/clear-NaT instructions cut the average slowdown by
+~16 points; adding the NaT-aware compare cuts ~49 (byte) / ~47 (word)
+points in total; the reduction tracks how much tainted data a benchmark
+touches (gcc 173/166 points, mcf only 2/5).
+"""
+
+from benchmarks.conftest import publish
+from repro.harness import format_figure8, run_figure8
+from repro.harness.charts import figure8_chart
+
+SCALE = "ref"
+
+
+def test_figure8(benchmark):
+    result = benchmark.pedantic(run_figure8, kwargs={"scale": SCALE},
+                                rounds=1, iterations=1)
+    publish("figure8", format_figure8(result) + "\n\n" + figure8_chart(result, "byte"))
+
+    for level in ("byte", "word"):
+        rows = {row.benchmark: row for row in result.level_rows(level)}
+        for row in rows.values():
+            # Enhancements never hurt.
+            assert row.set_clear <= row.unsafe * 1.02, (row.benchmark, level)
+            assert row.both <= row.set_clear * 1.02, (row.benchmark, level)
+        # Both enhancements together recover a visible chunk on average.
+        assert result.mean_reduction(level, "both") > 8.0, level
+        # mcf barely moves (paper: 2-5 points).
+        assert rows["mcf"].both_reduction_points < 10.0
+        # The most compare-dense tainted benchmark moves the most.
+        best = max(r.both_reduction_points for r in rows.values())
+        assert best > 3 * max(rows["mcf"].both_reduction_points, 1.0)

@@ -1,0 +1,34 @@
+"""Figure 9: breakdown of the instrumentation overhead.
+
+Paper result: tag-address *computation* costs far more than bitmap
+*memory access* (most bitmap accesses hit in L1; Itanium's
+unimplemented-bits translation makes the computation long), and load
+instrumentation outweighs store instrumentation because programs
+execute more loads.
+"""
+
+from benchmarks.conftest import publish
+from repro.harness import format_figure9, run_figure9
+from repro.harness.charts import figure9_chart
+
+SCALE = "ref"
+
+
+def test_figure9(benchmark):
+    result = benchmark.pedantic(run_figure9, kwargs={"scale": SCALE},
+                                rounds=1, iterations=1)
+    publish("figure9", format_figure9(result) + "\n\n" + figure9_chart(result, "byte"))
+
+    compute_wins = 0
+    loads_win = 0
+    for row in result.rows:
+        if row.computation_total > row.memory_total:
+            compute_wins += 1
+        if row.load_compute + row.load_mem >= row.store_compute + row.store_mem:
+            loads_win += 1
+    total = len(result.rows)
+    # Computation dominates bitmap access essentially everywhere.
+    assert compute_wins >= total - 1, f"{compute_wins}/{total}"
+    # Load instrumentation dominates store instrumentation for most
+    # benchmarks (mcf's store misses are the paper-consistent exception).
+    assert loads_win >= total - 3, f"{loads_win}/{total}"

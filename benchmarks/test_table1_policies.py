@@ -1,0 +1,13 @@
+"""Table 1: the policy catalogue (static regeneration)."""
+
+from benchmarks.conftest import publish
+from repro.harness import format_table1_output, run_table1
+
+
+def test_table1(benchmark):
+    policies = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    assert len(policies) == 8
+    assert [p.policy_id for p in policies] == [
+        "H1", "H2", "H3", "H4", "H5", "L1", "L2", "L3",
+    ]
+    publish("table1", format_table1_output())

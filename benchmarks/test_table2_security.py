@@ -1,0 +1,22 @@
+"""Table 2: the full security evaluation.
+
+Every application is attacked unprotected (exploit must succeed) and
+protected at byte and word level (must be detected with no false
+positives on benign inputs) — the paper's headline security result.
+"""
+
+from benchmarks.conftest import publish
+from repro.harness import format_table2, run_table2
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    publish("table2", format_table2(result))
+    assert len(result.evaluations) == 8
+    for evaluation in result.evaluations:
+        name = evaluation.app.name
+        assert evaluation.attack_succeeds_unprotected, name
+        assert evaluation.detected_byte and evaluation.detected_word, name
+        assert evaluation.alert_policy_byte == evaluation.app.expected_policy, name
+    assert result.all_detected
+    assert result.no_false_positives

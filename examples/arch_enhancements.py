@@ -1,0 +1,43 @@
+"""Measure the paper's proposed ISA enhancements (Figure 8).
+
+SHIFT works on a stock Itanium, but pays for the missing instructions:
+faking a NaT with a speculative load, clearing one with a spill/reload
+pair, and relaxing every compare.  This example quantifies what the
+three proposed instructions (set-NaT, clear-NaT, NaT-aware compare) buy
+on two contrasting kernels.
+
+Run:  python examples/arch_enhancements.py
+"""
+
+from repro.apps.spec import BENCHMARKS
+from repro.harness.runners import PERF_OPTIONS, run_spec
+
+CONFIGS = [
+    ("stock Itanium (byte)", "byte"),
+    ("+ set/clear NaT", "byte-set/clear"),
+    ("+ NaT-aware compare too", "byte-both"),
+]
+
+
+def main():
+    print("Architectural enhancements (paper section 6.3 / Figure 8)\n")
+    for name in ("gzip", "mcf"):
+        bench = BENCHMARKS[name]
+        base = run_spec(bench, PERF_OPTIONS["none"], scale="test")
+        print(f"{bench.spec_name} ({bench.description}):")
+        previous = None
+        for label, config in CONFIGS:
+            run = run_spec(bench, PERF_OPTIONS[config], scale="test")
+            slowdown = run.cycles / base.cycles
+            delta = "" if previous is None else f"  (-{(previous - slowdown) * 100:.0f} pts)"
+            print(f"    {label:<28} {slowdown:5.2f}X{delta}")
+            previous = slowdown
+        print()
+    print("gzip is compare-dense over tainted data, so removing the\n"
+          "relaxation code recovers a large share of the slowdown; mcf is\n"
+          "cache-miss bound with little tainted data, so the enhancements\n"
+          "barely register (the paper reports 2%-5% for mcf).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""The paper's Figure 1 demo plus a tour of the Table 2 attacks.
+
+Reproduces the qwik-smtpd buffer overflow end to end: the exploit
+succeeds against the unprotected build and is caught by taint tracking
+in the SHIFT build.  Then it runs a selection of the Table 2 CVE
+analogues through the security harness.
+
+Run:  python examples/attack_detection.py
+"""
+
+from repro.apps.vulnerable import FIGURE1_APP, TABLE2_APPS
+from repro.compiler.instrument import UNINSTRUMENTED
+from repro.harness.table2 import (
+    BYTE_STRICT,
+    _run_scenario,
+    evaluate_app,
+    unprotected_config,
+)
+
+
+def figure1_demo():
+    app = FIGURE1_APP
+    print("=" * 70)
+    print("Figure 1: qwik-smtpd 0.3 buffer overflow -> open mail relay")
+    print("=" * 70)
+    print("""
+The server checks `strcasecmp(clientip, localip)` before relaying, but
+never checks the length of the HELO argument (Fig. 1 line 5).  A long
+argument overflows clientHELO[32] straight into localip[64].
+""")
+
+    print("[1] Attack against the UNPROTECTED server:")
+    machine = _run_scenario(app, UNINSTRUMENTED, unprotected_config(), app.attack)
+    print(f"    localip after overflow: {machine.read_string('localip')!r}")
+    print(f"    mail relayed: {bool(machine.read_global('relayed'))}  <- exploit works\n")
+
+    print("[2] Same attack against the SHIFT-protected server (byte level):")
+    machine = _run_scenario(app, BYTE_STRICT, app.policy_config(), app.attack)
+    localip = machine.address_of("localip")
+    print(f"    taint bitmap at localip: tainted={machine.taint_map.is_tainted(localip)}")
+    print(f"    guest console: {machine.console.text.strip()!r}")
+    print(f"    mail relayed: {bool(machine.read_global('relayed'))}  <- attack defeated\n")
+
+    print("[3] Benign session against the SHIFT-protected server:")
+    machine = _run_scenario(app, BYTE_STRICT, app.policy_config(), app.benign)
+    print(f"    alerts: {machine.alerts or 'none'} (no false positive)\n")
+
+
+def table2_tour(names=("tar", "qwikiwiki", "phpmyfaq", "bftpd")):
+    print("=" * 70)
+    print("Table 2 attacks (unprotected vs SHIFT-protected)")
+    print("=" * 70)
+    by_name = {app.name: app for app in TABLE2_APPS}
+    for name in names:
+        app = by_name[name]
+        evaluation = evaluate_app(app)
+        print(f"\n{app.name} ({app.cve}) -- {app.attack_type}")
+        print(f"    exploit succeeds unprotected: {evaluation.attack_succeeds_unprotected}")
+        print(f"    detected byte/word: {evaluation.detected_byte}/{evaluation.detected_word} "
+              f"(policy {evaluation.alert_policy_byte})")
+        print(f"    false positives: "
+              f"{evaluation.false_positive_byte or evaluation.false_positive_word}")
+
+
+def main():
+    figure1_demo()
+    table2_tour()
+    print("\nAll attacks detected; benign runs clean (paper Table 2).")
+
+
+if __name__ == "__main__":
+    main()

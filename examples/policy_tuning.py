@@ -1,0 +1,92 @@
+"""Policies are configuration, not code (paper sections 3.3 and 5.1).
+
+The same protected program behaves differently under different policy
+files: what counts as an untrusted source, and which uses of tainted
+data raise alerts, are chosen per application.
+
+Run:  python examples/policy_tuning.py
+"""
+
+from repro.core import build_machine, run_machine, shift_options
+from repro.taint import format_table1, parse_policy_config
+
+# A file utility: copies a user-named file into an export directory.
+SOURCE = """
+native int read(int fd, char *buf, int n);
+native int open(char *path, int flags);
+native int write(int fd, char *buf, int n);
+native int close(int fd);
+
+char name[64];
+char data[256];
+
+int main() {
+    int n = read(0, name, 60);
+    name[n] = 0;
+    int src = open(name, 0);
+    if (src < 0) {
+        return 1;
+    }
+    int got = read(src, data, 256);
+    close(src);
+    char out[128];
+    strcpy(out, "/export/");
+    strcat(out, name);
+    int dst = open(out, 1);
+    write(dst, data, got);
+    close(dst);
+    return 0;
+}
+"""
+
+STRICT_POLICY = """
+# Strict: user input is untrusted and absolute paths are forbidden.
+[sources]
+stdin = tainted
+
+[policies]
+H1 = on
+H2 = on
+
+[settings]
+document_root = /export
+"""
+
+TRUSTING_POLICY = """
+# Trusting: the operator vouches for stdin (e.g. a vetted batch file).
+[sources]
+stdin = trusted
+
+[policies]
+H1 = on
+H2 = on
+"""
+
+
+def run_with(policy_text, label, stdin):
+    machine = build_machine(
+        SOURCE,
+        shift_options(granularity="byte"),
+        policy_config=parse_policy_config(policy_text),
+        stdin=stdin,
+        files={"/etc/passwd": b"root:x:0:0", "/notes.txt": b"hello"},
+    )
+    result = run_machine(machine)
+    verdict = (f"DETECTED {result.alerts[0].policy_id}" if result.detected
+               else f"allowed (exit {result.exit_code})")
+    print(f"    {label:<20} input={stdin!r:<18} -> {verdict}")
+
+
+def main():
+    print("The policy catalogue (paper Table 1):\n")
+    print(format_table1())
+    print("\nSame binary, different policy files:\n")
+    run_with(STRICT_POLICY, "strict policy", b"/etc/passwd")
+    run_with(STRICT_POLICY, "strict policy", b"notes.txt")
+    run_with(TRUSTING_POLICY, "trusting policy", b"/etc/passwd")
+    print("\nDetection mechanisms never changed -- only the configuration "
+          "file did.")
+
+
+if __name__ == "__main__":
+    main()

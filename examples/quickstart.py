@@ -1,0 +1,70 @@
+"""Quickstart: protect a program with SHIFT and watch taint flow.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import build_machine, run_machine, shift_options
+from repro.taint import parse_policy_config
+
+# A small network service with a SQL-injection bug: the request
+# parameter is spliced into a query without escaping.
+SOURCE = """
+native int read(int fd, char *buf, int n);
+native int sql_exec(char *q);
+native void console_log(char *s);
+
+char request[64];
+char query[160];
+
+int main() {
+    int n = read(0, request, 60);
+    request[n] = 0;
+
+    strcpy(query, "SELECT balance FROM accounts WHERE owner = '");
+    strcat(query, request);              // BUG: no escaping
+    strcat(query, "'");
+
+    sql_exec(query);
+    console_log("query executed");
+    return 0;
+}
+"""
+
+# Policies are plain configuration, decoupled from the mechanism
+# (paper section 3): stdin is an untrusted source, H3 guards SQL.
+POLICY = parse_policy_config("""
+[sources]
+stdin = tainted
+
+[policies]
+H3 = on
+""")
+
+
+def run(label, stdin):
+    machine = build_machine(
+        SOURCE,
+        shift_options(granularity="byte"),
+        policy_config=POLICY,
+        stdin=stdin,
+    )
+    result = run_machine(machine)
+    print(f"--- {label}: input {stdin!r}")
+    if result.detected:
+        for alert in result.alerts:
+            print(f"    DETECTED -> {alert.policy_id}: {alert.message}")
+    else:
+        print(f"    completed normally, console: {result.console.strip()!r}")
+        print(f"    executed queries: {machine.executed_queries}")
+    print(f"    simulated cycles: {result.cycles:,.0f}")
+    print()
+
+
+def main():
+    print("SHIFT quickstart: taint tracking with speculative hardware\n")
+    run("benign request", b"alice")
+    run("injection attempt", b"x' OR 'a'='a")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Non-control-data attack on a struct field, caught by policy L2.
+
+A message broker keeps per-topic records; each record embeds a pointer
+to its statistics slot.  The body-copy loop trusts an attacker-supplied
+length, so a long message overflows the ``body`` array straight into
+the adjacent ``stats_slot`` pointer — a classic *data* attack (no
+return address, no function pointer).  When the broker then updates the
+statistics through the corrupted pointer, the store goes through a
+tainted address and SHIFT's policy L2 fires.
+
+Run:  python examples/struct_corruption.py
+"""
+
+from repro.core import build_machine, run_machine, shift_options
+from repro.taint import PolicyConfig
+
+SOURCE = """
+native int read(int fd, char *buf, int n);
+native void console_log(char *s);
+
+struct record {
+    char topic[16];
+    char body[32];
+    int *stats_slot;        // overflow target: adjacent to body
+};
+
+int delivered;
+struct record rec;
+
+int handle_message(char *wire, int n) {
+    // Wire format: topic (NUL-terminated), length byte, body bytes.
+    int i = 0;
+    while (wire[i] && i < 15) {
+        rec.topic[i] = wire[i];
+        i++;
+    }
+    rec.topic[i] = 0;
+    i++;
+    int body_len = wire[i] & 255;   // BUG: attacker-controlled length,
+    i++;                            // never checked against body[32]
+    for (int k = 0; k < body_len; k++) {
+        rec.body[k] = wire[i + k];
+    }
+    *rec.stats_slot = body_len;              // L2 fires here if corrupted
+    return body_len;
+}
+
+int main() {
+    char wire[128];
+    rec.stats_slot = &delivered;
+    int n = read(0, wire, 120);
+    handle_message(wire, n);
+    console_log("message delivered");
+    return delivered;
+}
+"""
+
+
+def run(label, payload):
+    machine = build_machine(
+        SOURCE,
+        shift_options(granularity="byte"),
+        policy_config=PolicyConfig(),  # defaults: L1/L2/L3 on
+        stdin=payload,
+    )
+    result = run_machine(machine)
+    print(f"--- {label}")
+    if result.detected:
+        alert = result.alerts[0]
+        print(f"    DETECTED -> {alert.policy_id}: {alert.message}")
+    else:
+        print(f"    delivered ok; stats counter = {result.exit_code}")
+    print()
+
+
+def main():
+    print("Struct-field corruption (non-control-data attack) vs policy L2\n")
+
+    benign = b"alerts\x00" + bytes([11]) + b"hello world"
+    run("benign message", benign)
+
+    # 32 filler bytes cross body[32]; the next 8 land in stats_slot.
+    evil_pointer = (0x4000_0000_0000_0000).to_bytes(8, "little")
+    attack = b"alerts\x00" + bytes([40]) + b"A" * 32 + evil_pointer
+    run("overflowing message", attack)
+
+    print("The overflow never touches a return address or function")
+    print("pointer, yet the tainted stats_slot pointer cannot be used:")
+    print("the NaT-consumption fault on the store is policy L2.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""SHIFT reproduction (ISCA 2008).
+
+A full-system reproduction of "From Speculation to Security: Practical
+and Efficient Information Flow Tracking Using Speculative Hardware"
+(Chen et al.), built on a simulated Itanium-like substrate:
+
+* :mod:`repro.isa` / :mod:`repro.cpu` / :mod:`repro.mem` -- the
+  speculative-hardware substrate (NaT bits, deferred exceptions, caches)
+* :mod:`repro.compiler` -- a MiniC compiler with the SHIFT
+  instrumentation pass
+* :mod:`repro.taint` -- taint bitmap and the security-policy engine
+* :mod:`repro.runtime` -- guest OS, devices, instrumentable libc
+* :mod:`repro.core` -- the high-level SHIFT API
+* :mod:`repro.baselines` -- LIFT-style and interpreter-style comparators
+* :mod:`repro.apps` -- SPEC-like kernels, the web server, vulnerable apps
+* :mod:`repro.harness` -- regenerates every table/figure of the paper
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,26 @@
+"""SPEC-INT2000-like benchmark kernels (paper section 6.2).
+
+Eight kernels mirroring the instruction mixes of the benchmarks the
+paper measures.  Ordering matches Figure 7.
+"""
+
+from repro.apps.spec.common import SCALES, SpecBenchmark
+from repro.apps.spec.kernels_compress import BZIP2, GZIP
+from repro.apps.spec.kernels_logic import GCC, PARSER
+from repro.apps.spec.kernels_memory import MCF
+from repro.apps.spec.kernels_numeric import CRAFTY, TWOLF, VPR
+
+#: All kernels, in the paper's Figure 7 order.
+BENCHMARKS = {
+    "gzip": GZIP,
+    "gcc": GCC,
+    "crafty": CRAFTY,
+    "bzip2": BZIP2,
+    "vpr": VPR,
+    "mcf": MCF,
+    "parser": PARSER,
+    "twolf": TWOLF,
+}
+
+__all__ = ["BENCHMARKS", "SCALES", "SpecBenchmark",
+           "BZIP2", "CRAFTY", "GCC", "GZIP", "MCF", "PARSER", "TWOLF", "VPR"]

@@ -1,0 +1,126 @@
+"""Compression-flavoured kernels: 164.gzip and 256.bzip2."""
+
+from __future__ import annotations
+
+from repro.apps.spec.common import (
+    KERNEL_PRELUDE,
+    SpecBenchmark,
+    skewed_input,
+    text_input,
+)
+
+_GZIP_SOURCE = KERNEL_PRELUDE + """
+char inbuf[4096];
+char outbuf[8192];
+
+int main() {
+    int n = load_input(inbuf, @INPUT@);
+    int i = 0;
+    int oi = 0;
+    while (i < n) {
+        int best_len = 0;
+        int best_off = 0;
+        int start = i - @WINDOW@;
+        if (start < 0) {
+            start = 0;
+        }
+        int j;
+        for (j = start; j < i; j++) {
+            int len = 0;
+            while (len < 15 && i + len < n && inbuf[j + len] == inbuf[i + len]) {
+                len++;
+            }
+            if (len > best_len) {
+                best_len = len;
+                best_off = i - j;
+            }
+        }
+        if (best_len >= 3) {
+            outbuf[oi] = (char)255;
+            outbuf[oi + 1] = (char)best_off;
+            outbuf[oi + 2] = (char)best_len;
+            oi += 3;
+            i += best_len;
+        } else {
+            outbuf[oi] = inbuf[i];
+            oi++;
+            i++;
+        }
+    }
+    int sum = 0;
+    int k;
+    for (k = 0; k < oi; k++) {
+        sum = sum * 31 + outbuf[k];
+        sum = sum & 0xffffff;
+    }
+    result = sum * 4096 + oi;
+    return sum & 255;
+}
+"""
+
+GZIP = SpecBenchmark(
+    name="gzip",
+    spec_name="164.gzip",
+    description="LZ77-style compression: char-heavy loads, match search",
+    source_template=_GZIP_SOURCE,
+    params={
+        "test": {"INPUT": 300, "WINDOW": 16},
+        "ref": {"INPUT": 1100, "WINDOW": 32},
+    },
+    input_maker=lambda rng, p: text_input(rng, p["INPUT"]),
+)
+
+_BZIP2_SOURCE = KERNEL_PRELUDE + """
+char inbuf[4096];
+char mtf[256];
+char coded[4096];
+
+int main() {
+    int n = load_input(inbuf, @INPUT@);
+    int i;
+    for (i = 0; i < 256; i++) {
+        mtf[i] = (char)i;
+    }
+    // Move-to-front transform.
+    for (i = 0; i < n; i++) {
+        char c = inbuf[i];
+        int j = 0;
+        while (mtf[j] != c) {
+            j++;
+        }
+        coded[i] = (char)j;
+        while (j > 0) {
+            mtf[j] = mtf[j - 1];
+            j--;
+        }
+        mtf[0] = c;
+    }
+    // Run-length encode the MTF output.
+    int runs = 0;
+    int sum = 0;
+    i = 0;
+    while (i < n) {
+        int j = i + 1;
+        while (j < n && coded[j] == coded[i]) {
+            j++;
+        }
+        runs++;
+        sum = (sum * 17 + coded[i] * (j - i)) & 0xffffff;
+        i = j;
+    }
+    result = sum * 65536 + runs;
+    return sum & 255;
+}
+"""
+
+BZIP2 = SpecBenchmark(
+    name="bzip2",
+    spec_name="256.bzip2",
+    description="move-to-front + RLE: byte loads/stores, short loops",
+    source_template=_BZIP2_SOURCE,
+    params={
+        "test": {"INPUT": 200},
+        "ref": {"INPUT": 900},
+    },
+    input_maker=lambda rng, p: skewed_input(rng, p["INPUT"]),
+)

@@ -1,0 +1,279 @@
+"""Branch/compare-heavy kernels: 176.gcc and 197.parser."""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps.spec.common import KERNEL_PRELUDE, SpecBenchmark, text_input
+
+# 176.gcc analogue: an expression evaluator over a generated arithmetic
+# program.  Tokenising + precedence climbing means the hot loop is
+# dominated by compares and branches on (tainted) characters, which is
+# what makes real gcc the worst case for SHIFT (compare relaxation).
+_GCC_SOURCE = KERNEL_PRELUDE + """
+char src[8192];
+int pos;
+int src_len;
+
+int peek() {
+    if (pos >= src_len) {
+        return -1;
+    }
+    return src[pos];
+}
+
+int skip_ws() {
+    while (pos < src_len && (src[pos] == ' ' || src[pos] == 10)) {
+        pos++;
+    }
+    return 0;
+}
+
+int parse_expr();
+
+int parse_atom() {
+    skip_ws();
+    int c = peek();
+    if (c == '(') {
+        pos++;
+        int v = parse_expr();
+        skip_ws();
+        if (peek() == ')') {
+            pos++;
+        }
+        return v;
+    }
+    int neg = 0;
+    if (c == '-') {
+        neg = 1;
+        pos++;
+        c = peek();
+    }
+    int v = 0;
+    while (c >= '0' && c <= '9') {
+        v = v * 10 + (c - '0');
+        pos++;
+        c = peek();
+    }
+    if (neg) {
+        return -v;
+    }
+    return v;
+}
+
+int parse_term() {
+    int v = parse_atom();
+    skip_ws();
+    int c = peek();
+    while (c == '*' || c == '/') {
+        pos++;
+        int rhs = parse_atom();
+        if (c == '*') {
+            v = v * rhs;
+        } else {
+            if (rhs == 0) {
+                rhs = 1;
+            }
+            v = v / rhs;
+        }
+        v = v & 0xffffff;
+        skip_ws();
+        c = peek();
+    }
+    return v;
+}
+
+int parse_expr() {
+    int v = parse_term();
+    skip_ws();
+    int c = peek();
+    while (c == '+' || c == '-') {
+        pos++;
+        int rhs = parse_term();
+        if (c == '+') {
+            v = v + rhs;
+        } else {
+            v = v - rhs;
+        }
+        v = v & 0xffffff;
+        skip_ws();
+        c = peek();
+    }
+    return v;
+}
+
+// Lexical statistics pass: like a compiler front end, it classifies
+// every (tainted) character through a cascade of compares -- the
+// compare-relaxation worst case that makes real gcc SHIFT's most
+// expensive benchmark.
+int classify_chars() {
+    int digits = 0;
+    int low = 0;
+    int ops = 0;
+    int parens = 0;
+    int seps = 0;
+    int other = 0;
+    int i;
+    for (i = 0; i < src_len; i++) {
+        char c = src[i];
+        if (c >= '0' && c <= '9') {
+            digits++;
+            if (c >= '0' && c <= '4') {
+                low++;
+            }
+        } else if (c == '+' || c == '-' || c == '*' || c == '/') {
+            ops++;
+        } else if (c == '(' || c == ')') {
+            parens++;
+        } else if (c == ';' || c == ' ' || c == 10 || c == 9) {
+            seps++;
+        } else if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_') {
+            other++;
+        }
+    }
+    return digits * 16 + low * 8 + ops * 4 + parens * 2 + seps + other;
+}
+
+int main() {
+    src_len = load_input(src, @INPUT@);
+    int sum = 0;
+    int exprs = 0;
+    int round;
+    for (round = 0; round < @LEX@; round++) {
+        sum = (sum + classify_chars()) & 0xffffff;
+    }
+    for (round = 0; round < @ROUNDS@; round++) {
+        pos = 0;
+        while (pos < src_len) {
+            sum = (sum * 7 + parse_expr()) & 0xffffff;
+            exprs++;
+            skip_ws();
+            if (peek() == ';') {
+                pos++;
+            } else {
+                pos++;
+            }
+        }
+    }
+    result = sum * 1024 + (exprs & 1023);
+    return sum & 255;
+}
+"""
+
+
+def _gcc_input(rng: random.Random, params) -> bytes:
+    """Generate arithmetic expressions separated by semicolons."""
+    out = []
+    size = params["INPUT"]
+    text = ""
+    while len(text) < size - 40:
+        terms = []
+        for _ in range(rng.randrange(2, 6)):
+            factors = [str(rng.randrange(1, 999)) for _ in range(rng.randrange(1, 4))]
+            terms.append("*".join(factors))
+        expr = "+".join(terms)
+        if rng.random() < 0.3:
+            expr = f"({expr})-{rng.randrange(1, 99)}"
+        text += expr + ";"
+    return text.encode()[:size]
+
+
+GCC = SpecBenchmark(
+    name="gcc",
+    spec_name="176.gcc",
+    description="expression parsing/eval: compare- and branch-dominated",
+    source_template=_GCC_SOURCE,
+    params={
+        "test": {"INPUT": 300, "ROUNDS": 1, "LEX": 4},
+        "ref": {"INPUT": 1400, "ROUNDS": 1, "LEX": 32},
+    },
+    input_maker=_gcc_input,
+)
+
+# 197.parser analogue: tokenising text and looking words up in a small
+# dictionary with strcmp -- string/char compare heavy.
+_PARSER_SOURCE = KERNEL_PRELUDE + """
+char text[8192];
+char word[64];
+char dict[1024];
+int dict_offsets[64];
+int dict_count;
+
+int add_word(char *w) {
+    int off = 0;
+    if (dict_count > 0) {
+        off = dict_offsets[dict_count - 1] + strlen(dict + dict_offsets[dict_count - 1]) + 1;
+    }
+    strcpy(dict + off, w);
+    dict_offsets[dict_count] = off;
+    dict_count++;
+    return 0;
+}
+
+int lookup(char *w) {
+    int i;
+    for (i = 0; i < dict_count; i++) {
+        if (strcmp(dict + dict_offsets[i], w) == 0) {
+            return i;
+        }
+    }
+    return -1;
+}
+
+int main() {
+    int n = load_input(text, @INPUT@);
+    add_word("the");
+    add_word("quick");
+    add_word("brown");
+    add_word("fox");
+    add_word("jumps");
+    add_word("over");
+    add_word("lazy");
+    add_word("dog");
+    add_word("with");
+    add_word("state");
+    add_word("machine");
+    add_word("taint");
+    int i = 0;
+    int known = 0;
+    int unknown = 0;
+    int sum = 0;
+    while (i < n) {
+        while (i < n && text[i] == ' ') {
+            i++;
+        }
+        int wl = 0;
+        while (i < n && text[i] != ' ' && wl < 60) {
+            word[wl] = text[i];
+            wl++;
+            i++;
+        }
+        if (wl == 0) {
+            break;
+        }
+        word[wl] = 0;
+        int idx = lookup(word);
+        if (idx >= 0) {
+            known++;
+            sum = (sum * 13 + idx) & 0xffffff;
+        } else {
+            unknown++;
+            sum = (sum * 13 + wl) & 0xffffff;
+        }
+    }
+    result = sum * 4096 + known * 64 + (unknown & 63);
+    return sum & 255;
+}
+"""
+
+PARSER = SpecBenchmark(
+    name="parser",
+    spec_name="197.parser",
+    description="tokenise + dictionary lookup: string compares, char loads",
+    source_template=_PARSER_SOURCE,
+    params={
+        "test": {"INPUT": 400},
+        "ref": {"INPUT": 2600},
+    },
+    input_maker=lambda rng, p: text_input(rng, p["INPUT"]),
+)

@@ -1,0 +1,216 @@
+"""Arithmetic/array kernels: 186.crafty, 175.vpr, 300.twolf."""
+
+from __future__ import annotations
+
+from repro.apps.spec.common import KERNEL_PRELUDE, SpecBenchmark, binary_input
+
+# 186.crafty analogue: 64-bit bitboard manipulation -- shifts, masks and
+# popcounts over word-sized data, comparatively few memory operations.
+_CRAFTY_SOURCE = KERNEL_PRELUDE + """
+char raw[2048];
+int boards[256];
+
+int popcount(int x) {
+    int c = 0;
+    while (x) {
+        c++;
+        x = x & (x - 1);
+    }
+    return c;
+}
+
+int main() {
+    int n = load_input(raw, @INPUT@);
+    int nb = n / 8;
+    int i;
+    for (i = 0; i < nb; i++) {
+        int v = 0;
+        int b;
+        for (b = 0; b < 8; b++) {
+            v = (v << 8) | (raw[i * 8 + b] & 255);
+        }
+        boards[i] = v;
+    }
+    int score = 0;
+    int round;
+    for (round = 0; round < @ROUNDS@; round++) {
+        for (i = 0; i < nb; i++) {
+            int b = boards[i];
+            int north = b << 8;
+            int south = b >> 8;
+            int east = (b << 1) & 0x7f7f7f7f;
+            int west = (b >> 1) & 0xfefefefe;
+            int attacks = north | south | east | west;
+            int defended = b & attacks;
+            score += popcount(attacks) * 2 - popcount(defended);
+            score += popcount(b ^ (b >> 32));
+            score = score & 0xffffff;
+            boards[i] = b ^ (attacks & 0x55aa55aa);
+        }
+    }
+    result = score;
+    return score & 255;
+}
+"""
+
+CRAFTY = SpecBenchmark(
+    name="crafty",
+    spec_name="186.crafty",
+    description="bitboard ops: shift/mask/popcount, register-dominated",
+    source_template=_CRAFTY_SOURCE,
+    params={
+        "test": {"INPUT": 160, "ROUNDS": 2},
+        "ref": {"INPUT": 640, "ROUNDS": 9},
+    },
+    input_maker=lambda rng, p: binary_input(rng, p["INPUT"]),
+)
+
+# 175.vpr analogue: placement cost optimisation over coordinate arrays --
+# array arithmetic with moderate memory traffic.
+_VPR_SOURCE = KERNEL_PRELUDE + """
+native int rand();
+native void srand(int seed);
+
+char raw[4096];
+int xs[256];
+int ys[256];
+int net_a[256];
+int net_b[256];
+
+int absval(int v) {
+    // branchless abs, as an optimising compiler would emit
+    int m = v >> 63;
+    return (v + m) ^ m;
+}
+
+int net_cost(int i) {
+    int a = net_a[i];
+    int b = net_b[i];
+    return absval(xs[a] - xs[b]) + absval(ys[a] - ys[b]);
+}
+
+int total_cost(int nets) {
+    int c = 0;
+    int i;
+    for (i = 0; i < nets; i++) {
+        c += net_cost(i);
+    }
+    return c;
+}
+
+int main() {
+    int n = load_input(raw, @INPUT@);
+    int cells = @CELLS@;
+    int nets = @NETS@;
+    int i;
+    for (i = 0; i < cells; i++) {
+        xs[i] = raw[(i * 2) % n] & 63;
+        ys[i] = raw[(i * 2 + 1) % n] & 63;
+    }
+    for (i = 0; i < nets; i++) {
+        net_a[i] = (raw[(i * 3) % n] & 255) % cells;
+        net_b[i] = (raw[(i * 3 + 2) % n] & 255) % cells;
+    }
+    srand(raw[0] & 255);
+    int cost = total_cost(nets);
+    int moves = 0;
+    for (i = 0; i < @ITERS@; i++) {
+        int a = rand() % cells;
+        int b = rand() % cells;
+        int tx = xs[a];
+        int ty = ys[a];
+        xs[a] = xs[b];
+        ys[a] = ys[b];
+        xs[b] = tx;
+        ys[b] = ty;
+        int newcost = total_cost(nets);
+        if (newcost <= cost) {
+            cost = newcost;
+            moves++;
+        } else {
+            tx = xs[a];
+            ty = ys[a];
+            xs[a] = xs[b];
+            ys[a] = ys[b];
+            xs[b] = tx;
+            ys[b] = ty;
+        }
+    }
+    result = cost * 1024 + moves;
+    return cost & 255;
+}
+"""
+
+VPR = SpecBenchmark(
+    name="vpr",
+    spec_name="175.vpr",
+    description="placement cost loops: array arithmetic, swaps",
+    source_template=_VPR_SOURCE,
+    params={
+        "test": {"INPUT": 256, "CELLS": 24, "NETS": 32, "ITERS": 10},
+        "ref": {"INPUT": 1024, "CELLS": 96, "NETS": 128, "ITERS": 55},
+    },
+    input_maker=lambda rng, p: binary_input(rng, p["INPUT"]),
+)
+
+# 300.twolf analogue: simulated-annealing style cost optimisation with a
+# random acceptance rule -- arithmetic heavy with moderate memory use.
+_TWOLF_SOURCE = KERNEL_PRELUDE + """
+char raw[4096];
+int weights[512];
+int rng_state;
+
+// Inline LCG seeded from the (tainted) input, like twolf's own
+// random-number generator compiled into the benchmark.
+int next_rand() {
+    rng_state = (rng_state * 1103515245 + 12345) & 0x7fffffff;
+    return rng_state >> 8;
+}
+
+int main() {
+    int n = load_input(raw, @INPUT@);
+    int cells = @CELLS@;
+    int i;
+    for (i = 0; i < cells; i++) {
+        weights[i] = (raw[i % n] & 255) + 1;
+    }
+    rng_state = (raw[1] & 255) + 7;
+    int energy = 0;
+    for (i = 0; i < cells; i++) {
+        energy += weights[i] * (i & 15);
+    }
+    int temperature = 1000;
+    int accepted = 0;
+    int step;
+    for (step = 0; step < @STEPS@; step++) {
+        int a = next_rand() % cells;
+        int b = next_rand() % cells;
+        int wa = weights[a];
+        int wb = weights[b];
+        int delta = (wb - wa) * ((a & 15) - (b & 15));
+        if (delta < 0 || next_rand() % 1000 < temperature) {
+            weights[a] = wb;
+            weights[b] = wa;
+            energy += delta;
+            accepted++;
+        }
+        if ((step & 63) == 63 && temperature > 10) {
+            temperature = temperature * 9 / 10;
+        }
+    }
+    result = (energy & 0xffffff) * 256 + (accepted & 255);
+    return energy & 255;
+}
+"""
+
+TWOLF = SpecBenchmark(
+    name="twolf",
+    spec_name="300.twolf",
+    description="annealing loop: arithmetic with random accept/reject",
+    source_template=_TWOLF_SOURCE,
+    params={
+        "test": {"INPUT": 256, "CELLS": 64, "STEPS": 300},
+        "ref": {"INPUT": 1024, "CELLS": 384, "STEPS": 2600},
+    },
+    input_maker=lambda rng, p: binary_input(rng, p["INPUT"]),
+)

@@ -1,0 +1,197 @@
+"""Server vulnerabilities: Bftpd (format string) and qwik-smtpd
+(the paper's Figure 1 buffer overflow).
+"""
+
+from __future__ import annotations
+
+from repro.apps.vulnerable.common import Scenario, VulnerableApp
+from repro.runtime.machine import Machine
+
+_READLINE = """
+char line[256];
+
+int readline(int fd) {
+    int i = 0;
+    char c[4];
+    int got = recv(fd, c, 1);
+    if (got <= 0) {
+        return -1;
+    }
+    while (got == 1 && c[0] != 10) {
+        if (c[0] != 13 && i < 250) {
+            line[i] = c[0];
+            i++;
+        }
+        got = recv(fd, c, 1);
+    }
+    line[i] = 0;
+    return i;
+}
+"""
+
+# --- Bftpd < 0.96: user-controlled data reaches a printf-style format
+# string ("arbitrary code execution via format string specifiers").
+# The %n directive writes through an attacker-positioned pointer; the
+# store through a tainted address trips policy L2.
+_BFTPD_SOURCE = """
+native int accept();
+native int recv(int fd, char *buf, int n);
+native int send(int fd, char *buf, int n);
+""" + _READLINE + """
+int admin_mode;
+int site_value;
+char logbuf[768];
+
+int handle(int fd) {
+    send(fd, "220 bftpd ready\\r\\n", 17);
+    while (readline(fd) >= 0) {
+        if (strncmp(line, "QUIT", 4) == 0) {
+            send(fd, "221 bye\\r\\n", 9);
+            return 0;
+        }
+        if (strncmp(line, "USER ", 5) == 0) {
+            send(fd, "331 password please\\r\\n", 21);
+        } else if (strncmp(line, "SITE ", 5) == 0) {
+            site_value = atoi(line + 5);
+            send(fd, "200 site ok\\r\\n", 13);
+        } else {
+            send(fd, "500 unknown\\r\\n", 13);
+        }
+        // BUG: the raw client line is used as the format string.
+        format_str(logbuf, line, site_value, 0, 0, 0);
+    }
+    return 0;
+}
+
+int main() {
+    int fd;
+    while ((fd = accept()) >= 0) {
+        handle(fd);
+    }
+    return admin_mode;
+}
+"""
+
+
+def _bftpd_attack(machine: Machine) -> Scenario:
+    """Point %n's argument at the server's admin flag."""
+    target = machine.address_of("admin_mode")
+    payload = (
+        b"USER haxor\r\n"
+        + b"SITE " + str(target).encode() + b"\r\n"
+        # The filler makes %n write a non-zero count through the pointer.
+        + b"AAAAAAAA%n\r\n"
+        + b"QUIT\r\n"
+    )
+    return Scenario(requests=(payload,))
+
+
+BFTPD = VulnerableApp(
+    name="bftpd",
+    cve="(no CVE; Bftpd < 0.96)",
+    language="C",
+    attack_type="Format string attack",
+    detection_policies=(),  # L2 is a default low-level policy
+    expected_policy="L2",
+    source=_BFTPD_SOURCE,
+    benign=Scenario(requests=(b"USER bob\r\nSITE 100\r\nQUIT\r\n",)),
+    attack=_bftpd_attack,
+    compromised=lambda machine: machine.read_global("admin_mode") != 0,
+)
+
+# --- qwik-smtpd 0.3 (paper Figure 1): no length check on the HELO
+# argument, so a long argument overflows clientHELO into localip and
+# defeats the relay check.  SHIFT marks localip critical and inserts a
+# taint check before the relay decision (paper sections 2.1 and 3.3.3).
+_QWIK_SMTPD_SOURCE = """
+native int accept();
+native int recv(int fd, char *buf, int n);
+native int send(int fd, char *buf, int n);
+native int is_tainted(char *p);
+native void console_log(char *s);
+""" + _READLINE + """
+char clientHELO[32];
+char localip[64];
+char clientip[64];
+int relayed;
+
+int relay_allowed() {
+    // Exploit detection inserted by SHIFT: localip is critical data
+    // (taint source rule 5: specific memory locations must stay clean).
+    if (is_tainted(localip)) {
+        console_log("ALERT: tainted data reached localip");
+        return -1;
+    }
+    if (strcasecmp(clientip, "127.0.0.1") == 0) {
+        return 1;
+    }
+    if (strcasecmp(clientip, localip) == 0) {
+        return 1;
+    }
+    return 0;
+}
+
+int handle(int fd) {
+    strcpy(localip, "192.168.0.1");
+    strcpy(clientip, "10.7.7.7");
+    send(fd, "220 qwik-smtpd\\r\\n", 16);
+    while (readline(fd) >= 0) {
+        if (strncmp(line, "QUIT", 4) == 0) {
+            send(fd, "221 bye\\r\\n", 9);
+            return 0;
+        }
+        if (strncmp(line, "HELO ", 5) == 0) {
+            // BUG: no check of the argument length (paper Fig. 1 line 5).
+            strcpy(clientHELO, line + 5);
+            send(fd, "250 hello\\r\\n", 12);
+        } else if (strncmp(line, "RELAY ", 6) == 0) {
+            int verdict = relay_allowed();
+            if (verdict > 0) {
+                relayed = relayed + 1;
+                send(fd, "250 relayed\\r\\n", 14);
+            } else if (verdict < 0) {
+                send(fd, "554 security alert\\r\\n", 21);
+                return 99;
+            } else {
+                send(fd, "554 relaying denied\\r\\n", 22);
+            }
+        } else {
+            send(fd, "250 ok\\r\\n", 8);
+        }
+    }
+    return 0;
+}
+
+int main() {
+    int fd;
+    int status = 0;
+    while ((fd = accept()) >= 0) {
+        status = handle(fd);
+    }
+    if (relayed > 0) {
+        return 1;
+    }
+    return status;
+}
+"""
+
+#: Filler to cross clientHELO[32], then the attacker's own address so
+#: the overwritten localip equals clientip and the relay check passes.
+_OVERFLOW_ARG = b"A" * 32 + b"10.7.7.7"
+
+QWIK_SMTPD = VulnerableApp(
+    name="qwik-smtpd",
+    cve="(paper Fig. 1; qwik-smtpd 0.3)",
+    language="C",
+    attack_type="Buffer overflow enabling open relay",
+    detection_policies=(),
+    expected_policy="critical-data taint check",
+    source=_QWIK_SMTPD_SOURCE,
+    benign=Scenario(requests=(
+        b"HELO mail.example.com\r\nRELAY victim@example.net\r\nQUIT\r\n",
+    )),
+    attack=Scenario(requests=(
+        b"HELO " + _OVERFLOW_ARG + b"\r\nRELAY victim@example.net\r\nQUIT\r\n",
+    )),
+    compromised=lambda machine: machine.read_global("relayed") != 0,
+)

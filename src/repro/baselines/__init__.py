@@ -1,0 +1,16 @@
+"""Comparison baselines: LIFT-style DBT tracking and emulation models."""
+
+from repro.baselines.interp import InterpreterModel
+from repro.baselines.lift import LiftInstrumenter, LiftOptions, lift_instrument_function
+
+__all__ = [
+    "InterpreterModel",
+    "LiftInstrumenter",
+    "LiftOptions",
+    "lift_instrument_function",
+]
+
+#: Convenience ShiftOptions value selecting LIFT-mode compilation.
+from repro.compiler.instrument import ShiftOptions
+
+LIFT_MODE = ShiftOptions(mode="lift")

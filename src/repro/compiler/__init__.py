@@ -1,0 +1,35 @@
+"""MiniC compiler with the SHIFT instrumentation pass."""
+
+from repro.compiler.codesize import CodeSize, expansion_percent, instructions_to_bytes
+from repro.compiler.errors import CompileError
+from repro.compiler.instrument import (
+    BYTE_LEVEL,
+    GRANULARITY_BYTE,
+    GRANULARITY_WORD,
+    INVALID_ADDR,
+    ShiftOptions,
+    UNINSTRUMENTED,
+    WORD_LEVEL,
+    instrument_function,
+)
+from repro.compiler.pipeline import CompiledProgram, STACK_TOP, compile_program
+from repro.compiler.parser import parse
+
+__all__ = [
+    "BYTE_LEVEL",
+    "CodeSize",
+    "CompileError",
+    "CompiledProgram",
+    "GRANULARITY_BYTE",
+    "GRANULARITY_WORD",
+    "INVALID_ADDR",
+    "STACK_TOP",
+    "ShiftOptions",
+    "UNINSTRUMENTED",
+    "WORD_LEVEL",
+    "compile_program",
+    "expansion_percent",
+    "instructions_to_bytes",
+    "instrument_function",
+    "parse",
+]

@@ -1,0 +1,371 @@
+"""IR -> IA-64-like machine code.
+
+Produces per-function instruction streams with Itanium-flavoured
+prologues/epilogues: callee-saved registers are preserved with
+``st8.spill``/``ld8.fill`` (keeping their NaT bits alive through the
+UNAT register, so taint in callee-saved registers survives calls without
+any bitmap traffic), ``ar.unat`` itself is treated as callee-saved, and
+``b0`` is spilled to the frame in non-leaf functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.compiler.errors import CompileError
+from repro.compiler.ir import IRFunction, IRInstr, Operand, VReg
+from repro.compiler.regalloc import Allocation, allocate
+from repro.isa.instruction import Instruction, Label
+from repro.isa.operands import AR_UNAT, BR, GR, GR_FIRST_ARG, GR_RET, NUM_ARG_REGS, PR, R0, SP
+
+#: Code-generator scratch registers (never allocated to user values).
+SCRATCH_A = GR(28)
+SCRATCH_B = GR(29)
+SCRATCH_ADDR = GR(30)
+
+#: Immediates representable by ``adds``-style 14-bit forms.
+IMM14_MIN, IMM14_MAX = -(1 << 13), (1 << 13) - 1
+
+_ALU_MAP = {"add": "add", "sub": "sub", "mul": "mul", "div": "div", "mod": "mod",
+            "and": "and", "or": "or", "xor": "xor",
+            "shl": "shl", "shr": "shr", "shru": "shr.u"}
+_IMM_OK = {"add", "sub", "and", "or", "xor", "shl", "shr", "shru"}
+
+Item = Union[Label, Instruction]
+
+
+@dataclass
+class FunctionCode:
+    """Machine code for one function, pre-instrumentation."""
+
+    name: str
+    items: List[Item] = field(default_factory=list)
+    frame_size: int = 0
+    makes_calls: bool = False
+
+
+class FunctionCodegen:
+    """Lowers one IR function using a prior register allocation."""
+
+    def __init__(self, irf: IRFunction, allocation: Optional[Allocation] = None) -> None:
+        self.irf = irf
+        self.allocation = allocation or allocate(irf)
+        self.items: List[Item] = []
+        self.makes_calls = any(i.is_call for i in irf.body)
+        self._layout_frame()
+
+    def _layout_frame(self) -> None:
+        offset = (self.irf.frame_size + 7) // 8 * 8
+        self.spill_base = offset
+        offset += 8 * self.allocation.spill_slot_count
+        self.b0_offset = offset
+        if self.makes_calls:
+            offset += 8
+        self.unat_offset = offset
+        if self.allocation.callee_saved_used:
+            offset += 8
+        self.callee_save_offsets: Dict[int, int] = {}
+        for reg in self.allocation.callee_saved_used:
+            self.callee_save_offsets[reg] = offset
+            offset += 8
+        self.frame_size = (offset + 15) // 16 * 16
+
+    # -- emit helpers ----------------------------------------------------
+
+    def emit(self, op: str, **kwargs) -> Instruction:
+        """Append one instruction to the output stream."""
+        instr = Instruction(op, **kwargs)
+        self.items.append(instr)
+        return instr
+
+    def label(self, name: str) -> None:
+        """Append a label to the output stream."""
+        self.items.append(Label(name))
+
+    def _load_imm(self, dest, value: int) -> None:
+        if IMM14_MIN <= value <= IMM14_MAX:
+            self.emit("adds", outs=(dest,), ins=(R0,), imm=value)
+        else:
+            self.emit("movl", outs=(dest,), imm=value)
+
+    def _slot_addr(self, slot: int) -> None:
+        """SCRATCH_ADDR = &spill_slot[slot]."""
+        offset = self.spill_base + 8 * slot
+        self.emit("adds", outs=(SCRATCH_ADDR,), ins=(SP,), imm=offset)
+
+    def _frame_addr(self, dest, offset: int) -> None:
+        self.emit("adds", outs=(dest,), ins=(SP,), imm=offset)
+
+    def read_operand(self, operand: Operand, scratch) -> object:
+        """Materialise ``operand`` into a register; returns the register."""
+        if isinstance(operand, int):
+            self._load_imm(scratch, operand)
+            return scratch
+        kind, where = self.allocation.location(operand)
+        if kind == "reg":
+            return GR(where)
+        self._slot_addr(where)
+        self.emit("ld8", outs=(scratch,), ins=(SCRATCH_ADDR,))
+        return scratch
+
+    def write_result(self, vreg: VReg):
+        """Register to compute a result into, plus a finish callback."""
+        kind, where = self.allocation.location(vreg)
+        if kind == "reg":
+            return GR(where), lambda: None
+
+        def finish() -> None:
+            self._slot_addr(where)
+            self.emit("st8", ins=(SCRATCH_ADDR, SCRATCH_A))
+
+        return SCRATCH_A, finish
+
+    # -- main ------------------------------------------------------------
+
+    def generate(self) -> FunctionCode:
+        """Produce the full prologue/body/epilogue instruction stream."""
+        self._prologue()
+        for instr in self.irf.body:
+            self._lower(instr)
+        self._epilogue()
+        self._remove_redundant_branches()
+        return FunctionCode(
+            name=self.irf.name,
+            items=self.items,
+            frame_size=self.frame_size,
+            makes_calls=self.makes_calls,
+        )
+
+    def _prologue(self) -> None:
+        if self.frame_size:
+            self.emit("adds", outs=(SP,), ins=(SP,), imm=-self.frame_size)
+        if self.makes_calls:
+            self.emit("mov.frombr", outs=(SCRATCH_A,), ins=(BR(0),))
+            self._frame_addr(SCRATCH_ADDR, self.b0_offset)
+            self.emit("st8", ins=(SCRATCH_ADDR, SCRATCH_A))
+        for reg, offset in self.callee_save_offsets.items():
+            self._frame_addr(SCRATCH_ADDR, offset)
+            self.emit("st8.spill", ins=(SCRATCH_ADDR, GR(reg)))
+        if self.allocation.callee_saved_used:
+            # ar.unat is callee-saved so callers' spill bits survive us.
+            self.emit("mov.fromar", outs=(SCRATCH_A,), ins=(AR_UNAT,))
+            self._frame_addr(SCRATCH_ADDR, self.unat_offset)
+            self.emit("st8", ins=(SCRATCH_ADDR, SCRATCH_A))
+        for i, vreg in enumerate(self.irf.param_vregs):
+            if i >= NUM_ARG_REGS:
+                raise CompileError(f"{self.irf.name}: too many parameters")
+            try:
+                kind, where = self.allocation.location(vreg)
+            except KeyError:
+                continue  # parameter never used
+            if kind == "reg":
+                self.emit("mov", outs=(GR(where),), ins=(GR(GR_FIRST_ARG + i),))
+            else:
+                self._slot_addr(where)
+                self.emit("st8", ins=(SCRATCH_ADDR, GR(GR_FIRST_ARG + i)))
+
+    def _epilogue(self) -> None:
+        self.label(self._ret_label())
+        if self.allocation.callee_saved_used:
+            self._frame_addr(SCRATCH_ADDR, self.unat_offset)
+            self.emit("ld8", outs=(SCRATCH_A,), ins=(SCRATCH_ADDR,))
+            self.emit("mov.toar", outs=(AR_UNAT,), ins=(SCRATCH_A,))
+        for reg, offset in self.callee_save_offsets.items():
+            self._frame_addr(SCRATCH_ADDR, offset)
+            self.emit("ld8.fill", outs=(GR(reg),), ins=(SCRATCH_ADDR,))
+        if self.makes_calls:
+            self._frame_addr(SCRATCH_ADDR, self.b0_offset)
+            self.emit("ld8", outs=(SCRATCH_A,), ins=(SCRATCH_ADDR,))
+            self.emit("mov.tobr", outs=(BR(0),), ins=(SCRATCH_A,))
+        if self.frame_size:
+            self.emit("adds", outs=(SP,), ins=(SP,), imm=self.frame_size)
+        self.emit("br.ret", ins=(BR(0),))
+
+    def _ret_label(self) -> str:
+        return f".Lret_{self.irf.name}"
+
+    # -- IR lowering ---------------------------------------------------------
+
+    def _lower(self, instr: IRInstr) -> None:
+        handler = getattr(self, f"_lower_{instr.op}", None)
+        if handler is None:
+            raise CompileError(f"cannot lower IR op {instr.op}")
+        handler(instr)
+
+    def _lower_const(self, instr: IRInstr) -> None:
+        dest, finish = self.write_result(instr.dst)
+        self._load_imm(dest, instr.imm)
+        finish()
+
+    def _lower_symaddr(self, instr: IRInstr) -> None:
+        dest, finish = self.write_result(instr.dst)
+        self.emit("movl", outs=(dest,), imm=0, sym=instr.name)
+        finish()
+
+    def _lower_funcaddr(self, instr: IRInstr) -> None:
+        dest, finish = self.write_result(instr.dst)
+        self.emit("movl", outs=(dest,), imm=0, sym=f"&{instr.name}")
+        finish()
+
+    def _lower_frameaddr(self, instr: IRInstr) -> None:
+        dest, finish = self.write_result(instr.dst)
+        self._frame_addr(dest, instr.imm)
+        finish()
+
+    def _lower_mov(self, instr: IRInstr) -> None:
+        dest, finish = self.write_result(instr.dst)
+        if isinstance(instr.a, int):
+            self._load_imm(dest, instr.a)
+        else:
+            src = self.read_operand(instr.a, SCRATCH_B)
+            self.emit("mov", outs=(dest,), ins=(src,))
+        finish()
+
+    def _lower_bin(self, instr: IRInstr) -> None:
+        op = _ALU_MAP[instr.sub_op]
+        a = self.read_operand(instr.a, SCRATCH_A)
+        dest, finish = self.write_result(instr.dst)
+        if isinstance(instr.b, int) and instr.sub_op in _IMM_OK \
+                and IMM14_MIN <= instr.b <= IMM14_MAX:
+            if instr.sub_op == "add":
+                self.emit("adds", outs=(dest,), ins=(a,), imm=instr.b)
+            elif instr.sub_op == "sub":
+                self.emit("adds", outs=(dest,), ins=(a,), imm=-instr.b)
+            else:
+                self.emit(op, outs=(dest,), ins=(a,), imm=instr.b)
+        else:
+            b = self.read_operand(instr.b, SCRATCH_B)
+            self.emit(op, outs=(dest,), ins=(a, b))
+        finish()
+
+    def _lower_sext(self, instr: IRInstr) -> None:
+        a = self.read_operand(instr.a, SCRATCH_A)
+        dest, finish = self.write_result(instr.dst)
+        op = {1: "sxt1", 2: "sxt2", 4: "sxt4"}[instr.size]
+        self.emit(op, outs=(dest,), ins=(a,))
+        finish()
+
+    def _lower_load(self, instr: IRInstr) -> None:
+        addr = self.read_operand(instr.a, SCRATCH_B)
+        dest, finish = self.write_result(instr.dst)
+        op = {1: "ld1", 2: "ld2", 4: "ld4", 8: "ld8"}[instr.size]
+        self.emit(op, outs=(dest,), ins=(addr,))
+        if instr.signed and instr.size < 8:
+            sxt = {1: "sxt1", 2: "sxt2", 4: "sxt4"}[instr.size]
+            self.emit(sxt, outs=(dest,), ins=(dest,))
+        finish()
+
+    def _lower_store(self, instr: IRInstr) -> None:
+        addr = self.read_operand(instr.a, SCRATCH_A)
+        value = self.read_operand(instr.b, SCRATCH_B)
+        op = {1: "st1", 2: "st2", 4: "st4", 8: "st8"}[instr.size]
+        self.emit(op, ins=(addr, value))
+
+    def _emit_cmp(self, rel: str, a: Operand, b: Operand) -> None:
+        reg_a = self.read_operand(a, SCRATCH_A)
+        if isinstance(b, int) and IMM14_MIN <= b <= IMM14_MAX:
+            self.emit(f"cmp.{rel}", outs=(PR(6), PR(7)), ins=(reg_a,), imm=b)
+        else:
+            reg_b = self.read_operand(b, SCRATCH_B)
+            self.emit(f"cmp.{rel}", outs=(PR(6), PR(7)), ins=(reg_a, reg_b))
+
+    def _lower_setrel(self, instr: IRInstr) -> None:
+        self._emit_cmp(instr.rel, instr.a, instr.b)
+        dest, finish = self.write_result(instr.dst)
+        self.emit("mov", outs=(dest,), ins=(R0,))
+        self.emit("adds", qp=6, outs=(dest,), ins=(R0,), imm=1)
+        finish()
+
+    def _lower_cbr(self, instr: IRInstr) -> None:
+        self._emit_cmp(instr.rel, instr.a, instr.b)
+        self.emit("br.cond", qp=6, target=instr.label)
+        self.emit("br", target=instr.label2)
+
+    def _lower_br(self, instr: IRInstr) -> None:
+        self.emit("br", target=instr.label)
+
+    def _lower_label(self, instr: IRInstr) -> None:
+        self.label(instr.name)
+
+    def _move_args(self, args: Tuple[Operand, ...]) -> None:
+        if len(args) > NUM_ARG_REGS:
+            raise CompileError("too many call arguments")
+        for i, arg in enumerate(args):
+            target = GR(GR_FIRST_ARG + i)
+            if isinstance(arg, int):
+                self._load_imm(target, arg)
+            else:
+                kind, where = self.allocation.location(arg)
+                if kind == "reg":
+                    self.emit("mov", outs=(target,), ins=(GR(where),))
+                else:
+                    self._slot_addr(where)
+                    self.emit("ld8", outs=(target,), ins=(SCRATCH_ADDR,))
+
+    def _store_return(self, dst: Optional[VReg]) -> None:
+        if dst is None:
+            return
+        try:
+            kind, where = self.allocation.location(dst)
+        except KeyError:
+            return  # result unused
+        if kind == "reg":
+            self.emit("mov", outs=(GR(where),), ins=(GR(GR_RET),))
+        else:
+            self._slot_addr(where)
+            self.emit("st8", ins=(SCRATCH_ADDR, GR(GR_RET)))
+
+    def _lower_call(self, instr: IRInstr) -> None:
+        self._move_args(instr.args)
+        self.emit("br.call", outs=(BR(0),), target=instr.name)
+        self._store_return(instr.dst)
+
+    def _lower_icall(self, instr: IRInstr) -> None:
+        func = self.read_operand(instr.a, SCRATCH_A)
+        # The move to a branch register is where policy L3 bites if the
+        # function pointer is tainted.
+        self.emit("mov.tobr", outs=(BR(6),), ins=(func,))
+        self._move_args(instr.args)
+        self.emit("br.call.ind", outs=(BR(0),), ins=(BR(6),))
+        self._store_return(instr.dst)
+
+    def _lower_ret(self, instr: IRInstr) -> None:
+        if instr.a is not None:
+            if isinstance(instr.a, int):
+                self._load_imm(GR(GR_RET), instr.a)
+            else:
+                src = self.read_operand(instr.a, SCRATCH_A)
+                if src.index != GR_RET:
+                    self.emit("mov", outs=(GR(GR_RET),), ins=(src,))
+        self.emit("br", target=self._ret_label())
+
+    # -- cleanup ---------------------------------------------------------------
+
+    def _remove_redundant_branches(self) -> None:
+        """Drop unconditional branches that target the next label."""
+        cleaned: List[Item] = []
+        for i, item in enumerate(self.items):
+            if (
+                isinstance(item, Instruction)
+                and item.op == "br"
+                and item.qp == 0
+                and item.target in self._labels_at(i)
+            ):
+                continue
+            cleaned.append(item)
+        self.items = cleaned
+
+    def _labels_at(self, index: int) -> List[str]:
+        """Labels naming the position immediately after item ``index``."""
+        labels: List[str] = []
+        for item in self.items[index + 1:]:
+            if not isinstance(item, Label):
+                break
+            labels.append(item.name)
+        return labels
+
+
+def lower_function(irf: IRFunction) -> FunctionCode:
+    """Allocate registers and generate machine code for one function."""
+    return FunctionCodegen(irf).generate()

@@ -1,0 +1,13 @@
+"""Compiler diagnostics."""
+
+from __future__ import annotations
+
+
+class CompileError(Exception):
+    """Any error raised while compiling MiniC source."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f"{line}:{column}: " if line else ""
+        super().__init__(f"{location}{message}")
+        self.line = line
+        self.column = column

@@ -1,0 +1,488 @@
+"""The SHIFT instrumentation pass (paper sections 3-4).
+
+Runs after register allocation and code generation, the same pipeline
+point as the paper's GCC pass (between ``pass_leaf_regs`` and
+``pass_sched2``).  For every *user* load it appends code that consults
+the taint bitmap and conditionally sets the destination's NaT bit; for
+every user store it updates the bitmap from the source's NaT bit (and
+rewrites ``st8`` to ``st8.spill`` so tainted values can be stored); for
+every user compare it inserts *relaxation* code, because an Itanium
+compare with a NaT operand clears both predicates.
+
+Tag addressing follows the paper's Figure 4: the region number is moved
+down and combined with the implemented address bits (``linearise``),
+then shifted by the granularity.  Modelling choice (documented in
+DESIGN.md): byte-level tracking keeps one tag *bit* per byte (an N-byte
+access manipulates an N-bit mask with a 16-bit read-modify-write), while
+word-level tracking keeps one tag *byte* per 8-byte word (single ``ld1``
+test, single ``st1`` update).  Both bitmaps occupy 1/8th of data memory;
+byte-level needs more instructions per access, which is exactly the
+cost asymmetry the paper reports.
+
+The three proposed architectural enhancements (section 6.3) are
+compile-time switches:
+
+* ``enh_set_clear`` uses ``settag``/``cleartag`` instead of faking a NaT
+  with a speculative load from an invalid address;
+* ``enh_nat_cmp`` replaces compares with the NaT-aware ``tcmp.*`` forms,
+  removing relaxation entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Union
+
+from repro.compiler.codegen import FunctionCode
+from repro.isa.instruction import (
+    Instruction,
+    Label,
+    ROLE_NATGEN,
+    ROLE_RELAX,
+    ROLE_TAG_COMPUTE,
+    ROLE_TAG_MEM,
+    ROLE_TAINT_SET,
+)
+from repro.isa.operands import GR, GR_NAT_SOURCE, PR, R0, Reg, SP
+from repro.mem.address import IMPL_BITS, IMPL_MASK
+
+#: An address with an unimplemented bit set: speculative loads from it
+#: defer the exception, manufacturing a NaT-tagged zero (paper Fig. 5).
+INVALID_ADDR = 1 << (IMPL_BITS + 4)
+
+GRANULARITY_BYTE = 1
+GRANULARITY_WORD = 8
+
+# Instrumentation-reserved registers (never used by the code generator
+# for user values): r2/r3 linear/tag addresses, r9-r11 tag scratch.
+T_LIN = GR(2)
+T_ADDR = GR(3)
+T_BITS = GR(9)
+T_OFF = GR(10)
+T_MASK = GR(11)
+NAT_SOURCE = GR(GR_NAT_SOURCE)
+
+# Instrumentation predicates (codegen only uses p6/p7).
+P_TAINT = 8
+P_CLEAN = 9
+P_TAINT2 = 10
+P_CLEAN2 = 11
+P_ADDR = 12  # address register tainted (permissive pointer policy)
+P_ADDR_CLEAN = 13
+
+#: Red-zone offset used by the pointer-laundering fix blocks.
+ADDR_FIX_SLOT = -32
+
+#: Red-zone frame offsets used by NaT-clearing spills (transient use
+#: below sp; safe because the sequences contain no calls).
+RELAX_SLOT_A = -16
+RELAX_SLOT_B = -24
+
+_PLAIN_LOADS = {"ld1": 1, "ld2": 2, "ld4": 4, "ld8": 8}
+_PLAIN_STORES = {"st1": 1, "st2": 2, "st4": 4, "st8": 8}
+
+Item = Union[Label, Instruction]
+
+
+@dataclass(frozen=True)
+class ShiftOptions:
+    """Compile-time configuration of the instrumentation pass."""
+
+    mode: str = "shift"  # 'none' | 'shift' | 'lift'
+    granularity: int = GRANULARITY_BYTE
+    enh_set_clear: bool = False  # architectural enhancement 1
+    enh_nat_cmp: bool = False  # architectural enhancement 2
+    relax_compares: bool = True  # ablation knob
+    #: Where the NaT-source register is manufactured (paper 4.4: the
+    #: authors found per-function generation 3X cheaper than per-use and
+    #: keeping a global source cheaper still): 'use' | 'function' |
+    #: 'global' (the loader's _start generates r31 once).
+    natgen: str = "function"
+    #: Ablation: model an x86-style flat tag translation (mask + shift)
+    #: instead of Itanium's region/unimplemented-bits combine, which the
+    #: paper blames for computation dominating the overhead (6.4).
+    fast_tag_translation: bool = False
+    #: Optimisation (paper 4.4 future work): run a static
+    #: possibly-tainted analysis and emit relaxation only for compares
+    #: whose operands may actually carry taint (loop counters etc. are
+    #: provably clean and need nothing).
+    prune_clean_compares: bool = False
+    #: 'strict': a tainted pointer faults (policies L1/L2 fire) — the
+    #: default for protected applications.  'permissive': memory ops are
+    #: guarded with relaxing code (paper 3.2.2/4.1) that launders the
+    #: address NaT for legitimate table lookups and propagates the
+    #: pointer's taint to the loaded value — used for the SPEC runs,
+    #: where input-indexed tables are ubiquitous.
+    pointer_policy: str = "strict"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("none", "shift", "lift"):
+            raise ValueError(f"unknown instrumentation mode {self.mode!r}")
+        if self.granularity not in (GRANULARITY_BYTE, GRANULARITY_WORD):
+            raise ValueError("granularity must be 1 (byte) or 8 (word)")
+        if self.pointer_policy not in ("strict", "permissive"):
+            raise ValueError(f"unknown pointer policy {self.pointer_policy!r}")
+        if self.natgen not in ("use", "function", "global"):
+            raise ValueError(f"unknown natgen granularity {self.natgen!r}")
+
+    @property
+    def label(self) -> str:
+        """Short display name (e.g. 'shift-byte-set/clear')."""
+        if self.mode == "none":
+            return "baseline"
+        if self.mode == "lift":
+            return "lift"
+        grain = "byte" if self.granularity == GRANULARITY_BYTE else "word"
+        enh = ""
+        if self.enh_set_clear and self.enh_nat_cmp:
+            enh = "-both"
+        elif self.enh_set_clear:
+            enh = "-set/clear"
+        elif self.enh_nat_cmp:
+            enh = "-natcmp"
+        return f"shift-{grain}{enh}"
+
+
+BYTE_LEVEL = ShiftOptions(granularity=GRANULARITY_BYTE)
+WORD_LEVEL = ShiftOptions(granularity=GRANULARITY_WORD)
+UNINSTRUMENTED = ShiftOptions(mode="none")
+
+
+class ShiftInstrumenter:
+    """Applies the SHIFT pass to one function's instruction stream."""
+
+    def __init__(self, options: ShiftOptions) -> None:
+        self.options = options
+        self._label_count = 0
+
+    def instrument(self, func: FunctionCode) -> FunctionCode:
+        """Apply the SHIFT pass to one function's instruction stream."""
+        if self.options.mode != "shift":
+            return func
+        self._func_name = func.name
+        self._outofline: List[Item] = []
+        if self.options.prune_clean_compares:
+            from repro.compiler.taint_analysis import possibly_tainted_before
+
+            self._tainted_before = possibly_tainted_before(func.items)
+        else:
+            self._tainted_before = None
+        out: List[Item] = []
+        if self.options.natgen == "function" and not self.options.enh_set_clear:
+            self._emit_natgen(out)
+        for index, item in enumerate(func.items):
+            if isinstance(item, Label):
+                out.append(item)
+                continue
+            self._rewrite(item, out, index)
+        # Pointer-laundering fix blocks go out of line, after the
+        # epilogue's br.ret, so the fast path takes no branches.
+        out.extend(self._outofline)
+        return FunctionCode(
+            name=func.name,
+            items=out,
+            frame_size=func.frame_size,
+            makes_calls=func.makes_calls,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _new_label(self, hint: str) -> str:
+        self._label_count += 1
+        return f".Lsh_{self._func_name}_{hint}{self._label_count}"
+
+    def _emit_natgen(self, out: List[Item]) -> None:
+        """Manufacture a NaT-tagged zero in r31 (paper Fig. 5, instrs 1-2)."""
+        out.append(Instruction("movl", outs=(NAT_SOURCE,), imm=INVALID_ADDR,
+                               role=ROLE_NATGEN, origin="func"))
+        out.append(Instruction("ld8.s", outs=(NAT_SOURCE,), ins=(NAT_SOURCE,),
+                               role=ROLE_NATGEN, origin="func"))
+
+    def _rewrite(self, instr: Instruction, out: List[Item], index: int = -1) -> None:
+        if instr.role is not None:
+            out.append(instr)
+            return
+        op = instr.op
+        if op in _PLAIN_LOADS:
+            self._instrument_load(instr, out)
+        elif op in _PLAIN_STORES:
+            self._instrument_store(instr, out)
+        elif op.startswith("cmp.") and self._needs_relax(instr, index):
+            self._instrument_cmp(instr, out)
+        elif op in ("xor", "sub") and self._is_zeroing_idiom(instr):
+            # Purify zeroing idioms: xor r,r,r must clear the taint tag
+            # (paper 3.2.2), but the hardware would propagate NaT.
+            out.append(replace(instr, op="mov", ins=(R0,)))
+        else:
+            out.append(instr)
+
+    @staticmethod
+    def _is_zeroing_idiom(instr: Instruction) -> bool:
+        return (
+            len(instr.ins) == 2
+            and instr.ins[0] == instr.ins[1]
+            and instr.outs
+            and instr.outs[0] == instr.ins[0]
+        )
+
+    def _needs_relax(self, instr: Instruction, index: int = -1) -> bool:
+        if not self.options.relax_compares and not self.options.enh_nat_cmp:
+            return False
+        if not any(r.is_gr and r.index != 0 for r in instr.ins):
+            return False
+        if self._tainted_before is not None and 0 <= index:
+            # Static pruning: skip relaxation when no operand can carry
+            # taint at this program point (paper 4.4 optimisation).
+            state = self._tainted_before[index]
+            if not any(r.is_gr and r.index in state for r in instr.ins):
+                return False
+        return True
+
+    # -- shared tag-address computation -----------------------------------
+
+    def _emit_linearise(self, addr: Reg, origin: str, out: List[Item]) -> None:
+        """T_LIN = linearised ``addr`` (paper Fig. 4): move the region
+        number down next to the implemented bits.
+
+        With ``fast_tag_translation`` (an ablation modelling x86-style
+        flat translation, paper 6.4) the region bits are simply masked
+        away — two instructions instead of five.
+        """
+
+        def emit(op: str, **kwargs) -> None:
+            out.append(Instruction(op, role=ROLE_TAG_COMPUTE, origin=origin, **kwargs))
+
+        if self.options.fast_tag_translation:
+            emit("movl", outs=(T_LIN,), imm=IMPL_MASK)
+            emit("and", outs=(T_LIN,), ins=(addr, T_LIN))
+            return
+        emit("shr.u", outs=(T_LIN,), ins=(addr,), imm=61)
+        emit("shl", outs=(T_LIN,), ins=(T_LIN,), imm=IMPL_BITS)
+        emit("movl", outs=(T_ADDR,), imm=IMPL_MASK)
+        emit("and", outs=(T_ADDR,), ins=(addr, T_ADDR))
+        emit("or", outs=(T_LIN,), ins=(T_LIN, T_ADDR))
+
+    # -- loads ---------------------------------------------------------------
+
+    def _instrument_load(self, instr: Instruction, out: List[Item]) -> None:
+        if instr.qp:
+            raise ValueError("cannot instrument predicated memory op")
+        addr = instr.ins[0]
+        dest = instr.outs[0]
+        size = _PLAIN_LOADS[instr.op]
+
+        def emit(op: str, role: str = ROLE_TAG_COMPUTE, **kwargs) -> None:
+            out.append(Instruction(op, role=role, origin="load", **kwargs))
+
+        # Under the permissive pointer policy, launder a tainted address
+        # first (legitimate table lookups); under the strict policy a
+        # tainted address faults at the original load (policy L1).
+        guarded = self._address_guard(addr, "load", out)
+        # Linearise the address before the load (the destination may
+        # alias the address register), then perform the original load,
+        # and only then touch the bitmap.
+        self._emit_linearise(addr, "load", out)
+        out.append(instr)
+        if self.options.granularity == GRANULARITY_WORD:
+            # One tag byte per 8-byte word: plain byte test.
+            emit("shr.u", outs=(T_ADDR,), ins=(T_LIN,), imm=3)
+            emit("ld1", role=ROLE_TAG_MEM, outs=(T_BITS,), ins=(T_ADDR,))
+            emit("cmp.ne", outs=(PR(P_TAINT), PR(P_CLEAN)), ins=(T_BITS, R0))
+        else:
+            # One tag bit per byte: build the N-bit mask and test it
+            # against a 16-bit window (an access may straddle a byte).
+            emit("shr.u", outs=(T_ADDR,), ins=(T_LIN,), imm=3)
+            emit("ld2", role=ROLE_TAG_MEM, outs=(T_BITS,), ins=(T_ADDR,))
+            emit("and", outs=(T_OFF,), ins=(T_LIN,), imm=7)
+            emit("movl", outs=(T_MASK,), imm=(1 << size) - 1)
+            emit("shl", outs=(T_MASK,), ins=(T_MASK, T_OFF))
+            emit("and", outs=(T_BITS,), ins=(T_BITS, T_MASK))
+            emit("cmp.ne", outs=(PR(P_TAINT), PR(P_CLEAN)), ins=(T_BITS, R0))
+        self._emit_taint_set(dest, "load", out)
+        if guarded:
+            # Pointer-taint propagation rule: a value loaded through a
+            # tainted pointer is itself tainted (paper 3.2.2), and the
+            # pointer's own taint is restored after the access.
+            self._emit_taint_set(dest, "load", out, qp=P_ADDR)
+            self._address_restore(addr, "load", out, skip=dest)
+
+    def _emit_taint_set(self, dest: Reg, origin: str, out: List[Item],
+                        qp: int = P_TAINT) -> None:
+        """Set ``dest``'s NaT bit when predicate ``qp`` holds."""
+        if self.options.enh_set_clear:
+            out.append(Instruction("settag", qp=qp, outs=(dest,), ins=(dest,),
+                                   role=ROLE_TAINT_SET, origin=origin))
+            return
+        if self.options.natgen == "use":
+            # Ablation (paper 4.4): manufacture the NaT source at every
+            # use instead of once per function — the expensive variant
+            # the authors measured during development.
+            out.append(Instruction("movl", outs=(NAT_SOURCE,), imm=INVALID_ADDR,
+                                   role=ROLE_NATGEN, origin=origin))
+            out.append(Instruction("ld8.s", outs=(NAT_SOURCE,), ins=(NAT_SOURCE,),
+                                   role=ROLE_NATGEN, origin=origin))
+        # Adding the NaT-tagged zero in r31 preserves the value and
+        # contaminates the register (paper 4.1).
+        out.append(Instruction("add", qp=qp, outs=(dest, ), ins=(dest, NAT_SOURCE),
+                               role=ROLE_TAINT_SET, origin=origin))
+
+    # -- permissive pointer policy (paper 3.2.2 / 4.1 relaxing code) -------
+
+    def _address_guard(self, addr: Reg, origin: str, out: List[Item]) -> bool:
+        """Launder a possibly-tainted address register before a memory op.
+
+        Emits a tnat + rarely-taken branch to an out-of-line fix block
+        that strips the address's NaT via spill/plain-reload.  Returns
+        True when the guard was emitted (the caller must re-taint the
+        address afterwards with :meth:`_address_restore`).
+        """
+        if self.options.pointer_policy != "permissive":
+            return False
+        if addr.index in (0, 12):  # r0 / stack pointer: never tainted
+            return False
+        back = self._new_label("aback")
+        fix = self._new_label("afix")
+        out.append(Instruction("tnat", outs=(PR(P_ADDR), PR(P_ADDR_CLEAN)), ins=(addr,),
+                               role=ROLE_RELAX, origin=origin))
+        out.append(Instruction("br.cond", qp=P_ADDR, target=fix,
+                               role=ROLE_RELAX, origin=origin))
+        out.append(Label(back))
+        fx = self._outofline
+        fx.append(Label(fix))
+        fx.append(Instruction("adds", outs=(T_LIN,), ins=(SP,), imm=ADDR_FIX_SLOT,
+                              role=ROLE_RELAX, origin=origin))
+        fx.append(Instruction("st8.spill", ins=(T_LIN, addr),
+                              role=ROLE_RELAX, origin=origin))
+        fx.append(Instruction("ld8", outs=(addr,), ins=(T_LIN,),
+                              role=ROLE_RELAX, origin=origin))
+        fx.append(Instruction("br", target=back, role=ROLE_RELAX, origin=origin))
+        return True
+
+    def _address_restore(self, addr: Reg, origin: str, out: List[Item],
+                         skip: Optional[Reg] = None) -> None:
+        """Re-taint the laundered address register (value is unchanged)."""
+        if skip is not None and addr == skip:
+            return
+        self._emit_taint_set(addr, origin, out, qp=P_ADDR)
+
+    # -- stores ---------------------------------------------------------------
+
+    def _instrument_store(self, instr: Instruction, out: List[Item]) -> None:
+        if instr.qp:
+            raise ValueError("cannot instrument predicated memory op")
+        addr, value = instr.ins
+        size = _PLAIN_STORES[instr.op]
+
+        def emit(op: str, role: str = ROLE_TAG_COMPUTE, **kwargs) -> None:
+            out.append(Instruction(op, role=role, origin="store", **kwargs))
+
+        guarded = self._address_guard(addr, "store", out)
+        emit("tnat", role=ROLE_TAINT_SET,
+             outs=(PR(P_TAINT), PR(P_CLEAN)), ins=(value,))
+        if size == 8:
+            # st8.spill stores a NaT-tagged register without faulting;
+            # a tainted *address* still faults here (policy L2).
+            out.append(replace(instr, op="st8.spill"))
+        elif self.options.enh_set_clear:
+            # Enhancement 1: clearing a NaT is one instruction, so the
+            # sub-word store goes through a laundered copy, branch-free.
+            emit("mov", role=ROLE_TAINT_SET, outs=(T_MASK,), ins=(value,))
+            emit("cleartag", role=ROLE_TAINT_SET, outs=(T_MASK,), ins=(T_MASK,))
+            out.append(replace(instr, ins=(addr, T_MASK),
+                               role=ROLE_TAINT_SET, origin="store"))
+        else:
+            # Sub-word stores have no spill form: when the source is
+            # tainted, launder its NaT through a red-zone spill/reload
+            # (the taint itself is already recorded in the bitmap).
+            slow = self._new_label("slow")
+            join = self._new_label("join")
+            emit("br.cond", role=ROLE_TAINT_SET, qp=P_TAINT, target=slow)
+            out.append(instr)  # fast path: clean source
+            emit("br", role=ROLE_TAINT_SET, target=join)
+            out.append(Label(slow))
+            emit("adds", role=ROLE_TAINT_SET, outs=(T_LIN,), ins=(SP,), imm=RELAX_SLOT_A)
+            emit("st8.spill", role=ROLE_TAINT_SET, ins=(T_LIN, value))
+            emit("ld8", role=ROLE_TAINT_SET, outs=(T_MASK,), ins=(T_LIN,))
+            out.append(replace(instr, ins=(addr, T_MASK),
+                               role=ROLE_TAINT_SET, origin="store"))
+            out.append(Label(join))
+        self._emit_linearise(addr, "store", out)
+        if self.options.granularity == GRANULARITY_WORD:
+            # One tag per word, written from the stored value's taint —
+            # the paper's Fig. 5 update.  A sub-word store of a clean
+            # value therefore wipes the whole word's tag: word-level
+            # tracking trades that precision for speed (section 6.2).
+            emit("shr.u", outs=(T_ADDR,), ins=(T_LIN,), imm=3)
+            emit("mov", outs=(T_BITS,), ins=(R0,))
+            emit("adds", qp=P_TAINT, outs=(T_BITS,), ins=(R0,), imm=1)
+            emit("st1", role=ROLE_TAG_MEM, ins=(T_ADDR, T_BITS))
+        else:
+            emit("shr.u", outs=(T_ADDR,), ins=(T_LIN,), imm=3)
+            emit("ld2", role=ROLE_TAG_MEM, outs=(T_BITS,), ins=(T_ADDR,))
+            emit("and", outs=(T_OFF,), ins=(T_LIN,), imm=7)
+            emit("movl", outs=(T_MASK,), imm=(1 << size) - 1)
+            emit("shl", outs=(T_MASK,), ins=(T_MASK, T_OFF))
+            emit("or", qp=P_TAINT, outs=(T_BITS,), ins=(T_BITS, T_MASK))
+            emit("andcm", qp=P_CLEAN, outs=(T_BITS,), ins=(T_BITS, T_MASK))
+            emit("st2", role=ROLE_TAG_MEM, ins=(T_ADDR, T_BITS))
+        if guarded:
+            self._address_restore(addr, "store", out, skip=value)
+
+    # -- compares ---------------------------------------------------------------
+
+    def _instrument_cmp(self, instr: Instruction, out: List[Item]) -> None:
+        if self.options.enh_nat_cmp:
+            # Enhancement 2: the NaT-aware compare simply proceeds.
+            out.append(replace(instr, op="t" + instr.op))
+            return
+        gr_ins = [r for r in instr.ins if r.is_gr and r.index != 0]
+        if self.options.enh_set_clear:
+            # Enhancement 1 makes NaT-clearing one instruction, so the
+            # relaxation is a branch-free compare of laundered copies.
+            def emitc(op: str, **kwargs) -> None:
+                out.append(Instruction(op, role=ROLE_RELAX, origin="cmp", **kwargs))
+
+            replacements = {}
+            for reg, scratch in zip(gr_ins, (T_BITS, T_OFF)):
+                emitc("mov", outs=(scratch,), ins=(reg,))
+                emitc("cleartag", outs=(scratch,), ins=(scratch,))
+                replacements[reg] = scratch
+            relaxed = tuple(replacements.get(r, r) for r in instr.ins)
+            out.append(replace(instr, ins=relaxed))
+            return
+
+        def emit(op: str, **kwargs) -> None:
+            out.append(Instruction(op, role=ROLE_RELAX, origin="cmp", **kwargs))
+
+        slow = self._new_label("relax")
+        join = self._new_label("cjoin")
+        emit("tnat", outs=(PR(P_TAINT), PR(P_CLEAN)), ins=(gr_ins[0],))
+        if len(gr_ins) > 1:
+            emit("tnat", outs=(PR(P_TAINT2), PR(P_CLEAN2)), ins=(gr_ins[1],))
+        emit("br.cond", qp=P_TAINT, target=slow)
+        if len(gr_ins) > 1:
+            emit("br.cond", qp=P_TAINT2, target=slow)
+        out.append(instr)  # fast path: operands are NaT-free
+        emit("br", target=join)
+        out.append(Label(slow))
+        # Slow path: copy operands through spill/plain-reload, which
+        # strips the NaT bit, and compare the laundered copies.  The
+        # original registers keep their taint.
+        replacements = {}
+        emit("adds", outs=(T_LIN,), ins=(SP,), imm=RELAX_SLOT_A)
+        emit("st8.spill", ins=(T_LIN, gr_ins[0]))
+        emit("ld8", outs=(T_BITS,), ins=(T_LIN,))
+        replacements[gr_ins[0]] = T_BITS
+        if len(gr_ins) > 1:
+            emit("adds", outs=(T_LIN,), ins=(SP,), imm=RELAX_SLOT_B)
+            emit("st8.spill", ins=(T_LIN, gr_ins[1]))
+            emit("ld8", outs=(T_OFF,), ins=(T_LIN,))
+            replacements[gr_ins[1]] = T_OFF
+        relaxed_ins = tuple(replacements.get(r, r) for r in instr.ins)
+        out.append(replace(instr, ins=relaxed_ins, role=ROLE_RELAX, origin="cmp"))
+        out.append(Label(join))
+
+
+def instrument_function(func: FunctionCode, options: ShiftOptions) -> FunctionCode:
+    """Apply the SHIFT pass to one function."""
+    return ShiftInstrumenter(options).instrument(func)

@@ -1,0 +1,760 @@
+"""AST -> IR lowering for MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler import ast_nodes as ast
+from repro.compiler.ctypes_ import CHAR, CType, INT, VOID, pointer_to
+from repro.compiler.errors import CompileError
+from repro.compiler.ir import IRFunction, IRInstr, Operand, VReg
+from repro.isa.program import DataItem
+
+_REL_SWAP = {"eq": "eq", "ne": "ne", "lt": "gt", "le": "ge", "gt": "lt", "ge": "le"}
+_RELS = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+_BINOPS = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+           "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr"}
+
+
+@dataclass
+class Variable:
+    """A named variable bound to a register, frame slot or global."""
+    name: str
+    ctype: CType
+    storage: str  # 'vreg' | 'frame' | 'global'
+    vreg: Optional[VReg] = None
+    frame_offset: int = 0
+
+
+@dataclass
+class FunctionSig:
+    """Callable signature (return type, parameter types, nativeness)."""
+    name: str
+    ret: CType
+    params: Tuple[CType, ...]
+    is_native: bool = False
+
+
+@dataclass
+class ModuleIR:
+    """IR for a whole linked program (possibly many source files)."""
+
+    functions: List[IRFunction] = field(default_factory=list)
+    data: List[DataItem] = field(default_factory=list)
+    natives: List[str] = field(default_factory=list)
+    signatures: Dict[str, FunctionSig] = field(default_factory=dict)
+
+
+class IRGenerator:
+    """Lowers one or more translation units into a :class:`ModuleIR`."""
+
+    def __init__(self) -> None:
+        self.module = ModuleIR()
+        self._globals: Dict[str, Variable] = {}
+        self._strings: Dict[bytes, str] = {}
+        self._label_count = 0
+        self._defined: set = set()
+
+    # ------------------------------------------------------------------
+
+    def add_unit(self, unit: ast.TranslationUnit) -> None:
+        """Lower one translation unit into the module."""
+        for glob in unit.globals:
+            self._add_global(glob)
+        for func in unit.functions:
+            self._add_signature(func)
+        for func in unit.functions:
+            if func.body is not None:
+                if func.name in self._defined:
+                    raise CompileError(f"redefinition of {func.name}", func.line)
+                self._defined.add(func.name)
+                self.module.functions.append(FuncGen(self, func).generate())
+
+    def finish(self) -> ModuleIR:
+        """Return the accumulated module IR."""
+        return self.module
+
+    # ------------------------------------------------------------------
+
+    def _add_global(self, glob: ast.GlobalDef) -> None:
+        if glob.name in self._globals:
+            raise CompileError(f"redefinition of global {glob.name}", glob.line)
+        init = _global_init_bytes(glob)
+        self.module.data.append(
+            DataItem(name=glob.name, size=max(glob.ctype.size, 1), init=init)
+        )
+        self._globals[glob.name] = Variable(glob.name, glob.ctype, "global")
+
+    def _add_signature(self, func: ast.FunctionDef) -> None:
+        sig = FunctionSig(
+            name=func.name,
+            ret=func.ret,
+            params=tuple(p.ctype for p in func.params),
+            is_native=func.is_native,
+        )
+        existing = self.module.signatures.get(func.name)
+        if existing is not None and existing.params != sig.params:
+            raise CompileError(f"conflicting declaration of {func.name}", func.line)
+        self.module.signatures[func.name] = sig
+        if func.is_native and func.name not in self.module.natives:
+            self.module.natives.append(func.name)
+
+    def intern_string(self, value: bytes) -> str:
+        """Static data symbol for a string literal (deduplicated)."""
+        symbol = self._strings.get(value)
+        if symbol is None:
+            symbol = f".Lstr{len(self._strings)}"
+            self._strings[value] = symbol
+            self.module.data.append(
+                DataItem(name=symbol, size=len(value) + 1, init=value + b"\x00")
+            )
+        return symbol
+
+    def new_label(self, func: str, hint: str) -> str:
+        """Fresh module-unique label."""
+        self._label_count += 1
+        return f".L{func}_{hint}{self._label_count}"
+
+    def global_var(self, name: str) -> Optional[Variable]:
+        """Global variable by name, if declared."""
+        return self._globals.get(name)
+
+
+def _global_init_bytes(glob: ast.GlobalDef) -> bytes:
+    ctype, init = glob.ctype, glob.init
+    if init is None:
+        return b""
+    if isinstance(init, ast.StringLit):
+        if not (ctype.is_array and ctype.pointee.kind == "char"):
+            raise CompileError("string initialiser requires char array", glob.line)
+        data = init.value + b"\x00"
+        if len(data) > ctype.size:
+            raise CompileError(f"initialiser too long for {glob.name}", glob.line)
+        return data
+    if isinstance(init, list):
+        if not ctype.is_array:
+            raise CompileError("brace initialiser requires array", glob.line)
+        element = ctype.pointee.size
+        out = b"".join(
+            (item.value & ((1 << (8 * element)) - 1)).to_bytes(element, "little")
+            for item in init
+        )
+        if len(out) > ctype.size:
+            raise CompileError(f"too many initialisers for {glob.name}", glob.line)
+        return out
+    if isinstance(init, ast.NumberLit):
+        if ctype.is_array:
+            raise CompileError("scalar initialiser for array", glob.line)
+        return (init.value & ((1 << (8 * ctype.size)) - 1)).to_bytes(ctype.size, "little")
+    raise CompileError(f"unsupported initialiser for {glob.name}", glob.line)
+
+
+#: Result of evaluating an lvalue: either a register-resident variable or
+#: a (address-vreg, type) memory reference.
+LValue = Tuple[str, object, CType]
+
+
+class FuncGen:
+    """IR generation for a single function body."""
+
+    def __init__(self, gen: IRGenerator, func: ast.FunctionDef) -> None:
+        self.gen = gen
+        self.func = func
+        self.irf = IRFunction(
+            name=func.name,
+            param_names=[p.name for p in func.params],
+            returns_value=not func.ret.is_void,
+        )
+        self.scopes: List[Dict[str, Variable]] = [{}]
+        self.break_labels: List[str] = []
+        self.continue_labels: List[str] = []
+        self._addr_taken = _collect_address_taken(func.body)
+
+    # -- infrastructure ------------------------------------------------
+
+    def emit(self, **kwargs) -> IRInstr:
+        """Append one IR instruction."""
+        instr = IRInstr(**kwargs)
+        self.irf.body.append(instr)
+        return instr
+
+    def new_vreg(self) -> VReg:
+        """Fresh virtual register in this function."""
+        return self.irf.new_vreg()
+
+    def new_label(self, hint: str) -> str:
+        """Fresh label scoped to this function."""
+        return self.gen.new_label(self.func.name, hint)
+
+    def lookup(self, name: str) -> Optional[Variable]:
+        """Resolve a name through the scope stack, then globals."""
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return self.gen.global_var(name)
+
+    def declare(self, var: Variable) -> None:
+        """Bind a variable in the innermost scope."""
+        if var.name in self.scopes[-1]:
+            raise CompileError(f"redefinition of {var.name} in {self.func.name}")
+        self.scopes[-1][var.name] = var
+
+    # -- entry ------------------------------------------------------------
+
+    def generate(self) -> IRFunction:
+        """Lower the whole function body; returns its IR."""
+        for param in self.func.params:
+            if param.ctype.is_struct:
+                raise CompileError(
+                    f"{self.func.name}: pass structs by pointer, not by value",
+                    param.line,
+                )
+            vreg = self.new_vreg()
+            self.irf.param_vregs.append(vreg)
+            ctype = param.ctype.decay()
+            if param.name in self._addr_taken:
+                offset = self.irf.alloc_frame(8)
+                var = Variable(param.name, ctype, "frame", frame_offset=offset)
+                addr = self.new_vreg()
+                self.emit(op="frameaddr", dst=addr, imm=offset)
+                self.emit(op="store", a=addr, b=vreg, size=ctype.load_size)
+                self.declare(var)
+            else:
+                self.declare(Variable(param.name, ctype, "vreg", vreg=vreg))
+        self.gen_block(self.func.body)
+        last = self.irf.body[-1] if self.irf.body else None
+        if last is None or last.op != "ret":
+            self.emit(op="ret", a=0 if self.irf.returns_value else None)
+        return self.irf
+
+    # -- statements ----------------------------------------------------------
+
+    def gen_block(self, block: ast.Block) -> None:
+        """Lower a block in a fresh scope."""
+        self.scopes.append({})
+        for stmt in block.statements:
+            self.gen_stmt(stmt)
+        self.scopes.pop()
+
+    def gen_stmt(self, stmt: ast.Stmt) -> None:
+        """Lower one statement."""
+        if isinstance(stmt, ast.Block):
+            self.gen_block(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.gen_expr(stmt.expr, want_value=False)
+        elif isinstance(stmt, ast.DeclStmt):
+            self.gen_decl(stmt)
+        elif isinstance(stmt, ast.If):
+            self.gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self.gen_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self.gen_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self.gen_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self.break_labels:
+                raise CompileError("break outside loop", stmt.line)
+            self.emit(op="br", label=self.break_labels[-1])
+        elif isinstance(stmt, ast.Continue):
+            if not self.continue_labels:
+                raise CompileError("continue outside loop", stmt.line)
+            self.emit(op="br", label=self.continue_labels[-1])
+        else:
+            raise CompileError(f"unsupported statement {type(stmt).__name__}", stmt.line)
+
+    def gen_decl(self, stmt: ast.DeclStmt) -> None:
+        """Lower a local declaration (register or frame storage)."""
+        ctype = stmt.ctype
+        if ctype.is_struct and stmt.init is not None:
+            raise CompileError("struct initialisers are not supported", stmt.line)
+        if ctype.is_array or ctype.is_struct or stmt.name in self._addr_taken:
+            offset = self.irf.alloc_frame(max(ctype.size, 8))
+            var = Variable(stmt.name, ctype, "frame", frame_offset=offset)
+            self.declare(var)
+            if stmt.init is not None:
+                if ctype.is_array or ctype.is_struct:
+                    raise CompileError("aggregate initialiser not supported for locals", stmt.line)
+                value, _ = self.gen_expr(stmt.init)
+                addr = self.new_vreg()
+                self.emit(op="frameaddr", dst=addr, imm=offset)
+                self.emit(op="store", a=addr, b=value, size=ctype.load_size)
+            return
+        vreg = self.new_vreg()
+        var = Variable(stmt.name, ctype, "vreg", vreg=vreg)
+        self.declare(var)
+        value: Operand = 0
+        if stmt.init is not None:
+            value, _ = self.gen_expr(stmt.init)
+        self.emit(op="mov", dst=vreg, a=value)
+
+    def gen_if(self, stmt: ast.If) -> None:
+        """Lower if/else into labels and conditional branches."""
+        then_label = self.new_label("then")
+        else_label = self.new_label("else") if stmt.otherwise else None
+        end_label = self.new_label("endif")
+        self.gen_cond(stmt.cond, then_label, else_label or end_label)
+        self.emit(op="label", name=then_label)
+        self.gen_stmt(stmt.then)
+        if stmt.otherwise is not None:
+            self.emit(op="br", label=end_label)
+            self.emit(op="label", name=else_label)
+            self.gen_stmt(stmt.otherwise)
+        self.emit(op="label", name=end_label)
+
+    def gen_while(self, stmt: ast.While) -> None:
+        """Lower a while loop."""
+        head = self.new_label("while")
+        body = self.new_label("body")
+        end = self.new_label("endwhile")
+        self.emit(op="label", name=head)
+        self.gen_cond(stmt.cond, body, end)
+        self.emit(op="label", name=body)
+        self.break_labels.append(end)
+        self.continue_labels.append(head)
+        self.gen_stmt(stmt.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self.emit(op="br", label=head)
+        self.emit(op="label", name=end)
+
+    def gen_for(self, stmt: ast.For) -> None:
+        """Lower a for loop (own scope for the init clause)."""
+        self.scopes.append({})
+        if stmt.init is not None:
+            self.gen_stmt(stmt.init)
+        head = self.new_label("for")
+        body = self.new_label("body")
+        step = self.new_label("step")
+        end = self.new_label("endfor")
+        self.emit(op="label", name=head)
+        if stmt.cond is not None:
+            self.gen_cond(stmt.cond, body, end)
+        self.emit(op="label", name=body)
+        self.break_labels.append(end)
+        self.continue_labels.append(step)
+        self.gen_stmt(stmt.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self.emit(op="label", name=step)
+        if stmt.step is not None:
+            self.gen_expr(stmt.step, want_value=False)
+        self.emit(op="br", label=head)
+        self.emit(op="label", name=end)
+        self.scopes.pop()
+
+    def gen_return(self, stmt: ast.Return) -> None:
+        """Lower a return statement."""
+        if stmt.value is not None:
+            value, _ = self.gen_expr(stmt.value)
+            self.emit(op="ret", a=value)
+        else:
+            self.emit(op="ret", a=0 if self.irf.returns_value else None)
+
+    # -- conditions ---------------------------------------------------------
+
+    def gen_cond(self, expr: ast.Expr, true_label: str, false_label: str) -> None:
+        """Lower a condition into branches to true/false labels."""
+        if isinstance(expr, ast.Binary) and expr.op in _RELS:
+            left, _ = self.gen_expr(expr.left)
+            right, _ = self.gen_expr(expr.right)
+            left, right, rel = _normalise_cmp(left, right, _RELS[expr.op])
+            self.emit(op="cbr", rel=rel, a=left, b=right,
+                      label=true_label, label2=false_label)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            middle = self.new_label("and")
+            self.gen_cond(expr.left, middle, false_label)
+            self.emit(op="label", name=middle)
+            self.gen_cond(expr.right, true_label, false_label)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "||":
+            middle = self.new_label("or")
+            self.gen_cond(expr.left, true_label, middle)
+            self.emit(op="label", name=middle)
+            self.gen_cond(expr.right, true_label, false_label)
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self.gen_cond(expr.operand, false_label, true_label)
+            return
+        value, _ = self.gen_expr(expr)
+        value, zero, rel = _normalise_cmp(value, 0, "ne")
+        self.emit(op="cbr", rel=rel, a=value, b=zero,
+                  label=true_label, label2=false_label)
+
+    # -- expressions -------------------------------------------------------------
+
+    def gen_expr(self, expr: ast.Expr, want_value: bool = True) -> Tuple[Operand, CType]:
+        """Lower an expression; returns (operand, type)."""
+        if isinstance(expr, ast.NumberLit):
+            return expr.value, INT
+        if isinstance(expr, ast.StringLit):
+            symbol = self.gen.intern_string(expr.value)
+            dst = self.new_vreg()
+            self.emit(op="symaddr", dst=dst, name=symbol)
+            return dst, pointer_to(CHAR)
+        if isinstance(expr, ast.Ident):
+            return self.gen_ident(expr)
+        if isinstance(expr, ast.Unary):
+            return self.gen_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self.gen_binary(expr)
+        if isinstance(expr, ast.Assign):
+            return self.gen_assign(expr)
+        if isinstance(expr, ast.IncDec):
+            return self.gen_incdec(expr)
+        if isinstance(expr, ast.Call):
+            return self.gen_call(expr, want_value)
+        if isinstance(expr, (ast.Index, ast.Member)):
+            lvalue = self.lvalue_of(expr)
+            return self.load_lvalue(lvalue)
+        if isinstance(expr, ast.Cast):
+            value, _ = self.gen_expr(expr.operand)
+            target = expr.target_type
+            if target.kind == "char":
+                dst = self.new_vreg()
+                self.emit(op="sext", dst=dst, a=value, size=1)
+                return dst, CHAR
+            return value, target
+        if isinstance(expr, ast.SizeOf):
+            return expr.target_type.size, INT
+        raise CompileError(f"unsupported expression {type(expr).__name__}", expr.line)
+
+    def gen_ident(self, expr: ast.Ident) -> Tuple[Operand, CType]:
+        """Lower a name use (variable load or function address)."""
+        var = self.lookup(expr.name)
+        if var is None:
+            sig = self.gen.module.signatures.get(expr.name)
+            if sig is not None:
+                dst = self.new_vreg()
+                self.emit(op="funcaddr", dst=dst, name=expr.name)
+                return dst, INT
+            raise CompileError(f"undefined identifier {expr.name}", expr.line)
+        if var.ctype.is_array:
+            # Arrays decay to a pointer to their first element.
+            dst = self.new_vreg()
+            if var.storage == "global":
+                self.emit(op="symaddr", dst=dst, name=var.name)
+            else:
+                self.emit(op="frameaddr", dst=dst, imm=var.frame_offset)
+            return dst, pointer_to(var.ctype.pointee)
+        return self.load_lvalue(self.lvalue_of(expr))
+
+    def gen_unary(self, expr: ast.Unary) -> Tuple[Operand, CType]:
+        """Lower a unary operator."""
+        op = expr.op
+        if op == "&":
+            return self.gen_addr_of(expr.operand)
+        if op == "*":
+            lvalue = self.lvalue_of(expr)
+            return self.load_lvalue(lvalue)
+        if op == "!":
+            value, _ = self.gen_expr(expr.operand)
+            dst = self.new_vreg()
+            value, zero, rel = _normalise_cmp(value, 0, "eq")
+            self.emit(op="setrel", dst=dst, rel=rel, a=value, b=zero)
+            return dst, INT
+        value, ctype = self.gen_expr(expr.operand)
+        dst = self.new_vreg()
+        if op == "-":
+            value = self._force_vreg(value)
+            zero = self.new_vreg()
+            self.emit(op="const", dst=zero, imm=0)
+            self.emit(op="bin", sub_op="sub", dst=dst, a=zero, b=value)
+        elif op == "~":
+            value = self._force_vreg(value)
+            self.emit(op="bin", sub_op="xor", dst=dst, a=value, b=-1)
+        else:
+            raise CompileError(f"unsupported unary {op}", expr.line)
+        return dst, INT
+
+    def gen_addr_of(self, operand: ast.Expr) -> Tuple[Operand, CType]:
+        """Lower ``&expr``."""
+        if isinstance(operand, ast.Ident):
+            var = self.lookup(operand.name)
+            if var is None:
+                sig = self.gen.module.signatures.get(operand.name)
+                if sig is not None:
+                    dst = self.new_vreg()
+                    self.emit(op="funcaddr", dst=dst, name=operand.name)
+                    return dst, INT
+                raise CompileError(f"undefined identifier {operand.name}", operand.line)
+            dst = self.new_vreg()
+            if var.storage == "global":
+                self.emit(op="symaddr", dst=dst, name=var.name)
+            elif var.storage == "frame":
+                self.emit(op="frameaddr", dst=dst, imm=var.frame_offset)
+            else:
+                raise CompileError(
+                    f"cannot take address of register variable {var.name}", operand.line
+                )
+            pointee = var.ctype.pointee if var.ctype.is_array else var.ctype
+            return dst, pointer_to(pointee)
+        kind, payload, ctype = self.lvalue_of(operand)
+        if kind != "mem":
+            raise CompileError("cannot take address of this expression", operand.line)
+        return payload, pointer_to(ctype)
+
+    def gen_binary(self, expr: ast.Binary) -> Tuple[Operand, CType]:
+        """Lower a binary operator (including && / || via control flow)."""
+        op = expr.op
+        if op in _RELS or op in ("&&", "||"):
+            true_label = self.new_label("t")
+            false_label = self.new_label("f")
+            end = self.new_label("bend")
+            dst = self.new_vreg()
+            self.gen_cond(expr, true_label, false_label)
+            self.emit(op="label", name=true_label)
+            self.emit(op="mov", dst=dst, a=1)
+            self.emit(op="br", label=end)
+            self.emit(op="label", name=false_label)
+            self.emit(op="mov", dst=dst, a=0)
+            self.emit(op="label", name=end)
+            return dst, INT
+        left, ltype = self.gen_expr(expr.left)
+        right, rtype = self.gen_expr(expr.right)
+        return self._arith(op, left, ltype, right, rtype, expr.line)
+
+    def _arith(self, op: str, left: Operand, ltype: CType,
+               right: Operand, rtype: CType, line: int) -> Tuple[Operand, CType]:
+        sub_op = _BINOPS.get(op)
+        if sub_op is None:
+            raise CompileError(f"unsupported operator {op}", line)
+        ltype, rtype = ltype.decay(), rtype.decay()
+        # Pointer arithmetic scales the integer operand by the pointee size.
+        if op == "+" and rtype.is_pointer and not ltype.is_pointer:
+            left, ltype, right, rtype = right, rtype, left, ltype
+        if ltype.is_pointer and op in ("+", "-") and rtype.is_integer:
+            right = self._scale(right, ltype.pointee.size)
+            dst = self.new_vreg()
+            self.emit(op="bin", sub_op=sub_op, dst=self._bin_dst(dst),
+                      a=self._force_vreg(left), b=right)
+            return dst, ltype
+        if ltype.is_pointer and rtype.is_pointer and op == "-":
+            dst = self.new_vreg()
+            self.emit(op="bin", sub_op="sub", dst=dst,
+                      a=self._force_vreg(left), b=self._force_vreg(right))
+            size = ltype.pointee.size
+            if size > 1:
+                divided = self.new_vreg()
+                self.emit(op="bin", sub_op="div", dst=divided, a=dst, b=size)
+                return divided, INT
+            return dst, INT
+        # Constant folding for two immediates keeps generated code clean.
+        if isinstance(left, int) and isinstance(right, int):
+            return _fold(sub_op, left, right), INT
+        dst = self.new_vreg()
+        self.emit(op="bin", sub_op=sub_op, dst=dst,
+                  a=self._force_vreg(left), b=right)
+        return dst, INT
+
+    def _bin_dst(self, dst: VReg) -> VReg:
+        return dst
+
+    def _scale(self, value: Operand, size: int) -> Operand:
+        if size == 1:
+            return value
+        if isinstance(value, int):
+            return value * size
+        dst = self.new_vreg()
+        if size & (size - 1) == 0:
+            self.emit(op="bin", sub_op="shl", dst=dst, a=value, b=size.bit_length() - 1)
+        else:
+            self.emit(op="bin", sub_op="mul", dst=dst, a=value, b=size)
+        return dst
+
+    def _force_vreg(self, value: Operand) -> VReg:
+        if isinstance(value, VReg):
+            return value
+        dst = self.new_vreg()
+        self.emit(op="const", dst=dst, imm=value)
+        return dst
+
+    def gen_assign(self, expr: ast.Assign) -> Tuple[Operand, CType]:
+        """Lower plain or compound assignment; yields the stored value."""
+        lvalue = self.lvalue_of(expr.target)
+        kind, payload, ctype = lvalue
+        if expr.op == "=":
+            value, _ = self.gen_expr(expr.value)
+        else:
+            current, current_type = self.load_lvalue(lvalue)
+            rhs, rhs_type = self.gen_expr(expr.value)
+            value, _ = self._arith(expr.op[:-1], current, current_type,
+                                   rhs, rhs_type, expr.line)
+        self.store_lvalue(lvalue, value)
+        return value, ctype
+
+    def gen_incdec(self, expr: ast.IncDec) -> Tuple[Operand, CType]:
+        """Lower ++/-- with C value semantics."""
+        lvalue = self.lvalue_of(expr.target)
+        old, ctype = self.load_lvalue(lvalue)
+        step = ctype.pointee.size if ctype.is_pointer else 1
+        if not expr.prefix:
+            # Snapshot the old value: for register variables the loaded
+            # operand aliases the variable itself and is about to change.
+            snapshot = self.new_vreg()
+            self.emit(op="mov", dst=snapshot, a=old)
+            old = snapshot
+        new = self.new_vreg()
+        sub_op = "add" if expr.op == "++" else "sub"
+        self.emit(op="bin", sub_op=sub_op, dst=new,
+                  a=self._force_vreg(old), b=step)
+        self.store_lvalue(lvalue, new)
+        return (new if expr.prefix else old), ctype
+
+    def gen_call(self, expr: ast.Call, want_value: bool) -> Tuple[Operand, CType]:
+        """Lower a direct call or the __icall builtin."""
+        if expr.name == "__icall":
+            if not expr.args:
+                raise CompileError("__icall needs a function pointer", expr.line)
+            func, _ = self.gen_expr(expr.args[0])
+            args = [self.gen_expr(a)[0] for a in expr.args[1:]]
+            dst = self.new_vreg()
+            self.emit(op="icall", dst=dst, a=self._force_vreg(func), args=tuple(args))
+            return dst, INT
+        sig = self.gen.module.signatures.get(expr.name)
+        if sig is None:
+            raise CompileError(f"call to undeclared function {expr.name}", expr.line)
+        if len(expr.args) != len(sig.params):
+            raise CompileError(
+                f"{expr.name} expects {len(sig.params)} args, got {len(expr.args)}",
+                expr.line,
+            )
+        args = [self.gen_expr(a)[0] for a in expr.args]
+        dst = self.new_vreg() if not sig.ret.is_void else None
+        self.emit(op="call", dst=dst, name=expr.name, args=tuple(args))
+        if sig.ret.is_void:
+            return 0, VOID
+        return dst, sig.ret
+
+    # -- lvalues -----------------------------------------------------------------
+
+    def lvalue_of(self, expr: ast.Expr) -> LValue:
+        """Evaluate an lvalue to a register binding or memory address."""
+        if isinstance(expr, ast.Ident):
+            var = self.lookup(expr.name)
+            if var is None:
+                raise CompileError(f"undefined identifier {expr.name}", expr.line)
+            if var.storage == "vreg":
+                return ("vreg", var, var.ctype)
+            addr = self.new_vreg()
+            if var.storage == "global":
+                self.emit(op="symaddr", dst=addr, name=var.name)
+            else:
+                self.emit(op="frameaddr", dst=addr, imm=var.frame_offset)
+            return ("mem", addr, var.ctype)
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            value, ctype = self.gen_expr(expr.operand)
+            ctype = ctype.decay()
+            if not ctype.is_pointer:
+                raise CompileError("dereference of non-pointer", expr.line)
+            return ("mem", self._force_vreg(value), ctype.pointee)
+        if isinstance(expr, ast.Index):
+            base, btype = self.gen_expr(expr.base)
+            btype = btype.decay()
+            if not btype.is_pointer:
+                raise CompileError("indexing a non-pointer", expr.line)
+            index, itype = self.gen_expr(expr.index)
+            addr, _ = self._arith("+", base, btype, index, itype, expr.line)
+            return ("mem", self._force_vreg(addr), btype.pointee)
+        if isinstance(expr, ast.Member):
+            return self._lvalue_member(expr)
+        raise CompileError(f"not an lvalue: {type(expr).__name__}", expr.line)
+
+    def _lvalue_member(self, expr: ast.Member) -> LValue:
+        """``base.field`` / ``base->field``: base address plus offset."""
+        if expr.arrow:
+            base, btype = self.gen_expr(expr.base)
+            btype = btype.decay()
+            if not (btype.is_pointer and btype.pointee.is_struct):
+                raise CompileError("-> requires a struct pointer", expr.line)
+            struct = btype.pointee
+            base_addr = self._force_vreg(base)
+        else:
+            kind, payload, ctype = self.lvalue_of(expr.base)
+            if kind != "mem" or not ctype.is_struct:
+                raise CompileError(". requires a struct lvalue", expr.line)
+            struct = ctype
+            base_addr = payload
+        try:
+            member = struct.field(expr.name)
+        except KeyError as exc:
+            raise CompileError(str(exc), expr.line) from None
+        if member.offset == 0:
+            return ("mem", base_addr, member.ctype)
+        addr = self.new_vreg()
+        self.emit(op="bin", sub_op="add", dst=addr, a=base_addr, b=member.offset)
+        return ("mem", addr, member.ctype)
+
+    def load_lvalue(self, lvalue: LValue) -> Tuple[Operand, CType]:
+        """Read an lvalue (arrays decay; whole structs are rejected)."""
+        kind, payload, ctype = lvalue
+        if kind == "vreg":
+            return payload.vreg, ctype
+        if ctype.is_array:
+            return payload, pointer_to(ctype.pointee)
+        if ctype.is_struct:
+            raise CompileError(
+                f"struct {ctype.tag} cannot be used as a value; take its address"
+            )
+        dst = self.new_vreg()
+        self.emit(op="load", dst=dst, a=payload,
+                  size=ctype.load_size, signed=ctype.signed)
+        return dst, ctype
+
+    def store_lvalue(self, lvalue: LValue, value: Operand) -> None:
+        """Write a value through an lvalue."""
+        kind, payload, ctype = lvalue
+        if kind == "vreg":
+            self.emit(op="mov", dst=payload.vreg, a=value)
+            return
+        self.emit(op="store", a=payload, b=self._force_vreg(value),
+                  size=ctype.load_size)
+
+
+def _normalise_cmp(left: Operand, right: Operand, rel: str):
+    """Compares need a register on the left; swap/materialise as needed."""
+    if isinstance(left, int) and isinstance(right, int):
+        # Shouldn't normally happen (folded earlier); keep one side symbolic.
+        return left, right, rel
+    if isinstance(left, int):
+        return right, left, _REL_SWAP.get(rel, rel)
+    return left, right, rel
+
+
+def _fold(sub_op: str, a: int, b: int) -> int:
+    import operator
+
+    table = {
+        "add": operator.add, "sub": operator.sub, "mul": operator.mul,
+        "and": operator.and_, "or": operator.or_, "xor": operator.xor,
+        "shl": operator.lshift, "shr": operator.rshift,
+    }
+    if sub_op == "div":
+        return int(a / b) if b else 0
+    if sub_op == "mod":
+        return int(a - b * int(a / b)) if b else 0
+    return table[sub_op](a, b)
+
+
+def _collect_address_taken(block: Optional[ast.Block]) -> set:
+    """Names whose address is taken (must live in the stack frame)."""
+    taken: set = set()
+
+    def walk(node: object) -> None:
+        if isinstance(node, ast.Unary) and node.op == "&":
+            if isinstance(node.operand, ast.Ident):
+                taken.add(node.operand.name)
+            walk(node.operand)
+            return
+        if isinstance(node, ast.Node):
+            for value in vars(node).values():
+                walk(value)
+        elif isinstance(node, list):
+            for item in node:
+                walk(item)
+
+    if block is not None:
+        walk(block)
+    return taken

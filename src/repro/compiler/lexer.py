@@ -1,0 +1,158 @@
+"""Lexer for MiniC, the C subset the SHIFT-enabled compiler accepts.
+
+MiniC stands in for the C sources the paper compiles with its modified
+GCC.  It supports ``char``/``int``/``long``/``void``, pointers, arrays,
+string/char literals, the usual operators and control flow, function
+definitions, and ``native`` declarations for runtime-provided functions
+(the analogue of calling into glibc).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.compiler.errors import CompileError
+
+KEYWORDS = {
+    "char", "int", "long", "void", "if", "else", "while", "for",
+    "return", "break", "continue", "native", "sizeof", "struct",
+}
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+    kind: str  # 'ident' | 'number' | 'string' | 'charlit' | 'op' | keyword | 'eof'
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+    "'": "'", '"': '"', "b": "\b", "f": "\f",
+}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convert MiniC source text into a token list ending with ``eof``."""
+    tokens: List[Token] = []
+    line, col = 1, 1
+    i = 0
+    n = len(source)
+
+    def error(message: str) -> CompileError:
+        return CompileError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = source[i:end + 2]
+            line += skipped.count("\n")
+            col = 1 if "\n" in skipped else col + len(skipped)
+            i = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            kind = word if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line, col))
+            col += i - start
+            continue
+        if ch.isdigit():
+            start = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                value = int(source[start:i], 16)
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+                value = int(source[start:i])
+            tokens.append(Token("number", value, line, col))
+            col += i - start
+            continue
+        if ch == '"':
+            text, consumed = _scan_string(source, i, '"', error)
+            tokens.append(Token("string", text, line, col))
+            i += consumed
+            col += consumed
+            continue
+        if ch == "'":
+            text, consumed = _scan_string(source, i, "'", error)
+            if len(text) != 1:
+                raise error(f"character literal must be one character: {text!r}")
+            tokens.append(Token("charlit", ord(text), line, col))
+            i += consumed
+            col += consumed
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+    tokens.append(Token("eof", None, line, col))
+    return tokens
+
+
+def _scan_string(source: str, start: int, quote: str, error) -> tuple:
+    """Scan a quoted literal starting at ``start``; returns (text, consumed)."""
+    i = start + 1
+    out: List[str] = []
+    while i < len(source):
+        ch = source[i]
+        if ch == quote:
+            return "".join(out), i - start + 1
+        if ch == "\n":
+            break
+        if ch == "\\":
+            if i + 1 >= len(source):
+                break
+            esc = source[i + 1]
+            if esc == "x":
+                out.append(chr(int(source[i + 2:i + 4], 16)))
+                i += 4
+                continue
+            if esc not in _ESCAPES:
+                raise error(f"unknown escape \\{esc}")
+            out.append(_ESCAPES[esc])
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    raise error("unterminated literal")

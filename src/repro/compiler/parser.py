@@ -1,0 +1,446 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.compiler import ast_nodes as ast
+from repro.compiler.ctypes_ import CHAR, CType, INT, VOID, array_of, pointer_to, struct_type
+from repro.compiler.errors import CompileError
+from repro.compiler.lexer import Token, tokenize
+
+_TYPE_KEYWORDS = ("char", "int", "long", "void")
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class Parser:
+    """Recursive-descent parser over the token stream."""
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.structs = {}  # tag -> CType (struct definitions seen so far)
+
+    # -- token helpers ---------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        """The token under the cursor."""
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        """Look ahead without consuming."""
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        """Consume and return the current token."""
+        token = self.current
+        self.pos += 1
+        return token
+
+    def error(self, message: str) -> CompileError:
+        """CompileError annotated with the current position."""
+        token = self.current
+        return CompileError(message + f" (got {token.kind} {token.value!r})", token.line, token.column)
+
+    def expect_op(self, op: str) -> Token:
+        """Consume a required operator or fail."""
+        if self.current.kind == "op" and self.current.value == op:
+            return self.advance()
+        raise self.error(f"expected {op!r}")
+
+    def match_op(self, *ops: str) -> Optional[str]:
+        """Consume one of the given operators if present."""
+        if self.current.kind == "op" and self.current.value in ops:
+            return self.advance().value
+        return None
+
+    def at_op(self, op: str) -> bool:
+        """True if the current token is the given operator."""
+        return self.current.kind == "op" and self.current.value == op
+
+    def expect_ident(self) -> str:
+        """Consume a required identifier."""
+        if self.current.kind != "ident":
+            raise self.error("expected identifier")
+        return self.advance().value
+
+    # -- types ------------------------------------------------------------
+
+    def at_type(self) -> bool:
+        """True if a type name starts here."""
+        if self.current.kind == "struct":
+            return True
+        return self.current.kind in _TYPE_KEYWORDS
+
+    def parse_type(self) -> CType:
+        """Parse a (possibly struct/pointer) type."""
+        if self.current.kind == "struct":
+            self.advance()
+            tag = self.expect_ident()
+            base = self.structs.get(tag)
+            if base is None:
+                raise self.error(f"unknown struct {tag!r}")
+            while self.match_op("*"):
+                base = pointer_to(base)
+            return base
+        kw = self.current.kind
+        if kw not in _TYPE_KEYWORDS:
+            raise self.error("expected type")
+        self.advance()
+        base = {"char": CHAR, "int": INT, "long": INT, "void": VOID}[kw]
+        while self.match_op("*"):
+            base = pointer_to(base)
+        return base
+
+    def _parse_struct_definition(self) -> None:
+        """``struct Name { member-decls };`` at top level."""
+        self.advance()  # struct
+        tag = self.expect_ident()
+        if tag in self.structs:
+            raise self.error(f"redefinition of struct {tag}")
+        self.structs[tag] = CType("struct", tag=tag)  # forward declaration
+        self.expect_op("{")
+        members = []
+        while not self.at_op("}"):
+            ctype = self.parse_type()
+            name = self.expect_ident()
+            if self.match_op("["):
+                if self.current.kind != "number":
+                    raise self.error("expected array length")
+                length = self.advance().value
+                self.expect_op("]")
+                ctype = array_of(ctype, length)
+            members.append((name, ctype))
+            self.expect_op(";")
+        self.expect_op("}")
+        self.expect_op(";")
+        # Fill in the forward declaration registered before the members
+        # were parsed, so self-referential pointers (linked lists) see
+        # the completed type.  object.__setattr__ is needed because
+        # CType is a frozen dataclass; the placeholder's identity is
+        # what the member pointers captured.
+        placeholder = self.structs[tag]
+        laid_out = struct_type(tag, members)
+        object.__setattr__(placeholder, "fields", laid_out.fields)
+        object.__setattr__(placeholder, "struct_size", laid_out.struct_size)
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_unit(self) -> ast.TranslationUnit:
+        """Parse a whole source file."""
+        unit = ast.TranslationUnit()
+        while self.current.kind != "eof":
+            if self.current.kind == "native":
+                self.advance()
+                unit.functions.append(self._parse_function_header(native=True))
+                continue
+            if (self.current.kind == "struct"
+                    and self.peek().kind == "ident"
+                    and self.peek(2).kind == "op" and self.peek(2).value == "{"):
+                self._parse_struct_definition()
+                continue
+            line = self.current.line
+            ctype = self.parse_type()
+            name = self.expect_ident()
+            if self.at_op("("):
+                unit.functions.append(self._parse_function_rest(ctype, name, line))
+            else:
+                unit.globals.append(self._parse_global_rest(ctype, name, line))
+        return unit
+
+    def _parse_function_header(self, native: bool) -> ast.FunctionDef:
+        line = self.current.line
+        ret = self.parse_type()
+        name = self.expect_ident()
+        self.expect_op("(")
+        params = self._parse_params()
+        self.expect_op(")")
+        self.expect_op(";")
+        return ast.FunctionDef(line=line, ret=ret, name=name, params=params,
+                               body=None, is_native=native)
+
+    def _parse_function_rest(self, ret: CType, name: str, line: int) -> ast.FunctionDef:
+        self.expect_op("(")
+        params = self._parse_params()
+        self.expect_op(")")
+        if self.match_op(";"):
+            return ast.FunctionDef(line=line, ret=ret, name=name, params=params, body=None)
+        body = self.parse_block()
+        return ast.FunctionDef(line=line, ret=ret, name=name, params=params, body=body)
+
+    def _parse_params(self) -> List[ast.Param]:
+        params: List[ast.Param] = []
+        if self.at_op(")"):
+            return params
+        if self.current.kind == "void" and self.peek().kind == "op" and self.peek().value == ")":
+            self.advance()
+            return params
+        while True:
+            line = self.current.line
+            ctype = self.parse_type()
+            name = self.expect_ident()
+            if self.match_op("["):
+                self.expect_op("]")
+                ctype = pointer_to(ctype)
+            params.append(ast.Param(line=line, ctype=ctype, name=name))
+            if not self.match_op(","):
+                return params
+
+    def _parse_global_rest(self, ctype: CType, name: str, line: int) -> ast.GlobalDef:
+        if self.match_op("["):
+            if self.current.kind == "number":
+                length = self.advance().value
+            else:
+                raise self.error("expected array length")
+            self.expect_op("]")
+            ctype = array_of(ctype, length)
+        init = None
+        if self.match_op("="):
+            init = self._parse_global_init()
+        self.expect_op(";")
+        return ast.GlobalDef(line=line, ctype=ctype, name=name, init=init)
+
+    def _parse_global_init(self) -> object:
+        if self.current.kind == "string":
+            return ast.StringLit(line=self.current.line, value=self.advance().value.encode("latin-1"))
+        if self.match_op("{"):
+            values: List[ast.NumberLit] = []
+            while not self.at_op("}"):
+                values.append(self._parse_const_number())
+                if not self.match_op(","):
+                    break
+            self.expect_op("}")
+            return values
+        return self._parse_const_number()
+
+    def _parse_const_number(self) -> ast.NumberLit:
+        negative = bool(self.match_op("-"))
+        if self.current.kind not in ("number", "charlit"):
+            raise self.error("expected constant")
+        token = self.advance()
+        value = -token.value if negative else token.value
+        return ast.NumberLit(line=token.line, value=value)
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        """Parse a brace-delimited block."""
+        line = self.current.line
+        self.expect_op("{")
+        statements: List[ast.Stmt] = []
+        while not self.at_op("}"):
+            statements.append(self.parse_statement())
+        self.expect_op("}")
+        return ast.Block(line=line, statements=statements)
+
+    def parse_statement(self) -> ast.Stmt:
+        """Parse one statement."""
+        token = self.current
+        if token.kind == "op" and token.value == "{":
+            return self.parse_block()
+        if self.at_type():
+            return self._parse_decl()
+        if token.kind == "if":
+            return self._parse_if()
+        if token.kind == "while":
+            return self._parse_while()
+        if token.kind == "for":
+            return self._parse_for()
+        if token.kind == "return":
+            self.advance()
+            value = None if self.at_op(";") else self.parse_expression()
+            self.expect_op(";")
+            return ast.Return(line=token.line, value=value)
+        if token.kind == "break":
+            self.advance()
+            self.expect_op(";")
+            return ast.Break(line=token.line)
+        if token.kind == "continue":
+            self.advance()
+            self.expect_op(";")
+            return ast.Continue(line=token.line)
+        expr = self.parse_expression()
+        self.expect_op(";")
+        return ast.ExprStmt(line=token.line, expr=expr)
+
+    def _parse_decl(self) -> ast.Stmt:
+        line = self.current.line
+        ctype = self.parse_type()
+        name = self.expect_ident()
+        if self.match_op("["):
+            if self.current.kind != "number":
+                raise self.error("expected array length")
+            length = self.advance().value
+            self.expect_op("]")
+            ctype = array_of(ctype, length)
+        init = None
+        if self.match_op("="):
+            init = self.parse_expression()
+        self.expect_op(";")
+        return ast.DeclStmt(line=line, ctype=ctype, name=name, init=init)
+
+    def _parse_if(self) -> ast.If:
+        line = self.advance().line
+        self.expect_op("(")
+        cond = self.parse_expression()
+        self.expect_op(")")
+        then = self.parse_statement()
+        otherwise = None
+        if self.current.kind == "else":
+            self.advance()
+            otherwise = self.parse_statement()
+        return ast.If(line=line, cond=cond, then=then, otherwise=otherwise)
+
+    def _parse_while(self) -> ast.While:
+        line = self.advance().line
+        self.expect_op("(")
+        cond = self.parse_expression()
+        self.expect_op(")")
+        body = self.parse_statement()
+        return ast.While(line=line, cond=cond, body=body)
+
+    def _parse_for(self) -> ast.For:
+        line = self.advance().line
+        self.expect_op("(")
+        init: Optional[ast.Stmt] = None
+        if not self.at_op(";"):
+            if self.at_type():
+                init = self._parse_decl()
+            else:
+                expr = self.parse_expression()
+                self.expect_op(";")
+                init = ast.ExprStmt(line=line, expr=expr)
+        else:
+            self.expect_op(";")
+        cond = None if self.at_op(";") else self.parse_expression()
+        self.expect_op(";")
+        step = None if self.at_op(")") else self.parse_expression()
+        self.expect_op(")")
+        body = self.parse_statement()
+        return ast.For(line=line, init=init, cond=cond, step=step, body=body)
+
+    # -- expressions -------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        """Parse a full expression (assignment level)."""
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_binary(1)
+        if self.current.kind == "op" and self.current.value in _ASSIGN_OPS:
+            op = self.advance().value
+            value = self._parse_assignment()
+            return ast.Assign(line=left.line, op=op, target=left, value=value)
+        return left
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self.current
+            if token.kind != "op":
+                return left
+            prec = _PRECEDENCE.get(token.value)
+            if prec is None or prec < min_prec:
+                return left
+            op = self.advance().value
+            right = self._parse_binary(prec + 1)
+            left = ast.Binary(line=token.line, op=op, left=left, right=right)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "op" and token.value in ("-", "~", "!", "*", "&"):
+            self.advance()
+            operand = self._parse_unary()
+            return ast.Unary(line=token.line, op=token.value, operand=operand)
+        if token.kind == "op" and token.value in ("++", "--"):
+            self.advance()
+            target = self._parse_unary()
+            return ast.IncDec(line=token.line, op=token.value, prefix=True, target=target)
+        if token.kind == "sizeof":
+            self.advance()
+            self.expect_op("(")
+            ctype = self.parse_type()
+            self.expect_op(")")
+            return ast.SizeOf(line=token.line, target_type=ctype)
+        if token.kind == "op" and token.value == "(" \
+                and (self.peek().kind in _TYPE_KEYWORDS or self.peek().kind == "struct"):
+            self.advance()
+            ctype = self.parse_type()
+            self.expect_op(")")
+            operand = self._parse_unary()
+            return ast.Cast(line=token.line, target_type=ctype, operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self.at_op("["):
+                self.advance()
+                index = self.parse_expression()
+                self.expect_op("]")
+                expr = ast.Index(line=expr.line, base=expr, index=index)
+                continue
+            if self.at_op("(") and isinstance(expr, ast.Ident):
+                self.advance()
+                args = self._parse_args()
+                expr = ast.Call(line=expr.line, name=expr.name, args=args)
+                continue
+            if self.current.kind == "op" and self.current.value in (".", "->"):
+                arrow = self.advance().value == "->"
+                name = self.expect_ident()
+                expr = ast.Member(line=expr.line, base=expr, name=name, arrow=arrow)
+                continue
+            if self.current.kind == "op" and self.current.value in ("++", "--"):
+                op = self.advance().value
+                expr = ast.IncDec(line=expr.line, op=op, prefix=False, target=expr)
+                continue
+            return expr
+
+    def _parse_args(self) -> List[ast.Expr]:
+        args: List[ast.Expr] = []
+        if self.match_op(")"):
+            return args
+        while True:
+            args.append(self.parse_expression())
+            if self.match_op(")"):
+                return args
+            self.expect_op(",")
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind in ("number", "charlit"):
+            self.advance()
+            return ast.NumberLit(line=token.line, value=token.value)
+        if token.kind == "string":
+            self.advance()
+            return ast.StringLit(line=token.line, value=token.value.encode("latin-1"))
+        if token.kind == "ident":
+            self.advance()
+            return ast.Ident(line=token.line, name=token.value)
+        if token.kind == "op" and token.value == "(":
+            self.advance()
+            expr = self.parse_expression()
+            self.expect_op(")")
+            return expr
+        raise self.error("expected expression")
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse MiniC source text into a translation unit."""
+    return Parser(source).parse_unit()

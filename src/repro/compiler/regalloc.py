@@ -1,0 +1,222 @@
+"""Liveness analysis and linear-scan register allocation.
+
+Virtual registers get physical general registers where possible:
+caller-saved ``r14``-``r27`` for values that do not live across a call,
+callee-saved ``r4``-``r7`` for values that do, and stack slots when both
+pools run out.  ``r2``/``r3``/``r9``-``r11`` are reserved for the SHIFT
+instrumentation pass, ``r28``-``r30`` for code-generator scratch and
+``r31`` for the NaT-source register (paper section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.compiler.ir import IRFunction, IRInstr, VReg
+
+CALLER_SAVED_POOL: Tuple[int, ...] = tuple(range(14, 28))  # r14..r27
+CALLEE_SAVED_POOL: Tuple[int, ...] = (4, 5, 6, 7)  # r4..r7
+INSTRUMENTATION_SCRATCH: Tuple[int, ...] = (2, 3, 9, 10, 11)
+CODEGEN_SCRATCH: Tuple[int, ...] = (28, 29, 30)
+
+
+@dataclass
+class Interval:
+    """Conservative (hole-free) live interval of one virtual register."""
+
+    vreg: VReg
+    start: int
+    end: int  # exclusive
+    crosses_call: bool = False
+
+
+@dataclass
+class Allocation:
+    """Result of register allocation for one function."""
+
+    #: VReg -> physical GR index (register-resident values)
+    regs: Dict[VReg, int] = field(default_factory=dict)
+    #: VReg -> spill-slot ordinal (0, 1, 2, ...)
+    slots: Dict[VReg, int] = field(default_factory=dict)
+    #: Callee-saved registers used (must be saved in the prologue).
+    callee_saved_used: List[int] = field(default_factory=list)
+
+    @property
+    def spill_slot_count(self) -> int:
+        """Number of stack slots the allocation needs."""
+        return len(self.slots)
+
+    def location(self, vreg: VReg) -> Tuple[str, int]:
+        """('reg', idx) or ('slot', ordinal) for a virtual register."""
+        if vreg in self.regs:
+            return ("reg", self.regs[vreg])
+        if vreg in self.slots:
+            return ("slot", self.slots[vreg])
+        raise KeyError(f"{vreg} was never allocated")
+
+
+@dataclass
+class _Block:
+    start: int  # index of first instruction
+    end: int  # index one past the last
+    succs: List[int] = field(default_factory=list)
+    use: Set[VReg] = field(default_factory=set)
+    defs: Set[VReg] = field(default_factory=set)
+    live_in: Set[VReg] = field(default_factory=set)
+    live_out: Set[VReg] = field(default_factory=set)
+
+
+def build_blocks(body: List[IRInstr]) -> List[_Block]:
+    """Partition the linear IR into basic blocks and wire the CFG."""
+    # Block leaders: index 0, every label, every instruction after a terminator.
+    leaders = {0}
+    label_at: Dict[str, int] = {}
+    for i, instr in enumerate(body):
+        if instr.op == "label":
+            leaders.add(i)
+            label_at[instr.name] = i
+        elif instr.is_terminator and i + 1 < len(body):
+            leaders.add(i + 1)
+    ordered = sorted(leaders)
+    blocks: List[_Block] = []
+    index_of_leader: Dict[int, int] = {}
+    for n, lead in enumerate(ordered):
+        end = ordered[n + 1] if n + 1 < len(ordered) else len(body)
+        index_of_leader[lead] = n
+        blocks.append(_Block(start=lead, end=end))
+
+    def block_of_label(name: str) -> int:
+        return index_of_leader[label_at[name]]
+
+    for n, block in enumerate(blocks):
+        if block.start == block.end:
+            continue
+        last = body[block.end - 1]
+        if last.op == "cbr":
+            block.succs = [block_of_label(last.label), block_of_label(last.label2)]
+        elif last.op == "br":
+            block.succs = [block_of_label(last.label)]
+        elif last.op == "ret":
+            block.succs = []
+        elif n + 1 < len(blocks):
+            block.succs = [n + 1]
+        for instr in body[block.start:block.end]:
+            for used in instr.uses():
+                if used not in block.defs:
+                    block.use.add(used)
+            defined = instr.defines()
+            if defined is not None:
+                block.defs.add(defined)
+    return blocks
+
+
+def compute_liveness(body: List[IRInstr], params: List[VReg]) -> List[_Block]:
+    """Iterative backward dataflow liveness over the CFG."""
+    blocks = build_blocks(body)
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(blocks):
+            live_out: Set[VReg] = set()
+            for succ in block.succs:
+                live_out |= blocks[succ].live_in
+            live_in = block.use | (live_out - block.defs)
+            if live_out != block.live_out or live_in != block.live_in:
+                block.live_out = live_out
+                block.live_in = live_in
+                changed = True
+    return blocks
+
+
+def build_intervals(func: IRFunction) -> Tuple[List[Interval], List[int]]:
+    """Live intervals plus the positions of call instructions."""
+    body = func.body
+    blocks = compute_liveness(body, func.param_vregs)
+    starts: Dict[VReg, int] = {}
+    ends: Dict[VReg, int] = {}
+    call_positions = [i for i, instr in enumerate(body) if instr.is_call]
+
+    def extend(vreg: VReg, lo: int, hi: int) -> None:
+        starts[vreg] = min(starts.get(vreg, lo), lo)
+        ends[vreg] = max(ends.get(vreg, hi), hi)
+
+    for block in blocks:
+        for vreg in block.live_out:
+            extend(vreg, block.start, block.end)
+        live = set(block.live_out)
+        for pos in range(block.end - 1, block.start - 1, -1):
+            instr = body[pos]
+            defined = instr.defines()
+            if defined is not None:
+                extend(defined, pos, pos + 1)
+                live.discard(defined)
+            for used in instr.uses():
+                extend(used, pos, pos + 1)
+                live.add(used)
+
+    # Parameters are defined by the prologue: their interval begins at 0.
+    for vreg in func.param_vregs:
+        if vreg in starts:
+            starts[vreg] = 0
+
+    intervals = []
+    for vreg, start in starts.items():
+        end = ends[vreg]
+        crosses = _any_cross(start, end, call_positions, body, vreg)
+        intervals.append(Interval(vreg, start, end, crosses_call=crosses))
+    intervals.sort(key=lambda it: (it.start, it.end))
+    return intervals, call_positions
+
+
+def _any_cross(start: int, end: int, call_positions: List[int], body: List[IRInstr], vreg: VReg) -> bool:
+    """True if the value must survive across some call.
+
+    A value consumed *at* the call (as an argument, with no later use)
+    does not cross it; a value defined *by* the call starts after it.
+    """
+    for pos in call_positions:
+        if start <= pos < end - 1:
+            if pos == start and body[pos].defines() == vreg:
+                continue  # the interval begins with this call's result
+            return True
+    return False
+
+
+def allocate(func: IRFunction) -> Allocation:
+    """Linear-scan allocation over the function's live intervals."""
+    intervals, _ = build_intervals(func)
+    allocation = Allocation()
+    free_caller = list(CALLER_SAVED_POOL)
+    free_callee = list(CALLEE_SAVED_POOL)
+    active: List[Tuple[Interval, int, str]] = []  # (interval, reg, pool)
+
+    def expire(current_start: int) -> None:
+        still_active = []
+        for interval, reg, pool in active:
+            if interval.end <= current_start:
+                (free_callee if pool == "callee" else free_caller).append(reg)
+            else:
+                still_active.append((interval, reg, pool))
+        active[:] = still_active
+
+    for interval in intervals:
+        expire(interval.start)
+        if interval.crosses_call:
+            pools = [("callee", free_callee)]
+        else:
+            pools = [("caller", free_caller), ("callee", free_callee)]
+        assigned = False
+        for pool_name, pool in pools:
+            if pool:
+                reg = pool.pop(0)
+                allocation.regs[interval.vreg] = reg
+                active.append((interval, reg, pool_name))
+                if pool_name == "callee" and reg not in allocation.callee_saved_used:
+                    allocation.callee_saved_used.append(reg)
+                assigned = True
+                break
+        if not assigned:
+            allocation.slots[interval.vreg] = len(allocation.slots)
+    allocation.callee_saved_used.sort()
+    return allocation

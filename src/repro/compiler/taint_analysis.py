@@ -1,0 +1,188 @@
+"""Static possibly-tainted analysis for instrumentation pruning.
+
+The paper's future work (section 4.4) proposes compiler optimisations
+"to reduce unnecessary tracking code".  This pass implements the most
+profitable one: a forward dataflow analysis over the generated machine
+code that computes, at every program point, which general registers can
+possibly hold tainted (NaT-tagged) data.  Compares whose operands are
+provably clean — loop counters, frame addresses, constants — need no
+relaxation code at all.
+
+The analysis is conservative (sound for taint):
+
+* loads from memory may produce taint (the bitmap decides at runtime),
+  so any plain-load destination becomes possibly tainted;
+* ALU results inherit possible taint from their sources;
+* immediates (``movl``), moves from ``r0``, addresses derived only from
+  ``sp``, and moves from branch/application registers are clean;
+* at control-flow joins, states merge by union; the analysis iterates
+  to a fixpoint over the function's basic blocks;
+* calls clobber conservatively: the return register and all
+  caller-saved registers become possibly tainted (the callee may have
+  loaded tainted data into them); callee-saved registers keep their
+  state (the callee preserves value *and* NaT via spill/fill).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple, Union
+
+from repro.isa.instruction import Instruction, Label, OpKind
+from repro.isa.operands import GR_RET, GR_SP
+
+Item = Union[Label, Instruction]
+
+#: Registers whose contents survive a call with taint state intact.
+_CALLEE_SAVED = frozenset({4, 5, 6, 7, GR_SP})
+
+_PLAIN_LOADS = {"ld1", "ld2", "ld4", "ld8"}
+
+
+@dataclass
+class _Block:
+    start: int
+    end: int
+    succs: List[int]
+
+
+def _is_local_control(instr: Instruction) -> bool:
+    """Branches that end a basic block (calls fall through on return)."""
+    if instr.kind is OpKind.CHK:
+        return True
+    if instr.kind is not OpKind.BRANCH:
+        return False
+    return instr.op not in ("br.call", "br.call.ind")
+
+
+def _split_blocks(items: List[Item]) -> Tuple[List[_Block], Dict[int, int]]:
+    """Basic blocks over an instruction/label stream."""
+    label_at: Dict[str, int] = {
+        item.name: i for i, item in enumerate(items) if isinstance(item, Label)
+    }
+    leaders: Set[int] = {0}
+    for i, item in enumerate(items):
+        if isinstance(item, Label):
+            leaders.add(i)
+        elif isinstance(item, Instruction):
+            if _is_local_control(item):
+                leaders.add(i + 1)
+            if item.target is not None and item.target in label_at:
+                leaders.add(label_at[item.target])
+    ordered = sorted(x for x in leaders if x < len(items))
+    block_of_pos: Dict[int, int] = {}
+    blocks: List[_Block] = []
+    for n, lead in enumerate(ordered):
+        end = ordered[n + 1] if n + 1 < len(ordered) else len(items)
+        blocks.append(_Block(start=lead, end=end, succs=[]))
+        for pos in range(lead, end):
+            block_of_pos[pos] = n
+
+    for n, block in enumerate(blocks):
+        last = None
+        for pos in range(block.end - 1, block.start - 1, -1):
+            if isinstance(items[pos], Instruction):
+                last = items[pos]
+                break
+        fallthrough = [n + 1] if n + 1 < len(blocks) else []
+        if last is None or not _is_local_control(last):
+            block.succs = list(fallthrough)
+            continue
+        if last.op == "br" and not last.qp:
+            if last.target in label_at:
+                block.succs = [block_of_pos[label_at[last.target]]]
+            continue
+        if last.op in ("br.ret", "br.ind"):
+            block.succs = []
+            continue
+        # Conditional branch / predicated br / chk.s: target + fallthrough.
+        succs = list(fallthrough)
+        if last.target is not None and last.target in label_at:
+            succs.append(block_of_pos[label_at[last.target]])
+        block.succs = succs
+    return blocks, block_of_pos
+
+
+def _transfer(state: FrozenSet[int], instr: Instruction) -> FrozenSet[int]:
+    """One-instruction transfer function over the possibly-tainted set."""
+    tainted = set(state)
+    op = instr.op
+    if op == "br.call":
+        # Caller-saved registers may come back tainted; callee-saved and
+        # sp keep their state (preserved with spill/fill).
+        tainted = {r for r in tainted if r in _CALLEE_SAVED}
+        tainted.add(GR_RET)
+        tainted.update(range(14, 31))
+        tainted.update(range(32, 40))
+        return frozenset(tainted)
+    if op == "br.call.ind":
+        tainted = {r for r in tainted if r in _CALLEE_SAVED}
+        tainted.add(GR_RET)
+        tainted.update(range(14, 31))
+        tainted.update(range(32, 40))
+        return frozenset(tainted)
+    outs = [r.index for r in instr.outs if r.is_gr]
+    if not outs:
+        return state
+    if op in _PLAIN_LOADS or op == "ld8.fill":
+        # Memory may hand back tainted data.
+        tainted.update(outs)
+        return frozenset(tainted)
+    if op in ("movl", "mov.frombr", "mov.fromar", "ld8.s"):
+        for out in outs:
+            tainted.discard(out)
+        return frozenset(tainted)
+    if instr.qp:
+        # Predicated writes may not happen: keep the old state too.
+        ins_tainted = any(r.is_gr and r.index in state for r in instr.ins)
+        if ins_tainted:
+            tainted.update(outs)
+        return frozenset(tainted)
+    ins_tainted = any(r.is_gr and r.index in state for r in instr.ins)
+    for out in outs:
+        if ins_tainted:
+            tainted.add(out)
+        else:
+            tainted.discard(out)
+    return frozenset(tainted)
+
+
+def possibly_tainted_before(items: List[Item]) -> List[FrozenSet[int]]:
+    """For each item index, the set of possibly-tainted GRs on entry.
+
+    Parameters are conservatively treated as possibly tainted on
+    function entry (callers may pass tainted values).
+    """
+    blocks, _ = _split_blocks(items)
+    entry_state = frozenset(range(8, 40))  # args/ret/temps may carry taint
+    in_states: List[FrozenSet[int]] = [frozenset()] * len(blocks)
+    if blocks:
+        in_states[0] = entry_state
+    # Iterate to fixpoint.
+    changed = True
+    out_states: List[FrozenSet[int]] = [frozenset()] * len(blocks)
+    while changed:
+        changed = False
+        for n, block in enumerate(blocks):
+            state = in_states[n]
+            for pos in range(block.start, block.end):
+                item = items[pos]
+                if isinstance(item, Instruction):
+                    state = _transfer(state, item)
+            if state != out_states[n]:
+                out_states[n] = state
+            for succ in block.succs:
+                merged = in_states[succ] | state
+                if merged != in_states[succ]:
+                    in_states[succ] = merged
+                    changed = True
+    # Second pass: per-position states.
+    result: List[FrozenSet[int]] = [frozenset()] * len(items)
+    for n, block in enumerate(blocks):
+        state = in_states[n]
+        for pos in range(block.start, block.end):
+            result[pos] = state
+            item = items[pos]
+            if isinstance(item, Instruction):
+                state = _transfer(state, item)
+    return result

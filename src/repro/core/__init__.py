@@ -1,0 +1,32 @@
+"""SHIFT core: the paper's primary contribution behind one clean API.
+
+The mechanism lives in three places — the NaT-bit hardware semantics
+(:mod:`repro.cpu`), the instrumentation pass
+(:mod:`repro.compiler.instrument`) and the policy engine
+(:mod:`repro.taint`) — and this package is the facade that wires them
+together for users.
+"""
+
+from repro.core.config import (
+    ALL_ENHANCEMENTS,
+    ENHANCEMENT_NAT_CMP,
+    ENHANCEMENT_SET_CLEAR,
+    shift_options,
+)
+from repro.core.shift import (
+    RunResult,
+    build_machine,
+    compile_protected,
+    run_machine,
+)
+
+__all__ = [
+    "ALL_ENHANCEMENTS",
+    "ENHANCEMENT_NAT_CMP",
+    "ENHANCEMENT_SET_CLEAR",
+    "RunResult",
+    "build_machine",
+    "compile_protected",
+    "run_machine",
+    "shift_options",
+]

@@ -1,0 +1,55 @@
+"""User-facing configuration for building a SHIFT-protected guest."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.compiler.instrument import GRANULARITY_BYTE, GRANULARITY_WORD, ShiftOptions
+
+#: Names accepted for tracking granularity.
+_GRANULARITY_NAMES = {
+    "byte": GRANULARITY_BYTE,
+    "word": GRANULARITY_WORD,
+    GRANULARITY_BYTE: GRANULARITY_BYTE,
+    GRANULARITY_WORD: GRANULARITY_WORD,
+}
+
+#: Names accepted for the paper's proposed architectural enhancements.
+ENHANCEMENT_SET_CLEAR = "set_clear_nat"
+ENHANCEMENT_NAT_CMP = "nat_aware_cmp"
+ALL_ENHANCEMENTS = (ENHANCEMENT_SET_CLEAR, ENHANCEMENT_NAT_CMP)
+
+
+def shift_options(
+    granularity: object = "byte",
+    enhancements: Sequence[str] = (),
+    tracking: bool = True,
+    relax_compares: bool = True,
+    pointer_policy: str = "strict",
+) -> ShiftOptions:
+    """Build :class:`ShiftOptions` from friendly names.
+
+    ``granularity`` is ``"byte"`` or ``"word"``; ``enhancements`` may
+    contain ``"set_clear_nat"`` and/or ``"nat_aware_cmp"`` (the paper's
+    proposed instructions, section 6.3); ``tracking=False`` compiles
+    without any instrumentation (the baseline).
+    """
+    if not tracking:
+        return ShiftOptions(mode="none")
+    for name in enhancements:
+        if name not in ALL_ENHANCEMENTS:
+            raise ValueError(
+                f"unknown enhancement {name!r}; expected one of {ALL_ENHANCEMENTS}"
+            )
+    try:
+        grain = _GRANULARITY_NAMES[granularity]
+    except (KeyError, TypeError):
+        raise ValueError(f"granularity must be 'byte' or 'word', got {granularity!r}")
+    return ShiftOptions(
+        mode="shift",
+        granularity=grain,
+        enh_set_clear=ENHANCEMENT_SET_CLEAR in enhancements,
+        enh_nat_cmp=ENHANCEMENT_NAT_CMP in enhancements,
+        relax_compares=relax_compares,
+        pointer_policy=pointer_policy,
+    )

@@ -1,0 +1,40 @@
+"""Processor simulation: executor, faults, timing model."""
+
+from repro.cpu.core import (
+    BREAK_NATIVE_BASE,
+    BREAK_SYSCALL,
+    CODE_SLOT_BYTES,
+    CPU,
+    MASK64,
+    code_address,
+    code_index,
+    to_signed,
+)
+from repro.cpu.faults import (
+    Fault,
+    IllegalInstructionFault,
+    NaTConsumptionFault,
+    PrivilegeFault,
+    RunawayError,
+)
+from repro.cpu.perf import IssueConfig, IssueModel, PerfCounters, RoleCost
+
+__all__ = [
+    "BREAK_NATIVE_BASE",
+    "BREAK_SYSCALL",
+    "CODE_SLOT_BYTES",
+    "CPU",
+    "Fault",
+    "IllegalInstructionFault",
+    "IssueConfig",
+    "IssueModel",
+    "MASK64",
+    "NaTConsumptionFault",
+    "PerfCounters",
+    "PrivilegeFault",
+    "RoleCost",
+    "RunawayError",
+    "code_address",
+    "code_index",
+    "to_signed",
+]

@@ -1,0 +1,49 @@
+"""Processor faults and guest-run control exceptions."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Fault(Exception):
+    """Base class for architectural faults raised during execution."""
+
+    def __init__(self, message: str, pc: int = -1, instr: Optional[object] = None) -> None:
+        super().__init__(message)
+        self.pc = pc
+        self.instr = instr
+
+    def at(self, pc: int, instr: object) -> "Fault":
+        """Attach the faulting pc/instruction; returns self."""
+        self.pc = pc
+        self.instr = instr
+        return self
+
+
+class NaTConsumptionFault(Fault):
+    """A NaT-tagged register was consumed by a non-speculative operation.
+
+    SHIFT turns these hardware faults into security detections: a
+    tainted load address is policy L1, a tainted store address is L2 and
+    a tainted move to a branch register is L3 (paper Table 1).
+    """
+
+    KINDS = ("load_addr", "store_addr", "store_value", "branch_move", "ar_move")
+
+    def __init__(self, kind: str, message: str = "") -> None:
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown NaT consumption kind {kind!r}")
+        super().__init__(message or f"NaT consumption fault ({kind})")
+        self.kind = kind
+
+
+class IllegalInstructionFault(Fault):
+    """Undefined operation or malformed break immediate."""
+
+
+class PrivilegeFault(Fault):
+    """Operation not allowed in the simulated user mode."""
+
+
+class RunawayError(RuntimeError):
+    """The guest exceeded its instruction budget (likely livelock)."""

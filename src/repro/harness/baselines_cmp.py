@@ -1,0 +1,74 @@
+"""Related-work comparison: SHIFT vs LIFT-style DBT vs emulation.
+
+The paper positions SHIFT's 2.81X/2.27X against LIFT's 4.6X and
+interpretation-based systems' much larger slowdowns (section 7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.apps.spec import BENCHMARKS
+from repro.baselines.interp import InterpreterModel
+from repro.harness.formatting import format_table, geomean
+from repro.harness.runners import PERF_OPTIONS, run_spec
+
+
+@dataclass
+class BaselineRow:
+    """Per-benchmark slowdowns of SHIFT vs the baselines."""
+    benchmark: str
+    shift_byte: float
+    shift_word: float
+    lift: float
+    interpreter: float
+
+
+@dataclass
+class BaselineResult:
+    """All comparison rows for one scale."""
+    rows: List[BaselineRow]
+    scale: str
+
+    def mean(self, field: str) -> float:
+        """Geometric mean of one column."""
+        return geomean(getattr(r, field) for r in self.rows)
+
+
+def run_baseline_comparison(scale: str = "ref",
+                            benchmarks: Optional[Sequence[str]] = None,
+                            interp_model: Optional[InterpreterModel] = None,
+                            ) -> BaselineResult:
+    """Measure SHIFT, LIFT-style and interpreter slowdowns."""
+    model = interp_model or InterpreterModel()
+    rows: List[BaselineRow] = []
+    for name in (benchmarks or list(BENCHMARKS)):
+        bench = BENCHMARKS[name]
+        base = run_spec(bench, PERF_OPTIONS["none"], scale)
+        values = {}
+        for key, config in (("shift_byte", "byte"), ("shift_word", "word"),
+                            ("lift", "lift")):
+            run = run_spec(bench, PERF_OPTIONS[config], scale)
+            if run.checksum != base.checksum:
+                raise AssertionError(f"{name}/{config}: checksum diverged")
+            values[key] = run.cycles / base.cycles
+        values["interpreter"] = model.slowdown(base.counters)
+        rows.append(BaselineRow(benchmark=name, **values))
+    return BaselineResult(rows=rows, scale=scale)
+
+
+def format_baselines(result: BaselineResult) -> str:
+    """Render the related-work comparison table."""
+    body = [
+        [r.benchmark, r.shift_byte, r.shift_word, r.lift, r.interpreter]
+        for r in result.rows
+    ]
+    body.append(["geo.mean", result.mean("shift_byte"), result.mean("shift_word"),
+                 result.mean("lift"), result.mean("interpreter")])
+    return format_table(
+        ["benchmark", "SHIFT byte", "SHIFT word", "LIFT-style", "interpreter"],
+        body,
+        title=(f"Related-work comparison (scale={result.scale}; paper context: "
+               "SHIFT 2.81X/2.27X, LIFT 4.6X, emulators far slower)"),
+    )

@@ -1,0 +1,91 @@
+"""Figure 6: SHIFT overhead on the web server.
+
+The paper issues 1,000 requests (concurrency 200) against Apache for
+files of 4/8/16/512 KB and reports relative latency and throughput for
+byte- and word-level tracking; the geometric-mean overhead is about 1%,
+with the 4 KB point the worst (~4.2%) because the smallest transfer has
+the smallest I/O share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.apps.webserver import FILE_SIZES_KB
+from repro.harness.formatting import format_table, geomean
+from repro.harness.runners import PERF_OPTIONS, run_webserver
+
+
+@dataclass
+class Figure6Row:
+    """Relative performance at one file size (1.0 = uninstrumented)."""
+
+    file_kb: int
+    byte_latency: float  # relative latency (>= 1.0 is slower)
+    byte_throughput: float  # relative throughput (<= 1.0 is slower)
+    word_latency: float
+    word_throughput: float
+
+    @property
+    def byte_overhead_percent(self) -> float:
+        """Byte-level latency overhead in percent."""
+        return (self.byte_latency - 1.0) * 100.0
+
+    @property
+    def word_overhead_percent(self) -> float:
+        """Word-level latency overhead in percent."""
+        return (self.word_latency - 1.0) * 100.0
+
+
+@dataclass
+class Figure6Result:
+    """All Figure 6 rows plus the request count."""
+    rows: List[Figure6Row]
+    requests: int
+
+    @property
+    def mean_overhead_percent(self) -> float:
+        """Geometric mean of relative latency across sizes and levels."""
+        ratios = []
+        for row in self.rows:
+            ratios.extend([row.byte_latency, row.word_latency])
+        return (geomean(ratios) - 1.0) * 100.0
+
+
+def run_figure6(sizes_kb: Sequence[int] = FILE_SIZES_KB,
+                requests: int = 50) -> Figure6Result:
+    """Measure the server at each file size under none/byte/word."""
+    rows: List[Figure6Row] = []
+    for kb in sizes_kb:
+        base = run_webserver(PERF_OPTIONS["none"], kb, requests)
+        byte = run_webserver(PERF_OPTIONS["byte"], kb, requests)
+        word = run_webserver(PERF_OPTIONS["word"], kb, requests)
+        rows.append(Figure6Row(
+            file_kb=kb,
+            byte_latency=byte.latency_cycles / base.latency_cycles,
+            byte_throughput=byte.throughput / base.throughput,
+            word_latency=word.latency_cycles / base.latency_cycles,
+            word_throughput=word.throughput / base.throughput,
+        ))
+    return Figure6Result(rows=rows, requests=requests)
+
+
+def format_figure6(result: Figure6Result) -> str:
+    """Render the Figure 6 table."""
+    table = format_table(
+        ["file size", "byte latency", "byte thruput", "word latency",
+         "word thruput", "byte ovh%", "word ovh%"],
+        [
+            [f"{row.file_kb} KB", row.byte_latency, row.byte_throughput,
+             row.word_latency, row.word_throughput,
+             f"{row.byte_overhead_percent:.1f}", f"{row.word_overhead_percent:.1f}"]
+            for row in result.rows
+        ],
+        title=f"Figure 6: web-server overhead ({result.requests} requests per point; "
+              "relative to uninstrumented)",
+    )
+    return table + (
+        f"\ngeometric-mean latency overhead: {result.mean_overhead_percent:.2f}% "
+        "(paper: ~1%)"
+    )

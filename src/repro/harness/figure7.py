@@ -1,0 +1,81 @@
+"""Figure 7: SPEC-INT2000 slowdown under SHIFT.
+
+Four bars per benchmark: byte/word-level tracking with the input data
+tagged unsafe (tainted) or safe.  Paper results: byte-unsafe average
+2.81X (range 1.32X-4.73X), word-unsafe average 2.27X (1.34X-3.80X);
+gcc is the worst case, mcf the best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.spec import BENCHMARKS
+from repro.harness.formatting import format_table, geomean
+from repro.harness.runners import PERF_OPTIONS, run_spec
+
+
+@dataclass
+class Figure7Row:
+    """The four Figure 7 bars for one benchmark."""
+    benchmark: str
+    byte_unsafe: float
+    byte_safe: float
+    word_unsafe: float
+    word_safe: float
+
+
+@dataclass
+class Figure7Result:
+    """All Figure 7 rows for one scale."""
+    rows: List[Figure7Row]
+    scale: str
+
+    def mean(self, field: str) -> float:
+        """Geometric mean of one bar across benchmarks."""
+        return geomean(getattr(row, field) for row in self.rows)
+
+
+def run_figure7(scale: str = "ref",
+                benchmarks: Optional[Sequence[str]] = None) -> Figure7Result:
+    """Measure the Figure 7 slowdown matrix."""
+    names = list(benchmarks) if benchmarks else list(BENCHMARKS)
+    rows: List[Figure7Row] = []
+    for name in names:
+        bench = BENCHMARKS[name]
+        values: Dict[str, float] = {}
+        for safe in (False, True):
+            base = run_spec(bench, PERF_OPTIONS["none"], scale, safe_input=safe)
+            for level in ("byte", "word"):
+                run = run_spec(bench, PERF_OPTIONS[level], scale, safe_input=safe)
+                if run.checksum != base.checksum:
+                    raise AssertionError(
+                        f"{name}: {level} checksum diverged "
+                        f"({run.checksum} != {base.checksum})"
+                    )
+                values[f"{level}_{'safe' if safe else 'unsafe'}"] = (
+                    run.cycles / base.cycles
+                )
+        rows.append(Figure7Row(benchmark=name, **values))
+    return Figure7Result(rows=rows, scale=scale)
+
+
+def format_figure7(result: Figure7Result) -> str:
+    """Render the Figure 7 table."""
+    body = [
+        [row.benchmark, row.byte_unsafe, row.byte_safe,
+         row.word_unsafe, row.word_safe]
+        for row in result.rows
+    ]
+    body.append([
+        "geo.mean",
+        result.mean("byte_unsafe"), result.mean("byte_safe"),
+        result.mean("word_unsafe"), result.mean("word_safe"),
+    ])
+    return format_table(
+        ["benchmark", "byte-unsafe", "byte-safe", "word-unsafe", "word-safe"],
+        body,
+        title=(f"Figure 7: SPEC slowdown vs uninstrumented (scale={result.scale}; "
+               "paper: byte 2.81X avg, word 2.27X avg)"),
+    )

@@ -1,0 +1,92 @@
+"""Run the complete evaluation and archive every regenerated table.
+
+Usage::
+
+    python -m repro.harness.report [--scale test|ref] [--out results/]
+
+Regenerates Tables 1-3, Figures 6-9, the related-work comparison and
+the design ablations, printing each and writing it under ``--out``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import time
+
+from repro.harness.charts import figure7_chart, figure8_chart, figure9_chart
+from repro.harness import (
+    format_ablations,
+    format_baselines,
+    format_figure6,
+    format_figure7,
+    format_figure8,
+    format_figure9,
+    format_table1_output,
+    format_table2,
+    format_table3,
+    format_width_ablation,
+    run_ablations,
+    run_baseline_comparison,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_table2,
+    run_table3,
+    run_width_ablation,
+)
+
+
+def _with_chart(result, table_fn, chart_fn) -> str:
+    return table_fn(result) + "\n\n" + chart_fn(result)
+
+
+def main(argv=None) -> int:
+    """CLI entry point: run and archive every experiment."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("test", "ref"), default="ref",
+                        help="workload scale (ref regenerates the paper runs)")
+    parser.add_argument("--out", default="results",
+                        help="directory for the archived tables")
+    parser.add_argument("--requests", type=int, default=25,
+                        help="web-server requests per Figure 6 point")
+    args = parser.parse_args(argv)
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(exist_ok=True)
+
+    experiments = [
+        ("table1", lambda: format_table1_output()),
+        ("table2", lambda: format_table2(run_table2())),
+        ("table3", lambda: format_table3(run_table3(scale=args.scale))),
+        ("figure6", lambda: format_figure6(
+            run_figure6(requests=args.requests))),
+        ("figure7", lambda: _with_chart(run_figure7(scale=args.scale),
+                                        format_figure7, figure7_chart)),
+        ("figure8", lambda: _with_chart(run_figure8(scale=args.scale),
+                                        format_figure8,
+                                        lambda r: figure8_chart(r, "byte"))),
+        ("figure9", lambda: _with_chart(run_figure9(scale=args.scale),
+                                        format_figure9,
+                                        lambda r: figure9_chart(r, "byte"))),
+        ("baselines", lambda: format_baselines(
+            run_baseline_comparison(scale=args.scale))),
+        ("ablations", lambda: format_ablations(
+            run_ablations(scale=args.scale, benchmarks=["gzip", "gcc", "mcf"]))),
+        ("ablation_width", lambda: format_width_ablation(
+            run_width_ablation(scale="test"))),
+    ]
+
+    for name, runner in experiments:
+        start = time.time()
+        text = runner()
+        elapsed = time.time() - start
+        print(f"\n{'=' * 72}\n{text}\n[{name}: {elapsed:.1f}s]")
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+    print(f"\nAll tables written to {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,181 @@
+"""Shared experiment runners: compile caches and measured runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.apps.spec import BENCHMARKS, SpecBenchmark
+from repro.apps.webserver import WEBSERVER_SOURCE, make_request, make_site
+from repro.compiler.instrument import ShiftOptions
+from repro.compiler.pipeline import CompiledProgram
+from repro.core.shift import build_machine, compile_protected
+from repro.cpu.perf import PerfCounters
+from repro.taint.policy import PolicyConfig
+
+#: Instrumentation configurations used throughout the evaluation.
+#: SPEC and server perf runs use the permissive pointer policy, exactly
+#: because real programs index tables with input data (paper 3.2.2).
+PERF_OPTIONS: Dict[str, ShiftOptions] = {
+    "none": ShiftOptions(mode="none"),
+    "byte": ShiftOptions(granularity=1, pointer_policy="permissive"),
+    "word": ShiftOptions(granularity=8, pointer_policy="permissive"),
+    "byte-set/clear": ShiftOptions(granularity=1, pointer_policy="permissive",
+                                   enh_set_clear=True),
+    "word-set/clear": ShiftOptions(granularity=8, pointer_policy="permissive",
+                                   enh_set_clear=True),
+    "byte-both": ShiftOptions(granularity=1, pointer_policy="permissive",
+                              enh_set_clear=True, enh_nat_cmp=True),
+    "word-both": ShiftOptions(granularity=8, pointer_policy="permissive",
+                              enh_set_clear=True, enh_nat_cmp=True),
+    "lift": ShiftOptions(mode="lift"),
+}
+
+_compile_cache: Dict[Tuple[str, str, ShiftOptions], CompiledProgram] = {}
+
+
+def compiled_spec(bench: SpecBenchmark, options: ShiftOptions,
+                  scale: str = "ref") -> CompiledProgram:
+    """Compile a kernel once per (benchmark, options, scale)."""
+    key = (bench.name, scale, options)
+    compiled = _compile_cache.get(key)
+    if compiled is None:
+        compiled = compile_protected(bench.source(scale), options)
+        _compile_cache[key] = compiled
+    return compiled
+
+
+def spec_policy(safe_input: bool) -> PolicyConfig:
+    """Policy for SPEC runs: disk data tainted unless the run is 'safe'."""
+    config = PolicyConfig()
+    config.tainted_sources["file"] = not safe_input
+    return config
+
+
+@dataclass
+class MeasuredRun:
+    """One measured execution."""
+
+    label: str
+    cycles: float
+    compute_cycles: float
+    io_cycles: float
+    instructions: int
+    exit_code: int
+    checksum: int
+    counters: PerfCounters
+
+
+def run_spec(
+    bench: SpecBenchmark,
+    options: ShiftOptions,
+    scale: str = "ref",
+    safe_input: bool = False,
+    label: str = "",
+) -> MeasuredRun:
+    """Run one SPEC kernel under one configuration."""
+    compiled = compiled_spec(bench, options, scale)
+    machine = build_machine(
+        compiled,
+        policy_config=spec_policy(safe_input),
+        files={"/data": bench.make_input(scale)},
+    )
+    exit_code = machine.run()
+    counters = machine.counters
+    return MeasuredRun(
+        label=label or options.label,
+        cycles=counters.cycles,
+        compute_cycles=counters.compute_cycles,
+        io_cycles=counters.io_cycles,
+        instructions=counters.instructions,
+        exit_code=exit_code,
+        checksum=machine.read_global("result"),
+        counters=counters,
+    )
+
+
+def spec_slowdown(bench: SpecBenchmark, options: ShiftOptions,
+                  scale: str = "ref", safe_input: bool = False) -> float:
+    """Slowdown of one configuration against the uninstrumented build."""
+    base = run_spec(bench, PERF_OPTIONS["none"], scale, safe_input)
+    run = run_spec(bench, options, scale, safe_input)
+    if run.checksum != base.checksum:
+        raise AssertionError(
+            f"{bench.name}: checksum diverged under {options.label} "
+            f"({run.checksum} != {base.checksum})"
+        )
+    return run.cycles / base.cycles
+
+
+# -- web server (Figure 6) ------------------------------------------------
+
+
+def webserver_policy() -> PolicyConfig:
+    """Server policy: network tainted, static files trusted, H2 armed."""
+    config = PolicyConfig()
+    config.tainted_sources["network"] = True
+    config.tainted_sources["file"] = False
+    config.enable("H2")
+    return config
+
+
+_web_cache: Dict[ShiftOptions, CompiledProgram] = {}
+
+
+def compiled_webserver(options: ShiftOptions) -> CompiledProgram:
+    """Compile the web server once per configuration."""
+    compiled = _web_cache.get(options)
+    if compiled is None:
+        compiled = compile_protected(WEBSERVER_SOURCE, options)
+        _web_cache[options] = compiled
+    return compiled
+
+
+@dataclass
+class WebRun:
+    """One web-server measurement at a given file size."""
+
+    label: str
+    file_kb: int
+    requests: int
+    served: int
+    total_cycles: float
+    io_cycles: float
+
+    @property
+    def latency_cycles(self) -> float:
+        """Average simulated cycles per request."""
+        return self.total_cycles / max(self.requests, 1)
+
+    @property
+    def throughput(self) -> float:
+        """Requests per billion cycles (arbitrary but consistent units)."""
+        return self.requests / (self.total_cycles / 1e9)
+
+
+def run_webserver(options: ShiftOptions, file_kb: int, requests: int = 50) -> WebRun:
+    """Serve ``requests`` identical requests for one file size."""
+    compiled = compiled_webserver(options)
+    machine = build_machine(
+        compiled,
+        policy_config=webserver_policy(),
+        files=make_site((file_kb,)),
+    )
+    for _ in range(requests):
+        machine.net.add_request(make_request(file_kb))
+    served = machine.run(max_instructions=1_000_000_000)
+    if served != requests:
+        raise AssertionError(f"server answered {served}/{requests} requests")
+    return WebRun(
+        label=options.label,
+        file_kb=file_kb,
+        requests=requests,
+        served=served,
+        total_cycles=machine.counters.cycles,
+        io_cycles=machine.counters.io_cycles,
+    )
+
+
+def all_benchmarks() -> Dict[str, SpecBenchmark]:
+    """Copy of the SPEC kernel registry."""
+    return dict(BENCHMARKS)

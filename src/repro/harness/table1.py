@@ -1,0 +1,15 @@
+"""Table 1: the security-policy catalogue."""
+
+from __future__ import annotations
+
+from repro.taint.policy import TABLE1, format_table1
+
+
+def run_table1():
+    """The policy catalogue (static; returned for symmetry)."""
+    return TABLE1
+
+
+def format_table1_output() -> str:
+    """Render Table 1 with its caption."""
+    return "Table 1: Security Policies in SHIFT\n" + format_table1()

@@ -1,0 +1,253 @@
+"""A small assembler for the IA-64-like ISA.
+
+The textual syntax follows Itanium assembly conventions::
+
+    func main:
+        adds r12 = -16, r12
+        movl r14 = 0x2000
+    loop:
+        ld8 r15 = [r14]
+        cmp.eq p6, p7 = r15, r0
+        (p7) br.cond loop
+        mov b6 = r15
+        br.ret b0
+    endfunc
+
+Directives: ``func NAME:`` / ``endfunc`` delimit functions,
+``data NAME, SIZE [, "init"]`` declares data, ``native NAME`` declares a
+runtime native.  Comments start with ``//`` or ``;``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Tuple
+
+from repro.isa.instruction import Instruction, OPCODES, OpKind
+from repro.isa.operands import Reg, RegClass, parse_reg
+from repro.isa.program import DataItem, Program, ProgramBuilder
+
+
+class AssemblerError(ValueError):
+    """Raised for malformed assembly input."""
+
+    def __init__(self, message: str, line_no: int, line: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+
+
+_QP_RE = re.compile(r"^\(p(\d+)\)\s*")
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
+_FUNC_RE = re.compile(r"^func\s+([A-Za-z_][\w.$]*):$")
+_DATA_RE = re.compile(r'^data\s+([A-Za-z_][\w.$]*)\s*,\s*(\d+)(?:\s*,\s*"(.*)")?$')
+_NATIVE_RE = re.compile(r"^native\s+([A-Za-z_][\w.$]*)$")
+
+
+def assemble(text: str, entry: str = "main") -> Program:
+    """Assemble a full program text into a :class:`Program`."""
+    builder = ProgramBuilder()
+    in_function = False
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        m = _FUNC_RE.match(line)
+        if m:
+            if in_function:
+                raise AssemblerError("nested func", line_no, raw)
+            builder.begin_function(m.group(1))
+            in_function = True
+            continue
+        if line == "endfunc":
+            if not in_function:
+                raise AssemblerError("endfunc outside func", line_no, raw)
+            builder.end_function()
+            in_function = False
+            continue
+        m = _DATA_RE.match(line)
+        if m:
+            name, size, init = m.group(1), int(m.group(2)), m.group(3)
+            init_bytes = init.encode("latin-1").decode("unicode_escape").encode("latin-1") if init else b""
+            builder.add_data(DataItem(name=name, size=size, init=init_bytes))
+            continue
+        m = _NATIVE_RE.match(line)
+        if m:
+            builder.declare_native(m.group(1))
+            continue
+        m = _LABEL_RE.match(line)
+        if m:
+            builder.label(m.group(1))
+            continue
+        try:
+            builder.emit(parse_instruction(line))
+        except ValueError as exc:
+            raise AssemblerError(str(exc), line_no, raw) from exc
+    return builder.build(entry=entry)
+
+
+def parse_instruction(line: str) -> Instruction:
+    """Parse one instruction line (no label, no comment)."""
+    line = line.strip()
+    qp = 0
+    m = _QP_RE.match(line)
+    if m:
+        qp = int(m.group(1))
+        line = line[m.end():]
+    parts = line.split(None, 1)
+    mnemonic = parts[0]
+    rest = parts[1].strip() if len(parts) > 1 else ""
+    handler = _SPECIAL.get(mnemonic)
+    if handler is not None:
+        return handler(mnemonic, rest, qp)
+    if mnemonic == "mov":
+        return _parse_mov(rest, qp)
+    if mnemonic not in OPCODES:
+        raise ValueError(f"unknown opcode {mnemonic!r}")
+    kind = OPCODES[mnemonic][0]
+    if kind is OpKind.ALU:
+        return _parse_alu(mnemonic, rest, qp)
+    if kind is OpKind.CMP:
+        return _parse_cmp(mnemonic, rest, qp)
+    if kind is OpKind.LOAD:
+        return _parse_load(mnemonic, rest, qp)
+    if kind is OpKind.STORE:
+        return _parse_store(mnemonic, rest, qp)
+    if kind is OpKind.BRANCH:
+        return _parse_branch(mnemonic, rest, qp)
+    raise ValueError(f"cannot parse {mnemonic!r}")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("//", ";"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line
+
+
+def _split_eq(rest: str) -> Tuple[str, str]:
+    if "=" not in rest:
+        raise ValueError("expected '=' in operands")
+    lhs, rhs = rest.split("=", 1)
+    return lhs.strip(), rhs.strip()
+
+
+def _parse_int(text: str) -> int:
+    return int(text.strip(), 0)
+
+
+def _parse_operand(text: str) -> object:
+    text = text.strip()
+    try:
+        return parse_reg(text)
+    except ValueError:
+        return _parse_int(text)
+
+
+def _parse_alu(mnemonic: str, rest: str, qp: int) -> Instruction:
+    if mnemonic in ("settag", "cleartag"):
+        return Instruction(mnemonic, qp=qp, outs=(parse_reg(rest),), ins=(parse_reg(rest),))
+    lhs, rhs = _split_eq(rest)
+    dest = parse_reg(lhs)
+    srcs = [_parse_operand(p) for p in rhs.split(",")]
+    regs = tuple(s for s in srcs if isinstance(s, Reg))
+    imms = [s for s in srcs if isinstance(s, int)]
+    if len(imms) > 1:
+        raise ValueError("at most one immediate operand")
+    return Instruction(
+        mnemonic, qp=qp, outs=(dest,), ins=regs, imm=imms[0] if imms else None
+    )
+
+
+def _parse_cmp(mnemonic: str, rest: str, qp: int) -> Instruction:
+    lhs, rhs = _split_eq(rest)
+    preds = tuple(parse_reg(p) for p in lhs.split(","))
+    if len(preds) != 2 or not all(p.is_pr for p in preds):
+        raise ValueError("compare must write two predicate registers")
+    srcs = [_parse_operand(p) for p in rhs.split(",")]
+    regs = tuple(s for s in srcs if isinstance(s, Reg))
+    imms = [s for s in srcs if isinstance(s, int)]
+    return Instruction(
+        mnemonic, qp=qp, outs=preds, ins=regs, imm=imms[0] if imms else None
+    )
+
+
+def _parse_load(mnemonic: str, rest: str, qp: int) -> Instruction:
+    lhs, rhs = _split_eq(rest)
+    dest = parse_reg(lhs)
+    if not (rhs.startswith("[") and rhs.endswith("]")):
+        raise ValueError("load address must be [rN]")
+    addr = parse_reg(rhs[1:-1])
+    return Instruction(mnemonic, qp=qp, outs=(dest,), ins=(addr,))
+
+
+def _parse_store(mnemonic: str, rest: str, qp: int) -> Instruction:
+    lhs, rhs = _split_eq(rest)
+    if not (lhs.startswith("[") and lhs.endswith("]")):
+        raise ValueError("store address must be [rN]")
+    addr = parse_reg(lhs[1:-1])
+    value = parse_reg(rhs)
+    return Instruction(mnemonic, qp=qp, ins=(addr, value))
+
+
+def _parse_branch(mnemonic: str, rest: str, qp: int) -> Instruction:
+    if mnemonic == "br.ret":
+        return Instruction(mnemonic, qp=qp, ins=(parse_reg(rest),))
+    if mnemonic == "br.ind":
+        return Instruction(mnemonic, qp=qp, ins=(parse_reg(rest),))
+    if mnemonic in ("br", "br.cond"):
+        return Instruction(mnemonic, qp=qp, target=rest.strip())
+    if mnemonic in ("br.call", "br.call.ind"):
+        lhs, rhs = _split_eq(rest)
+        link = parse_reg(lhs)
+        try:
+            target_reg: Optional[Reg] = parse_reg(rhs)
+        except ValueError:
+            target_reg = None
+        if target_reg is not None and target_reg.is_br:
+            return Instruction("br.call.ind", qp=qp, outs=(link,), ins=(target_reg,))
+        return Instruction("br.call", qp=qp, outs=(link,), target=rhs.strip())
+    raise ValueError(f"cannot parse branch {mnemonic}")
+
+
+def _parse_chk(mnemonic: str, rest: str, qp: int) -> Instruction:
+    parts = [p.strip() for p in rest.split(",")]
+    if len(parts) != 2:
+        raise ValueError("chk.s needs register and recovery label")
+    return Instruction("chk.s", qp=qp, ins=(parse_reg(parts[0]),), target=parts[1])
+
+
+def _parse_break(mnemonic: str, rest: str, qp: int) -> Instruction:
+    return Instruction("break", qp=qp, imm=_parse_int(rest) if rest else 0)
+
+
+def _parse_nop(mnemonic: str, rest: str, qp: int) -> Instruction:
+    return Instruction("nop", qp=qp)
+
+
+def _parse_mov(rest: str, qp: int) -> Instruction:
+    """``mov`` disambiguates into GR/BR/AR move variants by operands."""
+    lhs, rhs = _split_eq(rest)
+    dest = parse_reg(lhs)
+    try:
+        src: object = parse_reg(rhs)
+    except ValueError:
+        src = _parse_int(rhs)
+    if isinstance(src, int):
+        return Instruction("movl", qp=qp, outs=(dest,), imm=src)
+    if dest.is_br:
+        return Instruction("mov.tobr", qp=qp, outs=(dest,), ins=(src,))
+    if src.is_br:
+        return Instruction("mov.frombr", qp=qp, outs=(dest,), ins=(src,))
+    if dest.cls is RegClass.AR:
+        return Instruction("mov.toar", qp=qp, outs=(dest,), ins=(src,))
+    if src.cls is RegClass.AR:
+        return Instruction("mov.fromar", qp=qp, outs=(dest,), ins=(src,))
+    return Instruction("mov", qp=qp, outs=(dest,), ins=(src,))
+
+
+_SPECIAL = {
+    "chk.s": _parse_chk,
+    "break": _parse_break,
+    "nop": _parse_nop,
+}

@@ -1,0 +1,129 @@
+"""Register operands for the IA-64-like ISA.
+
+The simulated processor follows the Itanium register model that SHIFT
+relies on:
+
+* 128 general registers ``r0``..``r127``, each extended with a *NaT*
+  (Not-a-Thing) bit -- the deferred-exception token that SHIFT reuses as
+  the taint tag.
+* 64 one-bit predicate registers ``p0``..``p63`` (``p0`` is hardwired to
+  true) used for predication and compare results.
+* 8 branch registers ``b0``..``b7``.
+* Application registers; we model only ``ar.unat``, the user NaT
+  collection register used by ``st8.spill``/``ld8.fill``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+NUM_GR = 128
+NUM_PR = 64
+NUM_BR = 8
+
+# Software conventions used by the compiler and runtime (loosely the
+# Itanium ABI):
+#   r0        always zero
+#   r1        global pointer (unused here)
+#   r2, r3    assembler/instrumentation scratch
+#   r8        return value
+#   r9..r11   instrumentation scratch
+#   r12       stack pointer
+#   r13       thread pointer (unused)
+#   r4..r7    callee-saved allocatable
+#   r14..r30  caller-saved allocatable
+#   r31       reserved NaT-source register in instrumented code
+#   r32..r39  argument registers
+GR_ZERO = 0
+GR_RET = 8
+GR_SP = 12
+GR_SYSNUM = 15
+GR_NAT_SOURCE = 31
+GR_FIRST_ARG = 32
+NUM_ARG_REGS = 8
+
+
+class RegClass(enum.Enum):
+    """Architectural register files."""
+
+    GR = "r"  # general register (64-bit value + NaT bit)
+    PR = "p"  # predicate register (1 bit)
+    BR = "b"  # branch register (64-bit target)
+    AR = "ar"  # application register (by name)
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A reference to one architectural register."""
+
+    cls: RegClass
+    index: int
+
+    def __post_init__(self) -> None:
+        limits = {
+            RegClass.GR: NUM_GR,
+            RegClass.PR: NUM_PR,
+            RegClass.BR: NUM_BR,
+        }
+        limit = limits.get(self.cls)
+        if limit is not None and not 0 <= self.index < limit:
+            raise ValueError(f"{self.cls.name} index {self.index} out of range")
+
+    def __str__(self) -> str:
+        if self.cls is RegClass.AR:
+            return f"ar.{self.index}"
+        return f"{self.cls.value}{self.index}"
+
+    @property
+    def is_gr(self) -> bool:
+        """True for general registers."""
+        return self.cls is RegClass.GR
+
+    @property
+    def is_pr(self) -> bool:
+        """True for predicate registers."""
+        return self.cls is RegClass.PR
+
+    @property
+    def is_br(self) -> bool:
+        """True for branch registers."""
+        return self.cls is RegClass.BR
+
+
+def GR(index: int) -> Reg:
+    """General register ``r<index>``."""
+    return Reg(RegClass.GR, index)
+
+
+def PR(index: int) -> Reg:
+    """Predicate register ``p<index>``."""
+    return Reg(RegClass.PR, index)
+
+
+def BR(index: int) -> Reg:
+    """Branch register ``b<index>``."""
+    return Reg(RegClass.BR, index)
+
+
+R0 = GR(GR_ZERO)
+SP = GR(GR_SP)
+RET = GR(GR_RET)
+P0 = PR(0)
+
+
+def parse_reg(text: str) -> Reg:
+    """Parse a register name such as ``r14``, ``p6``, ``b0`` or ``ar.unat``."""
+    text = text.strip()
+    if text.startswith("ar."):
+        # Only ar.unat is modelled; index 36 is its Itanium number.
+        if text != "ar.unat":
+            raise ValueError(f"unknown application register: {text}")
+        return Reg(RegClass.AR, 36)
+    if not text or text[0] not in "rpb" or not text[1:].isdigit():
+        raise ValueError(f"malformed register name: {text!r}")
+    cls = {"r": RegClass.GR, "p": RegClass.PR, "b": RegClass.BR}[text[0]]
+    return Reg(cls, int(text[1:]))
+
+
+AR_UNAT = Reg(RegClass.AR, 36)

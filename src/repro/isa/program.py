@@ -1,0 +1,152 @@
+"""Program container: code stream, labels, functions and data items."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.isa.instruction import Instruction, Label
+
+
+@dataclass
+class DataItem:
+    """A static data object (global variable, string literal, table)."""
+
+    name: str
+    size: int
+    init: bytes = b""
+    align: int = 8
+
+    def __post_init__(self) -> None:
+        if len(self.init) > self.size:
+            raise ValueError(f"initialiser longer than {self.name} ({self.size})")
+
+
+@dataclass
+class Program:
+    """A fully linked guest program.
+
+    ``labels`` maps every label to an instruction index in the flat
+    ``code`` list; ``functions`` maps function entry labels to
+    ``(start, end)`` index ranges (end exclusive) used for code-size
+    accounting and per-function instrumentation statistics.
+    """
+
+    code: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    functions: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    data: List[DataItem] = field(default_factory=list)
+    natives: List[str] = field(default_factory=list)
+    entry: str = "main"
+
+    def label_index(self, name: str) -> int:
+        """Instruction index of a label (KeyError if undefined)."""
+        try:
+            return self.labels[name]
+        except KeyError:
+            raise KeyError(f"undefined label: {name}") from None
+
+    def function_code(self, name: str) -> List[Instruction]:
+        """The instruction slice of one function."""
+        start, end = self.functions[name]
+        return self.code[start:end]
+
+    def listing(self) -> str:
+        """Human-readable disassembly with labels interleaved."""
+        by_index: Dict[int, List[str]] = {}
+        for name, idx in self.labels.items():
+            by_index.setdefault(idx, []).append(name)
+        lines: List[str] = []
+        for i, instr in enumerate(self.code):
+            for name in sorted(by_index.get(i, ())):
+                lines.append(f"{name}:")
+            comment = f"  // {instr.comment}" if instr.comment else ""
+            lines.append(f"    {instr}{comment}")
+        for name in sorted(by_index.get(len(self.code), ())):
+            lines.append(f"{name}:")
+        return "\n".join(lines)
+
+
+class ProgramBuilder:
+    """Accumulates labels/instructions into a :class:`Program`.
+
+    Functions are delimited with :meth:`begin_function` /
+    :meth:`end_function`; their entry label is emitted automatically.
+    """
+
+    def __init__(self) -> None:
+        self._code: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._functions: Dict[str, Tuple[int, int]] = {}
+        self._data: List[DataItem] = []
+        self._natives: List[str] = []
+        self._open_function: Optional[Tuple[str, int]] = None
+
+    def label(self, name: str) -> None:
+        """Define a label at the current position."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label: {name}")
+        self._labels[name] = len(self._code)
+
+    def emit(self, instr: Instruction) -> None:
+        """Append one instruction."""
+        self._code.append(instr)
+
+    def extend(self, items: Iterable[object]) -> None:
+        """Append a mixed stream of labels and instructions."""
+        for item in items:
+            if isinstance(item, Label):
+                self.label(item.name)
+            elif isinstance(item, Instruction):
+                self.emit(item)
+            else:
+                raise TypeError(f"cannot emit {type(item).__name__}")
+
+    def begin_function(self, name: str) -> None:
+        """Open a function (emits its entry label)."""
+        if self._open_function is not None:
+            raise ValueError("nested function definition")
+        self.label(name)
+        self._open_function = (name, len(self._code))
+
+    def end_function(self) -> None:
+        """Close the open function and record its extent."""
+        if self._open_function is None:
+            raise ValueError("end_function without begin_function")
+        name, start = self._open_function
+        self._functions[name] = (start, len(self._code))
+        self._open_function = None
+
+    def add_data(self, item: DataItem) -> None:
+        """Declare a static data item."""
+        if any(existing.name == item.name for existing in self._data):
+            raise ValueError(f"duplicate data symbol: {item.name}")
+        self._data.append(item)
+
+    def declare_native(self, name: str) -> None:
+        """Register a runtime-provided function name."""
+        if name not in self._natives:
+            self._natives.append(name)
+
+    def build(self, entry: str = "main") -> Program:
+        """Finalise into a Program (validates branch targets)."""
+        if self._open_function is not None:
+            raise ValueError(f"unterminated function {self._open_function[0]}")
+        program = Program(
+            code=self._code,
+            labels=self._labels,
+            functions=self._functions,
+            data=self._data,
+            natives=self._natives,
+            entry=entry,
+        )
+        _check_targets(program)
+        return program
+
+
+def _check_targets(program: Program) -> None:
+    """All branch/chk targets must resolve to a label (natives excluded)."""
+    known = set(program.labels) | set(program.natives)
+    for instr in program.code:
+        if instr.target is not None and instr.target not in known:
+            raise ValueError(f"undefined branch target {instr.target!r} in {instr}")

@@ -1,0 +1,116 @@
+"""Itanium-style virtual addressing and tag-space translation.
+
+The 64-bit virtual address space is split into eight regions selected by
+the top three address bits.  Within a region only ``IMPL_BITS`` low bits
+are *implemented*; the bits between ``IMPL_BITS`` and the region number
+are "unimplemented bits" and must be zero, creating holes in the address
+space (paper section 4.1).
+
+Because of those holes the tag (taint bitmap) address cannot be obtained
+with a single shift as on x86.  Following the paper's Figure 4, the
+region number is moved down next to the implemented bits to form a
+*linearised* address, which is then shifted by the tracking granularity
+and rebased into region 0 (the tag space, reserved for IA-32 and reused
+by SHIFT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Implemented virtual-address bits per region (Itanium 2 implements 50;
+#: we use 51 to keep the linearised space comfortably inside region 0).
+IMPL_BITS = 51
+REGION_SHIFT = 61
+NUM_REGIONS = 8
+IMPL_MASK = (1 << IMPL_BITS) - 1
+ADDRESS_MASK = (1 << 64) - 1
+
+#: Conventional region assignments used by the loader.
+REGION_TAG = 0  # taint bitmap (tag space)
+REGION_CODE = 1  # synthetic code addresses (for GOT/function pointers)
+REGION_DATA = 2  # globals + heap
+REGION_STACK = 3  # stacks
+
+
+def region_of(addr: int) -> int:
+    """Region number (top three bits) of a virtual address."""
+    return (addr >> REGION_SHIFT) & 0x7
+
+
+def offset_of(addr: int) -> int:
+    """Implemented offset of a virtual address within its region."""
+    return addr & IMPL_MASK
+
+
+def make_address(region: int, offset: int) -> int:
+    """Compose a virtual address from a region number and an offset."""
+    if not 0 <= region < NUM_REGIONS:
+        raise ValueError(f"region {region} out of range")
+    if offset & ~IMPL_MASK:
+        raise ValueError(f"offset {offset:#x} exceeds implemented bits")
+    return (region << REGION_SHIFT) | offset
+
+
+def is_implemented(addr: int) -> bool:
+    """True iff the address has no unimplemented bits set."""
+    addr &= ADDRESS_MASK
+    middle = addr & ~((0x7 << REGION_SHIFT) | IMPL_MASK) & ADDRESS_MASK
+    return middle == 0
+
+
+def linearize(addr: int) -> int:
+    """Move the region number down next to the implemented bits.
+
+    This is the host-side reference for the instruction sequence the
+    SHIFT compiler emits (shr / and / shl / or).
+    """
+    return (region_of(addr) << IMPL_BITS) | offset_of(addr)
+
+
+@dataclass(frozen=True)
+class TagAddress:
+    """Location of one taint tag.
+
+    Both granularities store their tags at tag byte ``lin >> 3``:
+
+    * **byte-level** (granularity 1): one tag *bit* per data byte — the
+      tag byte holds eight bits, ``bit`` selects the one for this byte;
+    * **word-level** (granularity 8): one tag *byte* per 8-byte word —
+      the whole tag byte is a boolean (``bit`` is None).
+
+    Either way the bitmap occupies 1/8th of the data footprint, but the
+    byte-level encoding needs mask construction and a read-modify-write
+    per access, which is why the paper finds byte-level tracking needs
+    "a bit more code to instrument a single instruction".
+    """
+
+    byte_addr: int
+    bit: Optional[int]
+
+    @property
+    def mask(self) -> int:
+        """Bit mask within the tag byte (0xFF at word level)."""
+        return 0xFF if self.bit is None else 1 << self.bit
+
+
+def tag_address(addr: int, granularity: int, flat: bool = False) -> TagAddress:
+    """Translate a data address to its taint-tag location (Fig. 4).
+
+    ``flat=True`` models the x86-style translation ablation: region bits
+    are masked away rather than moved down, so all regions alias one tag
+    space (fine for the performance study; not used for protection).
+    """
+    if granularity not in (1, 8):
+        raise ValueError("granularity must be 1 (byte) or 8 (word)")
+    lin = (addr & IMPL_MASK) if flat else linearize(addr)
+    if granularity == 1:
+        return TagAddress(byte_addr=lin >> 3, bit=lin & 0x7)
+    return TagAddress(byte_addr=lin >> 3, bit=None)
+
+
+def tag_space_limit(granularity: int) -> int:
+    """One past the highest tag byte address the bitmap can use."""
+    total_lin = NUM_REGIONS << IMPL_BITS
+    return total_lin >> 3

@@ -1,0 +1,95 @@
+"""Sparse paged guest memory.
+
+Pages are allocated lazily on first touch, so the huge region-based
+address space (including the region-0 tag bitmap) costs host memory only
+for the pages actually used.  All accesses are little-endian.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.mem.address import ADDRESS_MASK, is_implemented
+
+PAGE_BITS = 12
+PAGE_SIZE = 1 << PAGE_BITS
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class MemoryError_(Exception):
+    """Guest-visible memory error (unimplemented address)."""
+
+    def __init__(self, addr: int, reason: str) -> None:
+        super().__init__(f"address {addr:#018x}: {reason}")
+        self.addr = addr
+        self.reason = reason
+
+
+class SparseMemory:
+    """Byte-addressable sparse memory over the 64-bit guest space."""
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page_for(self, addr: int) -> Tuple[bytearray, int]:
+        page = self._pages.get(addr >> PAGE_BITS)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[addr >> PAGE_BITS] = page
+        return page, addr & PAGE_MASK
+
+    def check(self, addr: int, size: int = 1) -> None:
+        """Raise unless ``[addr, addr+size)`` lies in implemented space."""
+        addr &= ADDRESS_MASK
+        if not is_implemented(addr) or not is_implemented(addr + size - 1):
+            raise MemoryError_(addr, "unimplemented address bits set")
+
+    def load(self, addr: int, size: int) -> int:
+        """Load a little-endian unsigned integer of ``size`` bytes."""
+        self.check(addr, size)
+        return int.from_bytes(self.read_bytes(addr, size), "little")
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        """Store the low ``size`` bytes of ``value`` little-endian."""
+        self.check(addr, size)
+        self.write_bytes(addr, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        """Read a byte range (crossing pages as needed)."""
+        addr &= ADDRESS_MASK
+        out = bytearray()
+        while size > 0:
+            page, off = self._page_for(addr)
+            chunk = min(size, PAGE_SIZE - off)
+            out += page[off:off + chunk]
+            addr += chunk
+            size -= chunk
+        return bytes(out)
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        """Write a byte range (crossing pages as needed)."""
+        addr &= ADDRESS_MASK
+        pos = 0
+        while pos < len(data):
+            page, off = self._page_for(addr + pos)
+            chunk = min(len(data) - pos, PAGE_SIZE - off)
+            page[off:off + chunk] = data[pos:pos + chunk]
+            pos += chunk
+
+    def read_cstring(self, addr: int, limit: int = 1 << 20) -> bytes:
+        """Read a NUL-terminated byte string (without the NUL)."""
+        out = bytearray()
+        while len(out) < limit:
+            byte = self.load(addr + len(out), 1)
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+        raise MemoryError_(addr, "unterminated string")
+
+    def pages_touched(self) -> int:
+        """Number of pages allocated so far."""
+        return len(self._pages)
+
+    def iter_pages(self) -> Iterator[Tuple[int, bytearray]]:
+        """Iterate (page-number, bytearray) pairs."""
+        return iter(self._pages.items())

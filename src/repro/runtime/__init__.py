@@ -1,0 +1,23 @@
+"""Guest runtime: devices, guest OS, C library source, machine facade."""
+
+from repro.runtime.devices import Connection, Console, DeviceCosts, SimFileSystem, SimNetwork
+from repro.runtime.guest_os import GuestOS, O_READ, O_WRITE, SYS_EXIT
+from repro.runtime.libc_src import LIBC_SOURCE, NATIVE_DECLS
+from repro.runtime.machine import DATA_BASE, LoaderError, Machine
+
+__all__ = [
+    "Connection",
+    "Console",
+    "DATA_BASE",
+    "DeviceCosts",
+    "GuestOS",
+    "LIBC_SOURCE",
+    "LoaderError",
+    "Machine",
+    "NATIVE_DECLS",
+    "O_READ",
+    "O_WRITE",
+    "SYS_EXIT",
+    "SimFileSystem",
+    "SimNetwork",
+]

@@ -1,0 +1,111 @@
+"""Simulated devices: filesystem, network, console, and their latencies.
+
+The paper runs on real hardware with a real OS; here I/O is simulated
+with fixed device latencies so that the server experiment (Fig. 6)
+keeps its defining property — request handling is I/O-bound, so load/
+store instrumentation barely shows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+
+@dataclass
+class DeviceCosts:
+    """Cycle costs charged for OS-level operations (not instrumented)."""
+
+    syscall_base: float = 800.0
+    open_cost: float = 6_000.0
+    close_cost: float = 800.0
+    file_byte: float = 1.5  # per byte read/written to a file
+    file_base: float = 4_000.0
+    net_byte: float = 3.0  # per byte sent/received on the network
+    net_base: float = 15_000.0
+    accept_cost: float = 20_000.0
+    console_byte: float = 1.0
+    native_base: float = 60.0  # trap + dispatch for a native call
+    native_byte: float = 1.0  # per byte processed by a wrap function
+
+
+class SimFileSystem:
+    """An in-memory filesystem keyed by absolute path."""
+
+    def __init__(self, files: Optional[Dict[str, bytes]] = None) -> None:
+        self.files: Dict[str, bytes] = dict(files or {})
+
+    def exists(self, path: str) -> bool:
+        """True if a file exists at the path."""
+        return path in self.files
+
+    def read(self, path: str) -> Optional[bytes]:
+        """File contents, or None."""
+        return self.files.get(path)
+
+    def write(self, path: str, data: bytes) -> None:
+        """Create/replace a file."""
+        self.files[path] = data
+
+    def append(self, path: str, data: bytes) -> None:
+        """Append to (or create) a file."""
+        self.files[path] = self.files.get(path, b"") + data
+
+
+@dataclass
+class Connection:
+    """One network connection: inbound request bytes, outbound response."""
+
+    inbound: bytes
+    outbound: bytearray = field(default_factory=bytearray)
+    read_pos: int = 0
+
+    def recv(self, n: int) -> bytes:
+        """Consume up to n inbound bytes."""
+        chunk = self.inbound[self.read_pos:self.read_pos + n]
+        self.read_pos += len(chunk)
+        return chunk
+
+    def send(self, data: bytes) -> None:
+        """Append outbound bytes."""
+        self.outbound.extend(data)
+
+
+class SimNetwork:
+    """Pending connections for a server guest (accept/recv/send)."""
+
+    def __init__(self) -> None:
+        self.pending: Deque[Connection] = deque()
+        self.completed: List[Connection] = []
+
+    def add_request(self, data: bytes) -> Connection:
+        """Queue an inbound connection carrying the given bytes."""
+        conn = Connection(inbound=data)
+        self.pending.append(conn)
+        return conn
+
+    def accept(self) -> Optional[Connection]:
+        """Pop the next pending connection (None when drained)."""
+        if not self.pending:
+            return None
+        conn = self.pending.popleft()
+        self.completed.append(conn)
+        return conn
+
+
+class Console:
+    """Captures guest stdout/stderr."""
+
+    def __init__(self) -> None:
+        self.out = bytearray()
+        self.err = bytearray()
+
+    def write(self, fd: int, data: bytes) -> None:
+        """Append to stdout (fd 1) or stderr (fd 2)."""
+        (self.err if fd == 2 else self.out).extend(data)
+
+    @property
+    def text(self) -> str:
+        """Captured stdout as text."""
+        return self.out.decode("latin-1")

@@ -1,0 +1,269 @@
+'''The MiniC C library.
+
+Unlike the runtime natives (which model the paper's 17 hand-written
+wrap functions for assembly routines), these string/format functions are
+written in MiniC and *compiled with the application*, so they are
+instrumented by SHIFT and propagate taint through the bitmap naturally —
+just as the paper instruments glibc itself.  The library also provides
+the Table 3 "glibc" data point for code-size expansion.
+'''
+
+#: Native (runtime-provided) function declarations.  Including this
+#: block in a source file is the MiniC analogue of #include <unistd.h>.
+NATIVE_DECLS = """
+native int open(char *path, int flags);
+native int read(int fd, char *buf, int n);
+native int write(int fd, char *buf, int n);
+native int close(int fd);
+native int accept();
+native int recv(int fd, char *buf, int n);
+native int send(int fd, char *buf, int n);
+native char *malloc(int n);
+native void free(char *p);
+native char *memcpy(char *dst, char *src, int n);
+native char *memset(char *dst, int c, int n);
+native int memcmp(char *a, char *b, int n);
+native int rand();
+native void srand(int seed);
+native int system(char *cmd);
+native int sql_exec(char *q);
+native int is_tainted(char *p);
+native void taint_region(char *p, int n);
+native void clear_taint(char *p, int n);
+native void console_log(char *s);
+"""
+
+#: The instrumentable C library itself.
+LIBC_SOURCE = NATIVE_DECLS + """
+int strlen(char *s) {
+    int n = 0;
+    while (s[n]) {
+        n++;
+    }
+    return n;
+}
+
+char *strcpy(char *dst, char *src) {
+    int i = 0;
+    while ((dst[i] = src[i]) != 0) {
+        i++;
+    }
+    return dst;
+}
+
+char *strncpy(char *dst, char *src, int n) {
+    int i = 0;
+    while (i < n && src[i]) {
+        dst[i] = src[i];
+        i++;
+    }
+    while (i < n) {
+        dst[i] = 0;
+        i++;
+    }
+    return dst;
+}
+
+char *strcat(char *dst, char *src) {
+    int n = strlen(dst);
+    int i = 0;
+    while ((dst[n + i] = src[i]) != 0) {
+        i++;
+    }
+    return dst;
+}
+
+int strcmp(char *a, char *b) {
+    int i = 0;
+    while (a[i] && a[i] == b[i]) {
+        i++;
+    }
+    return a[i] - b[i];
+}
+
+int strncmp(char *a, char *b, int n) {
+    int i = 0;
+    while (i < n && a[i] && a[i] == b[i]) {
+        i++;
+    }
+    if (i == n) {
+        return 0;
+    }
+    return a[i] - b[i];
+}
+
+char lower_char(char c) {
+    if (c >= 'A' && c <= 'Z') {
+        return (char)(c + 32);
+    }
+    return c;
+}
+
+int strcasecmp(char *a, char *b) {
+    int i = 0;
+    while (a[i] && lower_char(a[i]) == lower_char(b[i])) {
+        i++;
+    }
+    return lower_char(a[i]) - lower_char(b[i]);
+}
+
+char *strchr(char *s, int c) {
+    int i = 0;
+    while (s[i]) {
+        if (s[i] == (char)c) {
+            return s + i;
+        }
+        i++;
+    }
+    return (char *)0;
+}
+
+char *strstr(char *hay, char *needle) {
+    int i = 0;
+    int j;
+    if (!needle[0]) {
+        return hay;
+    }
+    while (hay[i]) {
+        j = 0;
+        while (needle[j] && hay[i + j] == needle[j]) {
+            j++;
+        }
+        if (!needle[j]) {
+            return hay + i;
+        }
+        i++;
+    }
+    return (char *)0;
+}
+
+int atoi(char *s) {
+    int v = 0;
+    int i = 0;
+    int neg = 0;
+    while (s[i] == ' ') {
+        i++;
+    }
+    if (s[i] == '-') {
+        neg = 1;
+        i++;
+    }
+    while (s[i] >= '0' && s[i] <= '9') {
+        v = v * 10 + (s[i] - '0');
+        i++;
+    }
+    if (neg) {
+        return -v;
+    }
+    return v;
+}
+
+int write_int(char *out, int v) {
+    char tmp[24];
+    int n = 0;
+    int i = 0;
+    if (v < 0) {
+        out[i] = '-';
+        i++;
+        v = -v;
+    }
+    if (v == 0) {
+        tmp[n] = '0';
+        n++;
+    }
+    while (v > 0) {
+        tmp[n] = (char)('0' + v % 10);
+        n++;
+        v = v / 10;
+    }
+    while (n > 0) {
+        n--;
+        out[i] = tmp[n];
+        i++;
+    }
+    return i;
+}
+
+int write_hex(char *out, int v) {
+    char tmp[20];
+    char digits[20];
+    int n = 0;
+    int i = 0;
+    strcpy(digits, "0123456789abcdef");
+    if (v == 0) {
+        tmp[n] = '0';
+        n++;
+    }
+    while (v > 0) {
+        tmp[n] = digits[v % 16];
+        n++;
+        v = v / 16;
+    }
+    while (n > 0) {
+        n--;
+        out[i] = tmp[n];
+        i++;
+    }
+    return i;
+}
+
+// A printf-style formatter with a fixed four-slot argument list.
+// Supports %d %x %s %c %% and the infamous %n, which stores the number
+// of bytes written so far through a pointer argument -- the hook for
+// format-string attacks (paper Table 2, Bftpd).
+int format_str(char *out, char *fmt, int a0, int a1, int a2, int a3) {
+    int args[4];
+    int argi = 0;
+    int oi = 0;
+    int fi = 0;
+    args[0] = a0;
+    args[1] = a1;
+    args[2] = a2;
+    args[3] = a3;
+    while (fmt[fi]) {
+        char c = fmt[fi];
+        if (c == '%') {
+            char k = fmt[fi + 1];
+            fi = fi + 2;
+            if (k == 'd') {
+                oi = oi + write_int(out + oi, args[argi]);
+                argi++;
+            } else if (k == 'x') {
+                oi = oi + write_hex(out + oi, args[argi]);
+                argi++;
+            } else if (k == 's') {
+                char *s = (char *)args[argi];
+                argi++;
+                while (*s) {
+                    out[oi] = *s;
+                    oi++;
+                    s++;
+                }
+            } else if (k == 'c') {
+                out[oi] = (char)args[argi];
+                argi++;
+                oi++;
+            } else if (k == 'n') {
+                int *p = (int *)args[argi];
+                argi++;
+                *p = oi;
+            } else {
+                out[oi] = k;
+                oi++;
+            }
+        } else {
+            out[oi] = c;
+            oi++;
+            fi++;
+        }
+    }
+    out[oi] = 0;
+    return oi;
+}
+
+int puts(char *s) {
+    int n = write(1, s, strlen(s));
+    write(1, "\\n", 1);
+    return n + 1;
+}
+"""

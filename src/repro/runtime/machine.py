@@ -1,0 +1,173 @@
+"""The Machine: loader + assembled simulation of one guest program.
+
+Ties together the compiled program, sparse memory, taint bitmap, policy
+engine, devices and CPU.  This is the main entry point for running
+SHIFT-protected (or baseline) guests::
+
+    compiled = compile_program([LIBC_SOURCE, APP_SOURCE], BYTE_LEVEL)
+    machine = Machine(compiled, policy_config=config)
+    machine.net.add_request(b"GET /index.html ...")
+    exit_code = machine.run()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.compiler.instrument import GRANULARITY_BYTE
+from repro.compiler.pipeline import CompiledProgram
+from repro.cpu.core import CPU, code_address
+from repro.cpu.perf import IssueConfig, PerfCounters
+from repro.isa.program import Program
+from repro.mem.address import REGION_DATA, make_address
+from repro.mem.cache import CacheHierarchy, HierarchyConfig
+from repro.mem.memory import SparseMemory
+from repro.runtime.devices import Console, DeviceCosts, SimFileSystem, SimNetwork
+from repro.runtime.guest_os import GuestOS
+from repro.taint.bitmap import TaintMap
+from repro.taint.engine import PolicyEngine
+from repro.taint.policy import PolicyConfig
+
+#: Where static data is placed in the data region.
+DATA_BASE = make_address(REGION_DATA, 0x10000)
+#: Heap follows static data at this offset within the data region.
+HEAP_GAP = 0x100000
+
+
+class LoaderError(Exception):
+    """Raised when the program cannot be loaded (e.g. unknown symbol)."""
+
+
+class Machine:
+    """A loaded guest program ready to run."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        *,
+        policy_config: Optional[PolicyConfig] = None,
+        engine_mode: str = "raise",
+        costs: Optional[DeviceCosts] = None,
+        cache_config: Optional[HierarchyConfig] = None,
+        issue_config: Optional[IssueConfig] = None,
+        files: Optional[Dict[str, bytes]] = None,
+        stdin: bytes = b"",
+        thread_quantum: int = 800,
+        serialize_bitmap: bool = False,
+    ) -> None:
+        self.compiled = compiled
+        self.program: Program = compiled.program
+        self.memory = SparseMemory()
+        self.symbols: Dict[str, int] = {}
+        self._load_data()
+        self._relocate()
+
+        granularity = (
+            compiled.options.granularity
+            if compiled.options.mode != "none"
+            else GRANULARITY_BYTE
+        )
+        flat = getattr(compiled.options, "fast_tag_translation", False)
+        self.taint_map = TaintMap(self.memory, granularity, flat=flat)
+        self.policy_config = policy_config or PolicyConfig()
+        self.engine = PolicyEngine(self.policy_config, self.taint_map, mode=engine_mode)
+
+        self.costs = costs or DeviceCosts()
+        self.fs = SimFileSystem(files)
+        self.net = SimNetwork()
+        self.console = Console()
+        self.executed_commands: List[str] = []
+        self.executed_queries: List[str] = []
+        self.rng_state = 0x853C49E6748FEA9B
+        self.os = GuestOS(self)
+        if stdin:
+            self.os.stdin = stdin
+
+        self.cpu = CPU(
+            self.program,
+            self.memory,
+            caches=CacheHierarchy(cache_config),
+            issue_config=issue_config,
+            syscall_handler=self.os.syscall,
+            native_handler=self.os.native,
+            fault_hook=self.engine.on_fault,
+        )
+        from repro.runtime.threads import ThreadManager
+
+        self.threads = ThreadManager(self, quantum=thread_quantum,
+                                     serialize_bitmap=serialize_bitmap)
+
+    # -- loading --------------------------------------------------------
+
+    def _load_data(self) -> None:
+        addr = DATA_BASE
+        for item in self.program.data:
+            align = max(item.align, 1)
+            addr = (addr + align - 1) // align * align
+            self.symbols[item.name] = addr
+            if item.init:
+                self.memory.write_bytes(addr, item.init)
+            addr += max(item.size, 1)
+        self._heap_next = (addr + HEAP_GAP + 15) // 16 * 16
+
+    def _relocate(self) -> None:
+        for instr in self.program.code:
+            if instr.sym is None:
+                continue
+            if instr.sym.startswith("&"):
+                name = instr.sym[1:]
+                if name not in self.program.labels:
+                    raise LoaderError(f"undefined function {name!r}")
+                instr.imm = code_address(self.program.label_index(name))
+            else:
+                if instr.sym not in self.symbols:
+                    raise LoaderError(f"undefined data symbol {instr.sym!r}")
+                instr.imm = self.symbols[instr.sym]
+
+    def heap_alloc(self, size: int) -> int:
+        """Bump-allocate guest heap memory (malloc backend)."""
+        addr = self._heap_next
+        self._heap_next += (max(size, 1) + 15) // 16 * 16
+        return addr
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, max_instructions: int = 200_000_000) -> int:
+        """Run the guest to completion; returns its exit code.
+
+        Programs that declare the threading natives run under the
+        round-robin scheduler; everything else takes the plain
+        single-context fast path.  :class:`SecurityAlert` propagates to
+        the caller when the policy engine runs in ``raise`` mode.
+        """
+        if "thread_create" in self.program.natives:
+            return self.threads.run_all(max_instructions=max_instructions)
+        self.cpu.run(max_instructions=max_instructions)
+        return self.cpu.exit_code
+
+    # -- convenience accessors -----------------------------------------------
+
+    @property
+    def counters(self) -> PerfCounters:
+        """The CPU's performance counters."""
+        return self.cpu.counters
+
+    @property
+    def alerts(self):
+        """Security alerts recorded by the policy engine."""
+        return self.engine.alerts
+
+    def address_of(self, symbol: str) -> int:
+        """Loaded address of a data symbol."""
+        try:
+            return self.symbols[symbol]
+        except KeyError:
+            raise LoaderError(f"unknown data symbol {symbol!r}") from None
+
+    def read_global(self, symbol: str, size: int = 8) -> int:
+        """Load a global variable's value."""
+        return self.memory.load(self.address_of(symbol), size)
+
+    def read_string(self, symbol: str) -> bytes:
+        """Read a NUL-terminated global string."""
+        return self.memory.read_cstring(self.address_of(symbol))

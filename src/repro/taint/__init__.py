@@ -1,0 +1,45 @@
+"""SHIFT taint tracking: bitmap, policies, engine."""
+
+from repro.taint.bitmap import GRANULARITY_BYTE, GRANULARITY_WORD, TaintMap
+from repro.taint.engine import AlertRecord, PolicyEngine, SecurityAlert
+from repro.taint.policy import (
+    DEFAULT_ENABLED,
+    FAULT_KIND_POLICY,
+    HIGH_LEVEL_CHECKS,
+    POLICY_BY_ID,
+    Policy,
+    PolicyConfig,
+    PolicyConfigError,
+    PolicySettings,
+    PolicyViolation,
+    SHELL_META_CHARS,
+    SQL_META_CHARS,
+    TABLE1,
+    USE_POINT_POLICIES,
+    format_table1,
+    parse_policy_config,
+)
+
+__all__ = [
+    "AlertRecord",
+    "DEFAULT_ENABLED",
+    "FAULT_KIND_POLICY",
+    "GRANULARITY_BYTE",
+    "GRANULARITY_WORD",
+    "HIGH_LEVEL_CHECKS",
+    "POLICY_BY_ID",
+    "Policy",
+    "PolicyConfig",
+    "PolicyConfigError",
+    "PolicyEngine",
+    "PolicySettings",
+    "PolicyViolation",
+    "SecurityAlert",
+    "SHELL_META_CHARS",
+    "SQL_META_CHARS",
+    "TABLE1",
+    "TaintMap",
+    "USE_POINT_POLICIES",
+    "format_table1",
+    "parse_policy_config",
+]

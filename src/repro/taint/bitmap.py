@@ -1,0 +1,111 @@
+"""Host-side view of the in-memory taint bitmap.
+
+The bitmap itself lives in *guest* memory, in virtual-address region 0
+(the tag space), exactly as in the paper: instrumented guest code reads
+and updates it with ordinary ``ld1``/``st1`` instructions.  This class
+is the host-side accessor used by taint sources (to mark incoming data),
+by native library taint summaries (the paper's "wrap functions") and by
+the policy engine (to inspect argument taint at checks).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.mem.address import tag_address
+from repro.mem.memory import SparseMemory
+
+GRANULARITY_BYTE = 1
+GRANULARITY_WORD = 8  # a "word" is 8 bytes throughout the paper
+
+
+class TaintMap:
+    """Read/write the taint bitmap for a given tracking granularity."""
+
+    def __init__(self, memory: SparseMemory, granularity: int = GRANULARITY_BYTE,
+                 flat: bool = False) -> None:
+        if granularity not in (GRANULARITY_BYTE, GRANULARITY_WORD):
+            raise ValueError("granularity must be 1 (byte) or 8 (word)")
+        self.memory = memory
+        self.granularity = granularity
+        #: Flat (x86-ablation) tag translation -- must match how the
+        #: guest was compiled (ShiftOptions.fast_tag_translation).
+        self.flat = flat
+
+    def is_tainted(self, addr: int) -> bool:
+        """Taint state of the granule containing ``addr``."""
+        tag = tag_address(addr, self.granularity, self.flat)
+        if tag.bit is None:  # word level: whole tag byte is a boolean
+            return self.memory.load(tag.byte_addr, 1) != 0
+        return bool(self.memory.load(tag.byte_addr, 1) & tag.mask)
+
+    def set_taint(self, addr: int, tainted: bool = True) -> None:
+        """Set/clear the tag of the granule containing ``addr``."""
+        tag = tag_address(addr, self.granularity, self.flat)
+        if tag.bit is None:
+            self.memory.store(tag.byte_addr, 1, 1 if tainted else 0)
+            return
+        byte = self.memory.load(tag.byte_addr, 1)
+        byte = (byte | tag.mask) if tainted else (byte & ~tag.mask)
+        self.memory.store(tag.byte_addr, 1, byte)
+
+    def set_range(self, addr: int, length: int, tainted: bool = True) -> None:
+        """Mark ``length`` bytes starting at ``addr``."""
+        if length <= 0:
+            return
+        step = self.granularity
+        first = addr - (addr % step)
+        last = addr + length - 1
+        granule = first
+        while granule <= last:
+            self.set_taint(granule, tainted)
+            granule += step
+
+    def taint_flags(self, addr: int, length: int) -> List[bool]:
+        """Per-byte taint flags for ``[addr, addr+length)``."""
+        flags: List[bool] = []
+        cached_granule = None
+        cached_value = False
+        for offset in range(length):
+            a = addr + offset
+            granule = a - (a % self.granularity)
+            if granule != cached_granule:
+                cached_granule = granule
+                cached_value = self.is_tainted(granule)
+            flags.append(cached_value)
+        return flags
+
+    def any_tainted(self, addr: int, length: int) -> bool:
+        """True if any granule in the range is tainted."""
+        step = self.granularity
+        first = addr - (addr % step)
+        last = addr + length - 1
+        granule = first
+        while granule <= last:
+            if self.is_tainted(granule):
+                return True
+            granule += step
+        return False
+
+    def tainted_spans(self, addr: int, length: int) -> Iterator[Tuple[int, int]]:
+        """Yield ``(offset, span_length)`` runs of tainted bytes."""
+        flags = self.taint_flags(addr, length)
+        start = None
+        for i, tainted in enumerate(flags):
+            if tainted and start is None:
+                start = i
+            elif not tainted and start is not None:
+                yield (start, i - start)
+                start = None
+        if start is not None:
+            yield (start, length - start)
+
+    def copy_taint(self, dst: int, src: int, length: int) -> None:
+        """Propagate taint from ``src`` to ``dst`` byte ranges.
+
+        This is the semantic a *wrap function* for an uninstrumented
+        (assembly) routine such as ``memcpy`` applies (paper 4.2).
+        """
+        flags = self.taint_flags(src, length)
+        for offset, tainted in enumerate(flags):
+            self.set_taint(dst + offset, tainted)

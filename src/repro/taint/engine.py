@@ -1,0 +1,116 @@
+"""The policy engine: turns taint events into security alerts.
+
+Low-level policies (L1-L3) trigger on NaT-consumption faults raised by
+the processor; high-level policies (H1-H5) are checked by the runtime at
+semantic *use points* (``fopen``, ``system``, SQL execution, HTML
+output) against the in-memory taint bitmap, exactly the split the paper
+describes in sections 3.3.3 and 5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cpu.faults import Fault, NaTConsumptionFault
+from repro.taint.bitmap import TaintMap
+from repro.taint.policy import (
+    FAULT_KIND_POLICY,
+    HIGH_LEVEL_CHECKS,
+    POLICY_BY_ID,
+    PolicyConfig,
+    PolicyViolation,
+    USE_POINT_POLICIES,
+)
+
+
+class SecurityAlert(Exception):
+    """Raised when an enabled policy detects an exploit."""
+
+    def __init__(self, violation: PolicyViolation, context: str = "") -> None:
+        policy = POLICY_BY_ID[violation.policy_id]
+        where = f" [{context}]" if context else ""
+        super().__init__(
+            f"SECURITY ALERT {violation.policy_id} ({policy.attack}): "
+            f"{violation.message}{where}"
+        )
+        self.violation = violation
+        self.context = context
+
+    @property
+    def policy_id(self) -> str:
+        """Id of the policy that fired (e.g. 'L2')."""
+        return self.violation.policy_id
+
+
+@dataclass
+class AlertRecord:
+    """A logged alert (used when the engine runs in record mode)."""
+
+    policy_id: str
+    message: str
+    context: str = ""
+
+
+@dataclass
+class PolicyEngine:
+    """Checks taint uses against the configured policies."""
+
+    config: PolicyConfig
+    taint_map: TaintMap
+    #: 'raise' aborts the guest on the first alert (the paper's default
+    #: handling); 'record' logs alerts and lets execution continue, which
+    #: the experiment harness uses to count detections.
+    mode: str = "raise"
+    alerts: List[AlertRecord] = field(default_factory=list)
+
+    def _report(self, violation: PolicyViolation, context: str) -> None:
+        self.alerts.append(AlertRecord(violation.policy_id, violation.message, context))
+        if self.mode == "raise":
+            raise SecurityAlert(violation, context)
+
+    # -- Low-level policies (hardware fault path) -----------------------
+
+    def on_fault(self, cpu: object, fault: Fault) -> None:
+        """Fault hook installed on the CPU (L1/L2/L3)."""
+        if not isinstance(fault, NaTConsumptionFault):
+            return
+        policy_id = FAULT_KIND_POLICY.get(fault.kind)
+        if policy_id is None or not self.config.is_enabled(policy_id):
+            return
+        violation = PolicyViolation(policy_id, f"NaT consumption: {fault.kind} at pc={fault.pc}")
+        self._report(violation, context=f"pc={fault.pc}")
+
+    # -- High-level policies (semantic use points) ----------------------
+
+    def check_use_point(self, use_point: str, addr: int, data: bytes, context: str = "") -> None:
+        """Run every enabled policy registered for ``use_point``.
+
+        ``addr`` locates ``data`` in guest memory so per-byte taint can
+        be read from the bitmap.
+        """
+        policy_ids = USE_POINT_POLICIES.get(use_point)
+        if not policy_ids:
+            raise ValueError(f"unknown use point {use_point!r}")
+        relevant = [pid for pid in policy_ids if self.config.is_enabled(pid)]
+        if not relevant:
+            return
+        flags = self.taint_map.taint_flags(addr, len(data))
+        if not any(flags):
+            return
+        for pid in relevant:
+            violation = HIGH_LEVEL_CHECKS[pid](data, flags, self.config.settings)
+            if violation is not None:
+                self._report(violation, context)
+
+    # --------------------------------------------------------------
+
+    def detected(self, policy_id: Optional[str] = None) -> bool:
+        """True if any (or the given) policy has alerted."""
+        if policy_id is None:
+            return bool(self.alerts)
+        return any(a.policy_id == policy_id for a in self.alerts)
+
+    def reset(self) -> None:
+        """Clear recorded alerts."""
+        self.alerts.clear()

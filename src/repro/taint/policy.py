@@ -1,0 +1,251 @@
+"""Security policies (paper Table 1) and the policy configuration file.
+
+SHIFT decouples the taint-tracking *mechanism* (NaT bits + bitmap) from
+the security *policies*, which are assigned in software by editing a
+configuration file read by the instrumentation compiler and the runtime
+(paper sections 3.3.1 and 4.2).  This module defines the policy
+catalogue and the parser for that configuration format::
+
+    [sources]
+    network = tainted
+    file = tainted
+
+    [policies]
+    H1 = on
+    L1 = on
+    L2 = on
+    L3 = on
+
+    [settings]
+    document_root = /www
+"""
+
+from __future__ import annotations
+
+import posixpath
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: SQL metacharacters checked by H3 when tainted bytes appear in a query.
+SQL_META_CHARS = set(b"'\";")
+#: Shell metacharacters checked by H4 in arguments to ``system()``.
+SHELL_META_CHARS = set(b";|&`$<>")
+
+_SCRIPT_TAG = re.compile(rb"<\s*script", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class PolicyViolation:
+    """One detected violation, before it becomes a raised alert."""
+
+    policy_id: str
+    message: str
+    offset: int = -1
+
+
+CheckFn = Callable[[bytes, List[bool], "PolicySettings"], Optional[PolicyViolation]]
+
+
+@dataclass
+class PolicySettings:
+    """Application-specific knobs referenced by the high-level policies."""
+
+    document_root: str = "/www"
+
+
+@dataclass(frozen=True)
+class Policy:
+    """One entry of the paper's Table 1."""
+
+    policy_id: str
+    attack: str
+    description: str
+    level: str  # 'high' or 'low'
+    use_point: str  # where the check fires: 'fopen', 'system', 'sql',
+    # 'html_output', or a NaT-consumption kind for the low-level ones
+
+
+def _check_h1(data: bytes, flags: List[bool], settings: PolicySettings) -> Optional[PolicyViolation]:
+    """Tainted data cannot be used as an absolute file path."""
+    if data.startswith(b"/") and flags and flags[0]:
+        return PolicyViolation("H1", f"tainted absolute path {data!r}", 0)
+    return None
+
+
+def _check_h2(data: bytes, flags: List[bool], settings: PolicySettings) -> Optional[PolicyViolation]:
+    """Tainted path must not traverse out of the document root."""
+    if not any(flags):
+        return None
+    root = settings.document_root.rstrip("/") or "/"
+    path = data.decode("latin-1")
+    combined = posixpath.normpath(posixpath.join(root, path.lstrip("/") if not path.startswith("/") else path))
+    if path.startswith("/"):
+        combined = posixpath.normpath(path)
+    inside = combined == root or combined.startswith(root + "/")
+    if not inside:
+        return PolicyViolation(
+            "H2", f"tainted path {data!r} escapes document root {root!r}", 0
+        )
+    return None
+
+
+def _check_h3(data: bytes, flags: List[bool], settings: PolicySettings) -> Optional[PolicyViolation]:
+    """Tainted data cannot contain SQL metacharacters inside a query."""
+    for i, (byte, tainted) in enumerate(zip(data, flags)):
+        if tainted and byte in SQL_META_CHARS:
+            return PolicyViolation("H3", f"tainted SQL metachar {chr(byte)!r} at {i}", i)
+    return None
+
+
+def _check_h4(data: bytes, flags: List[bool], settings: PolicySettings) -> Optional[PolicyViolation]:
+    """Tainted data cannot contain shell metacharacters in system() args."""
+    for i, (byte, tainted) in enumerate(zip(data, flags)):
+        if tainted and byte in SHELL_META_CHARS:
+            return PolicyViolation("H4", f"tainted shell metachar {chr(byte)!r} at {i}", i)
+    return None
+
+
+def _check_h5(data: bytes, flags: List[bool], settings: PolicySettings) -> Optional[PolicyViolation]:
+    """No tainted ``<script`` tag may reach the output."""
+    for match in _SCRIPT_TAG.finditer(data):
+        if any(flags[match.start():match.end()]):
+            return PolicyViolation("H5", f"tainted script tag at offset {match.start()}", match.start())
+    return None
+
+
+#: Check functions for the high-level policies, keyed by policy id.
+HIGH_LEVEL_CHECKS: Dict[str, CheckFn] = {
+    "H1": _check_h1,
+    "H2": _check_h2,
+    "H3": _check_h3,
+    "H4": _check_h4,
+    "H5": _check_h5,
+}
+
+#: Which high-level policies fire at which use point.
+USE_POINT_POLICIES: Dict[str, Tuple[str, ...]] = {
+    "fopen": ("H1", "H2"),
+    "system": ("H4",),
+    "sql": ("H3",),
+    "html_output": ("H5",),
+}
+
+#: NaT-consumption fault kind -> low-level policy id.
+FAULT_KIND_POLICY: Dict[str, str] = {
+    "load_addr": "L1",
+    "store_addr": "L2",
+    "store_value": "L2",
+    "branch_move": "L3",
+    "ar_move": "L3",
+}
+
+#: The paper's Table 1.
+TABLE1: Tuple[Policy, ...] = (
+    Policy("H1", "Directory Traversal",
+           "Tainted data cannot be used as an absolute file path", "high", "fopen"),
+    Policy("H2", "Directory Traversal",
+           "Tainted data cannot be used as a file path which traverses out of "
+           "the document root", "high", "fopen"),
+    Policy("H3", "SQL Injection",
+           "Tainted data cannot contain SQL meta chars when used as a part of "
+           "the SQL string", "high", "sql"),
+    Policy("H4", "Command Injection",
+           "Tainted data cannot contain Shell meta chars when used as "
+           "arguments to system()", "high", "system"),
+    Policy("H5", "Cross Site Scripting", "No tainted script tag", "high", "html_output"),
+    Policy("L1", "De-referencing tainted pointer",
+           "Tainted data cannot be used as a load address", "low", "load_addr"),
+    Policy("L2", "Format string vulnerability",
+           "Tainted data cannot be used as a store address", "low", "store_addr"),
+    Policy("L3", "Modify critical CPU state",
+           "Tainted data cannot be moved into special registers", "low", "branch_move"),
+)
+
+POLICY_BY_ID: Dict[str, Policy] = {p.policy_id: p for p in TABLE1}
+
+#: The low-level policies are "relatively fixed and usually turned on as
+#: the default policies in SHIFT" (paper 5.1).
+DEFAULT_ENABLED: Tuple[str, ...] = ("L1", "L2", "L3")
+
+
+@dataclass
+class PolicyConfig:
+    """Parsed policy configuration (sources + enabled policies + settings)."""
+
+    tainted_sources: Dict[str, bool] = field(
+        default_factory=lambda: {"network": True, "file": True, "stdin": True, "env": False}
+    )
+    enabled: Dict[str, bool] = field(
+        default_factory=lambda: {pid: pid in DEFAULT_ENABLED for pid in POLICY_BY_ID}
+    )
+    settings: PolicySettings = field(default_factory=PolicySettings)
+
+    def enable(self, *policy_ids: str) -> "PolicyConfig":
+        """Turn policies on; returns self for chaining."""
+        for pid in policy_ids:
+            if pid not in POLICY_BY_ID:
+                raise ValueError(f"unknown policy {pid}")
+            self.enabled[pid] = True
+        return self
+
+    def disable(self, *policy_ids: str) -> "PolicyConfig":
+        """Turn policies off; returns self for chaining."""
+        for pid in policy_ids:
+            if pid not in POLICY_BY_ID:
+                raise ValueError(f"unknown policy {pid}")
+            self.enabled[pid] = False
+        return self
+
+    def is_enabled(self, policy_id: str) -> bool:
+        """True if the policy is on."""
+        return self.enabled.get(policy_id, False)
+
+    def source_is_tainted(self, source: str) -> bool:
+        """True if the input channel is untrusted."""
+        return self.tainted_sources.get(source, False)
+
+
+class PolicyConfigError(ValueError):
+    """Malformed policy configuration text."""
+
+
+def parse_policy_config(text: str) -> PolicyConfig:
+    """Parse the configuration-file format described in the paper."""
+    config = PolicyConfig()
+    section = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            section = line[1:-1].strip().lower()
+            if section not in ("sources", "policies", "settings"):
+                raise PolicyConfigError(f"line {line_no}: unknown section [{section}]")
+            continue
+        if "=" not in line or section is None:
+            raise PolicyConfigError(f"line {line_no}: expected key = value inside a section")
+        key, value = (part.strip() for part in line.split("=", 1))
+        if section == "sources":
+            flag = value.lower() in ("tainted", "taint", "untrusted", "on", "true", "yes")
+            config.tainted_sources[key.lower()] = flag
+        elif section == "policies":
+            pid = key.upper()
+            if pid not in POLICY_BY_ID:
+                raise PolicyConfigError(f"line {line_no}: unknown policy {key!r}")
+            config.enabled[pid] = value.lower() in ("on", "true", "yes", "1")
+        else:  # settings
+            if key == "document_root":
+                config.settings.document_root = value
+            else:
+                raise PolicyConfigError(f"line {line_no}: unknown setting {key!r}")
+    return config
+
+
+def format_table1() -> str:
+    """Render the policy catalogue as the paper's Table 1."""
+    header = f"{'Policy':<7} {'Attacks to Detect':<30} Description"
+    lines = [header, "-" * len(header)]
+    for policy in TABLE1:
+        lines.append(f"{policy.policy_id:<7} {policy.attack:<30} {policy.description}")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Tests for the ablation options (natgen granularity, flat translation)."""
+
+import pytest
+
+from repro.compiler.codegen import FunctionCode
+from repro.compiler.instrument import ShiftOptions, instrument_function
+from repro.isa import parse_instruction
+from repro.isa.instruction import Instruction, ROLE_NATGEN
+from tests.conftest import run_minic
+
+TAINT_SRC = """
+native int read(int fd, char *buf, int n);
+native int is_tainted(char *p);
+char src[32];
+char dst[32];
+int main() {
+    read(0, src, 16);
+    int i = 0;
+    while (src[i]) { dst[i] = src[i]; i++; }
+    return is_tainted(dst);
+}
+"""
+
+
+def ops_of(lines, options):
+    items = [parse_instruction(line) for line in lines]
+    out = instrument_function(FunctionCode(name="t", items=items), options)
+    return [i for i in out.items if isinstance(i, Instruction)]
+
+
+class TestNatgenGranularity:
+    def test_per_use_emits_natgen_at_sites(self):
+        out = ops_of(["ld8 r14 = [r15]"], ShiftOptions(granularity=1, natgen="use"))
+        natgen = [i for i in out if i.role == ROLE_NATGEN]
+        # No prologue natgen, but the taint-set site manufactures one.
+        assert len(natgen) == 2
+        assert out[0].role != ROLE_NATGEN
+
+    def test_global_emits_none_in_function(self):
+        out = ops_of(["ld8 r14 = [r15]"], ShiftOptions(granularity=1, natgen="global"))
+        assert all(i.role != ROLE_NATGEN for i in out)
+
+    def test_global_natgen_lives_in_start(self):
+        from repro.core.shift import compile_protected
+        compiled = compile_protected("int main() { return 0; }",
+                                     ShiftOptions(granularity=1, natgen="global"),
+                                     include_libc=False)
+        start, end = compiled.program.functions["_start"]
+        ops = [i.op for i in compiled.program.code[start:end]]
+        assert "ld8.s" in ops
+
+    def test_bad_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftOptions(natgen="per-basic-block")
+
+    @pytest.mark.parametrize("natgen", ["use", "function", "global"])
+    def test_taint_flow_correct_under_all_granularities(self, natgen):
+        machine = run_minic(TAINT_SRC, ShiftOptions(granularity=1, natgen=natgen),
+                            stdin=b"tainted-stuff")
+        assert machine.exit_code == 1
+
+
+class TestFlatTranslation:
+    def test_shorter_tag_computation(self):
+        full = ops_of(["ld8 r14 = [r15]"], ShiftOptions(granularity=1))
+        flat = ops_of(["ld8 r14 = [r15]"],
+                      ShiftOptions(granularity=1, fast_tag_translation=True))
+        assert len(flat) < len(full)
+
+    @pytest.mark.parametrize("granularity", [1, 8])
+    def test_taint_flow_correct_with_flat_translation(self, granularity):
+        machine = run_minic(
+            TAINT_SRC,
+            ShiftOptions(granularity=granularity, fast_tag_translation=True),
+            stdin=b"tainted-stuff!!!",
+        )
+        assert machine.exit_code == 1
+
+    def test_detection_still_works_flat(self):
+        from repro.taint.engine import SecurityAlert
+        source = """
+        native int read(int fd, char *buf, int n);
+        char src[16];
+        int main() {
+            read(0, src, 8);
+            int *p = (int *)atoi(src);
+            *p = 1;
+            return 0;
+        }
+        """
+        with pytest.raises(SecurityAlert) as excinfo:
+            run_minic(source, ShiftOptions(granularity=1, fast_tag_translation=True),
+                      stdin=b"4611686018427387904")
+        assert excinfo.value.policy_id == "L2"

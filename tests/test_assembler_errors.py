@@ -1,0 +1,76 @@
+"""Assembler error handling and diagnostics."""
+
+import pytest
+
+from repro.isa import AssemblerError, assemble, parse_instruction
+
+
+class TestDiagnostics:
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("""
+            func main:
+                nop
+                frobnicate r1 = r2
+            endfunc
+            """)
+        assert excinfo.value.line_no == 4
+        assert "frobnicate" in str(excinfo.value)
+
+    def test_endfunc_without_func(self):
+        with pytest.raises(AssemblerError, match="endfunc outside"):
+            assemble("endfunc")
+
+    def test_nested_func(self):
+        with pytest.raises(AssemblerError, match="nested"):
+            assemble("func a:\nfunc b:\nendfunc\nendfunc")
+
+    def test_malformed_store_address(self):
+        with pytest.raises(AssemblerError):
+            assemble("func main:\n    st8 r12 = r15\nendfunc")
+
+    def test_malformed_load_address(self):
+        with pytest.raises(ValueError):
+            parse_instruction("ld8 r14 = r13")
+
+    def test_compare_needs_two_predicates(self):
+        with pytest.raises(ValueError, match="two predicate"):
+            parse_instruction("cmp.eq p6 = r14, r15")
+
+    def test_compare_rejects_gr_targets(self):
+        with pytest.raises(ValueError):
+            parse_instruction("cmp.eq r6, r7 = r14, r15")
+
+    def test_chk_needs_two_operands(self):
+        with pytest.raises(ValueError, match="chk.s"):
+            parse_instruction("chk.s r15")
+
+    def test_alu_rejects_two_immediates(self):
+        with pytest.raises(ValueError, match="immediate"):
+            parse_instruction("add r14 = 1, 2")
+
+    def test_missing_equals(self):
+        with pytest.raises(ValueError, match="'='"):
+            parse_instruction("add r14, r15, r16")
+
+
+class TestDataDirective:
+    def test_data_with_hex_escape(self):
+        program = assemble('data blob, 4, "\\x01\\x02"\nfunc main:\n    nop\nendfunc')
+        assert program.data[0].init == b"\x01\x02"
+
+    def test_data_too_small_for_init(self):
+        with pytest.raises(ValueError):
+            assemble('data tiny, 2, "toolong"\nfunc main:\n    nop\nendfunc')
+
+
+class TestImmediateForms:
+    def test_negative_immediate(self):
+        instr = parse_instruction("adds r14 = -8192, r12")
+        assert instr.imm == -8192
+
+    def test_hex_immediate(self):
+        assert parse_instruction("movl r14 = 0xdeadbeef").imm == 0xDEADBEEF
+
+    def test_break_default_zero(self):
+        assert parse_instruction("break").imm == 0

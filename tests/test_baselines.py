@@ -1,0 +1,93 @@
+"""Baseline-comparator tests: LIFT-style mode and the interpreter model."""
+
+import pytest
+
+from repro.baselines import LIFT_MODE, InterpreterModel, LiftOptions
+from repro.baselines.lift import lift_instrument_function
+from repro.compiler.codegen import FunctionCode
+from repro.compiler.instrument import UNINSTRUMENTED
+from repro.cpu.perf import PerfCounters
+from repro.isa import parse_instruction
+from repro.isa.instruction import Instruction, ROLE_LIFT
+from tests.conftest import minic_result, run_minic
+
+PROGRAM = """
+int work(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) s += i * 3 - (s >> 2);
+    return s;
+}
+int main() { return work(40) & 0xff; }
+"""
+
+
+class TestLiftPass:
+    def _ops(self, lines, options=None):
+        items = [parse_instruction(line) for line in lines]
+        out = lift_instrument_function(FunctionCode(name="t", items=items), options)
+        return [i for i in out.items if isinstance(i, Instruction)]
+
+    def test_alu_gets_shadow_ops(self):
+        out = self._ops(["add r14 = r15, r16"])
+        lift_ops = [i for i in out if i.role == ROLE_LIFT]
+        assert len(lift_ops) == LiftOptions().alu_tag_ops
+
+    def test_load_gets_shadow_lookup(self):
+        out = self._ops(["ld8 r14 = [r15]"])
+        assert any(i.op == "ld1" and i.role == ROLE_LIFT for i in out)
+
+    def test_store_gets_shadow_update(self):
+        out = self._ops(["st8 [r15] = r14"])
+        assert any(i.op == "st1" and i.role == ROLE_LIFT for i in out)
+
+    def test_compare_gets_checks(self):
+        out = self._ops(["cmp.eq p6, p7 = r14, r15"])
+        checks = [i for i in out if i.role == ROLE_LIFT]
+        assert len(checks) == LiftOptions().cmp_check_ops
+
+    def test_semantics_preserved(self):
+        base = minic_result(PROGRAM, UNINSTRUMENTED, include_libc=False)
+        lifted = minic_result(PROGRAM, LIFT_MODE, include_libc=False)
+        assert lifted == base
+
+    def test_lift_slower_than_native(self):
+        base = run_minic(PROGRAM, UNINSTRUMENTED, include_libc=False)
+        lifted = run_minic(PROGRAM, LIFT_MODE, include_libc=False)
+        assert lifted.counters.cycles > base.counters.cycles * 1.5
+
+    def test_lift_slower_than_shift(self):
+        from tests.conftest import WORD_PERMISSIVE
+        shift = run_minic(PROGRAM, WORD_PERMISSIVE, include_libc=False)
+        lifted = run_minic(PROGRAM, LIFT_MODE, include_libc=False)
+        assert lifted.counters.cycles > shift.counters.cycles
+
+
+class TestInterpreterModel:
+    def _counters(self, instructions=1000, loads=200, stores=100, branches=50):
+        counters = PerfCounters()
+        counters.instructions = instructions
+        counters.loads = loads
+        counters.stores = stores
+        counters.branches_taken = branches
+        counters.issue_cycles = instructions / 3
+        return counters
+
+    def test_estimate_scales_with_instructions(self):
+        model = InterpreterModel()
+        small = model.estimate_cycles(self._counters(instructions=1000))
+        big = model.estimate_cycles(self._counters(instructions=10000))
+        assert big > small * 5
+
+    def test_slowdown_far_above_shift(self):
+        model = InterpreterModel()
+        slowdown = model.slowdown(self._counters())
+        assert slowdown > 10
+
+    def test_io_time_carries_over(self):
+        model = InterpreterModel()
+        counters = self._counters()
+        counters.add_io_cycles(1_000_000)
+        assert model.estimate_cycles(counters) > 1_000_000
+
+    def test_zero_baseline_handled(self):
+        assert InterpreterModel().slowdown(PerfCounters()) == 1.0

@@ -1,0 +1,62 @@
+"""ASCII chart rendering tests."""
+
+from repro.harness.charts import bar_chart, figure7_chart, figure8_chart, figure9_chart
+from repro.harness.figure7 import Figure7Result, Figure7Row
+from repro.harness.figure8 import Figure8Result, Figure8Row
+from repro.harness.figure9 import Figure9Result, Figure9Row
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        text = bar_chart([("alpha", {"a": 2.0, "b": 1.0})], title="T", unit="X")
+        assert "T" in text
+        assert "2.00X" in text and "1.00X" in text
+        assert "alpha" in text
+
+    def test_bars_scale_with_values(self):
+        text = bar_chart([("g", {"a": 4.0}), ("h", {"a": 1.0})], width=40)
+        lines = [l for l in text.splitlines() if "|" in l]
+        long_bar = lines[0].split("|")[1].split()[0]
+        short_bar = lines[1].split("|")[1].split()[0]
+        assert len(long_bar) > 3 * len(short_bar)
+
+    def test_series_glyphs_differ(self):
+        text = bar_chart([("g", {"a": 1.0, "b": 1.0})])
+        bars = [l.split("|")[1][0] for l in text.splitlines() if "|" in l]
+        assert bars[0] != bars[1]
+
+    def test_baseline_tick(self):
+        text = bar_chart([("g", {"a": 2.0})], baseline=1.0)
+        assert "^ 1X" in text
+
+    def test_empty_groups(self):
+        assert bar_chart([]) .strip() != None  # no crash
+
+
+class TestFigureCharts:
+    def test_figure7_chart(self):
+        result = Figure7Result(rows=[
+            Figure7Row("gzip", 2.5, 2.0, 2.2, 1.9),
+            Figure7Row("mcf", 1.4, 1.3, 1.35, 1.25),
+        ], scale="test")
+        text = figure7_chart(result)
+        assert "gzip" in text and "mcf" in text
+        assert "2.50X" in text
+
+    def test_figure8_chart(self):
+        result = Figure8Result(rows=[
+            Figure8Row("gzip", "byte", 2.5, 2.3, 1.8),
+            Figure8Row("gzip", "word", 2.2, 2.1, 1.6),
+        ], scale="test")
+        text = figure8_chart(result, "byte")
+        assert "+both" in text
+        assert "1.80X" in text
+        assert "1.60X" not in text  # word row excluded
+
+    def test_figure9_chart(self):
+        result = Figure9Result(rows=[
+            Figure9Row("gzip", "byte", 0.6, 0.05, 0.1, 0.01, 0.5),
+        ], scale="test")
+        text = figure9_chart(result, "byte")
+        assert "ld compute" in text
+        assert "0.60x base" in text

@@ -1,0 +1,51 @@
+"""Code-size accounting tests (Table 3 machinery)."""
+
+from repro.compiler.codesize import CodeSize, expansion_percent, instructions_to_bytes
+from repro.core.shift import compile_protected
+from repro.compiler.instrument import ShiftOptions, UNINSTRUMENTED
+
+BYTE = ShiftOptions(granularity=1)
+WORD = ShiftOptions(granularity=8)
+
+SOURCE = """
+int data[32];
+int main() {
+    int s = 0;
+    for (int i = 0; i < 32; i++) { data[i] = i; s += data[i]; }
+    return s & 0xff;
+}
+"""
+
+
+class TestBundleMath:
+    def test_three_per_bundle(self):
+        assert instructions_to_bytes(3) == 16
+        assert instructions_to_bytes(4) == 32
+        assert instructions_to_bytes(6) == 32
+        assert instructions_to_bytes(0) == 0
+
+    def test_expansion_percent(self):
+        base = CodeSize(instructions=30, bytes=160)
+        bigger = CodeSize(instructions=90, bytes=480)
+        assert expansion_percent(base, bigger) == 200.0
+
+    def test_codesize_of_compiled(self):
+        compiled = compile_protected(SOURCE, UNINSTRUMENTED, include_libc=False)
+        size = CodeSize.of(compiled)
+        assert size.instructions == compiled.total_instructions
+        assert size.bytes == instructions_to_bytes(size.instructions)
+
+
+class TestExpansionOrdering:
+    def test_none_smaller_than_word_smaller_than_byte(self):
+        sizes = {}
+        for label, options in (("none", UNINSTRUMENTED), ("word", WORD), ("byte", BYTE)):
+            compiled = compile_protected(SOURCE, options, include_libc=False)
+            sizes[label] = CodeSize.of(compiled).bytes
+        assert sizes["none"] < sizes["word"] < sizes["byte"]
+
+    def test_enhancements_shrink_code(self):
+        enhanced = ShiftOptions(granularity=1, enh_set_clear=True, enh_nat_cmp=True)
+        plain = compile_protected(SOURCE, BYTE, include_libc=False)
+        smaller = compile_protected(SOURCE, enhanced, include_libc=False)
+        assert CodeSize.of(smaller).bytes < CodeSize.of(plain).bytes

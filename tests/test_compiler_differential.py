@@ -1,0 +1,168 @@
+"""Differential testing: MiniC programs vs a Python reference evaluator.
+
+Hypothesis generates random expression trees and statement sequences;
+each is compiled and executed on the simulator and compared against
+C-semantics evaluation done in Python (64-bit two's-complement wraparound,
+truncating division, arithmetic right shift).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import minic_result
+
+MASK64 = (1 << 64) - 1
+
+
+def to_signed(value):
+    value &= MASK64
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def c_div(a, b):
+    if b == 0:
+        return 0  # simulator defines x/0 = 0
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def c_mod(a, b):
+    if b == 0:
+        return 0
+    r = abs(a) % abs(b)
+    return -r if a < 0 else r
+
+
+def c_shl(a, b):
+    return to_signed(a << b) if 0 <= b < 64 else 0
+
+
+def c_shr(a, b):
+    return a >> min(b, 63) if b >= 0 else 0
+
+
+# --- expression tree generation -------------------------------------------
+
+_LEAF = st.integers(min_value=-1000, max_value=1000)
+
+_BINOPS = {
+    "+": lambda a, b: to_signed(a + b),
+    "-": lambda a, b: to_signed(a - b),
+    "*": lambda a, b: to_signed(a * b),
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+}
+
+
+def _tree(depth):
+    if depth == 0:
+        return _LEAF
+    sub = _tree(depth - 1)
+    return st.one_of(
+        _LEAF,
+        st.tuples(st.sampled_from(sorted(_BINOPS)), sub, sub),
+        st.tuples(st.just("/"), sub, st.integers(min_value=1, max_value=50)),
+        st.tuples(st.just("%"), sub, st.integers(min_value=1, max_value=50)),
+        st.tuples(st.just("<<"), sub, st.integers(min_value=0, max_value=20)),
+        st.tuples(st.just(">>"), sub, st.integers(min_value=0, max_value=20)),
+        st.tuples(st.just("neg"), sub),
+    )
+
+
+def render(node):
+    if isinstance(node, int):
+        return f"({node})" if node < 0 else str(node)
+    if node[0] == "neg":
+        return f"(-{render(node[1])})"
+    op, left, right = node
+    return f"({render(left)} {op} {render(right)})"
+
+
+def evaluate(node):
+    if isinstance(node, int):
+        return node
+    if node[0] == "neg":
+        return to_signed(-evaluate(node[1]))
+    op, left, right = node
+    a = evaluate(left)
+    b = right if isinstance(right, int) else evaluate(right)
+    if op in _BINOPS:
+        return _BINOPS[op](a, b)
+    if op == "/":
+        return c_div(a, b)
+    if op == "%":
+        return c_mod(a, b)
+    if op == "<<":
+        return c_shl(a, b)
+    if op == ">>":
+        return c_shr(a, b)
+    raise AssertionError(op)
+
+
+class TestExpressionDifferential:
+    @settings(max_examples=40, deadline=None)
+    @given(_tree(3))
+    def test_random_expression_matches_reference(self, tree):
+        expected = evaluate(tree) & MASK64
+        source = f"int main() {{ return {render(tree)}; }}"
+        result = minic_result(source, include_libc=False)
+        assert result == expected, source
+
+
+class TestStatementDifferential:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # target var
+                st.sampled_from(["=", "+=", "-=", "*="]),
+                st.integers(min_value=0, max_value=3),  # source var
+                st.integers(min_value=-50, max_value=50),  # constant
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_assignment_sequences_match_reference(self, steps):
+        env = [1, 2, 3, 4]
+        lines = ["int a = 1;", "int b = 2;", "int c = 3;", "int d = 4;"]
+        names = "abcd"
+        for target, op, source, constant in steps:
+            lines.append(f"{names[target]} {op} {names[source]} + {constant};")
+            value = env[source] + constant
+            if op == "=":
+                env[target] = value
+            elif op == "+=":
+                env[target] = to_signed(env[target] + value)
+            elif op == "-=":
+                env[target] = to_signed(env[target] - value)
+            else:
+                env[target] = to_signed(env[target] * value)
+        lines.append("return (a ^ b ^ c ^ d) & 0xffff;")
+        expected = (env[0] ^ env[1] ^ env[2] ^ env[3]) & 0xFFFF
+        source_text = "int main() {\n" + "\n".join(lines) + "\n}"
+        assert minic_result(source_text, include_libc=False) == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=12),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_array_sum_loop_matches_reference(self, values, window):
+        n = len(values)
+        init = ", ".join(str(v) for v in values)
+        source = f"""
+        int data[{n}] = {{{init}}};
+        int main() {{
+            int s = 0;
+            for (int i = 0; i < {n}; i++) {{
+                if (i % {window} == 0) s += data[i] * 2;
+                else s -= data[i];
+            }}
+            return s & 0xffff;
+        }}
+        """
+        expected = 0
+        for i, v in enumerate(values):
+            expected = expected + 2 * v if i % window == 0 else expected - v
+        assert minic_result(source, include_libc=False) == expected & 0xFFFF

@@ -1,0 +1,215 @@
+"""Compiler edge cases: register pressure, aliasing, tricky semantics."""
+
+import pytest
+
+from tests.conftest import minic_result, run_minic
+
+
+def expect(source, value, **kwargs):
+    assert minic_result(source, include_libc=False, **kwargs) == value
+
+
+class TestRegisterPressure:
+    def test_deep_expression_tree(self):
+        # A single expression with many simultaneously-live temporaries.
+        expr = "((1+2)*(3+4)) + ((5+6)*(7+8)) + ((9+10)*(11+12)) + ((13+14)*(15+16))"
+        total = ((1+2)*(3+4)) + ((5+6)*(7+8)) + ((9+10)*(11+12)) + ((13+14)*(15+16))
+        expect(f"int main() {{ return {expr}; }}", total)
+
+    def test_deep_tree_with_variables(self):
+        decls = "".join(f"int v{i} = {i + 1};" for i in range(16))
+        expr = " + ".join(f"(v{i} * v{(i + 1) % 16})" for i in range(16))
+        total = sum((i + 1) * (((i + 1) % 16) + 1) for i in range(16))
+        expect(f"int main() {{ {decls} return {expr}; }}", total)
+
+    def test_spilled_values_across_calls(self):
+        decls = "".join(f"int v{i} = {i};" for i in range(20))
+        uses = "+".join(f"v{i}" for i in range(20))
+        expect(f"""
+        int id(int x) {{ return x; }}
+        int main() {{
+            {decls}
+            int mid = id(100);
+            return {uses} + mid;
+        }}
+        """, sum(range(20)) + 100)
+
+    def test_recursion_with_pressure(self):
+        expect("""
+        int f(int n) {
+            int a = n + 1; int b = n + 2; int c = n + 3; int d = n + 4;
+            int e = n + 5; int g = n + 6; int h = n + 7; int i = n + 8;
+            if (n == 0) return a + b + c + d + e + g + h + i;
+            return f(n - 1) + a - a + i - i;
+        }
+        int main() { return f(6); }
+        """, 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8)
+
+
+class TestAliasing:
+    def test_load_dest_aliases_address(self):
+        # ld8 rX = [rX]: instrumentation must linearise before the load.
+        expect("""
+        int cell = 123;
+        int main() {
+            int *p = &cell;
+            int **pp = (int **)&p;
+            int *q = *pp;        // pointer loaded through itself-ish chain
+            return *q;
+        }
+        """, 123)
+
+    def test_store_value_aliases_address_region(self):
+        expect("""
+        int a[2];
+        int main() {
+            int *p = a;
+            *p = (int)p & 0xff;
+            return a[0] == ((int)p & 0xff);
+        }
+        """, 1)
+
+    def test_overlapping_global_writes(self):
+        expect("""
+        char buf[16];
+        int main() {
+            int *words = (int *)buf;
+            words[0] = 0x4142434445464748;
+            return buf[0];   // little-endian low byte
+        }
+        """, 0x48)
+
+
+class TestSemanticCorners:
+    def test_char_sign_extension_in_compare(self):
+        expect("""
+        char buf[2];
+        int main() {
+            buf[0] = (char)200;     // negative as signed char
+            if (buf[0] < 0) return 1;
+            return 0;
+        }
+        """, 1)
+
+    def test_shift_by_variable(self):
+        expect("""
+        int main() {
+            int n = 0;
+            for (int i = 0; i < 8; i++) n |= (1 << i);
+            return n;
+        }
+        """, 255)
+
+    def test_modulo_negative(self):
+        expect("int main() { int a = -7; return a % 3 + 10; }", 9)
+
+    def test_logical_not_of_comparison(self):
+        expect("int main() { return !(3 > 5) + !(5 > 3) * 10; }", 1)
+
+    def test_assignment_value_chains(self):
+        expect("""
+        int main() {
+            int a; int b; int c;
+            a = b = c = 5;
+            return a + b + c;
+        }
+        """, 15)
+
+    def test_compound_assign_on_array_element(self):
+        expect("""
+        int t[4] = {1, 2, 3, 4};
+        int main() {
+            t[2] *= t[1] + 1;
+            return t[2];
+        }
+        """, 9)
+
+    def test_break_from_inner_loop_only(self):
+        expect("""
+        int main() {
+            int hits = 0;
+            for (int i = 0; i < 3; i++) {
+                for (int j = 0; j < 10; j++) {
+                    if (j == 2) break;
+                    hits++;
+                }
+            }
+            return hits;
+        }
+        """, 6)
+
+    def test_continue_in_while(self):
+        expect("""
+        int main() {
+            int i = 0; int odd = 0;
+            while (i < 10) {
+                i++;
+                if (i % 2 == 0) continue;
+                odd++;
+            }
+            return odd;
+        }
+        """, 5)
+
+    def test_empty_function_body_blocks(self):
+        expect("""
+        void nothing(int x) { }
+        int main() {
+            nothing(1);
+            { }
+            return 7;
+        }
+        """, 7)
+
+    def test_shadowing_in_nested_scopes(self):
+        expect("""
+        int main() {
+            int x = 1;
+            {
+                int x = 2;
+                {
+                    int x = 3;
+                    if (x != 3) return 100;
+                }
+                if (x != 2) return 200;
+            }
+            return x;
+        }
+        """, 1)
+
+    def test_large_immediates(self):
+        expect("""
+        int main() {
+            int big = 0x7fffffffffff;
+            return (big >> 40) & 0xff;
+        }
+        """, 0x7F)
+
+    def test_sixty_four_bit_wraparound(self):
+        expect("""
+        int main() {
+            int x = 0x7fffffffffffffff;
+            x = x + 1;            // wraps to INT64_MIN
+            return x < 0;
+        }
+        """, 1)
+
+
+class TestInstrumentedEdgeCases:
+    """The same corners must survive instrumentation unchanged."""
+
+    @pytest.mark.parametrize("source,value", [
+        ("int main() { int a = -7; return a % 3 + 10; }", 9),
+        ("""
+         char buf[16];
+         int main() {
+             int *words = (int *)buf;
+             words[0] = 0x0102030405060708;
+             int s = 0;
+             for (int i = 0; i < 8; i++) s += buf[i];
+             return s;
+         }
+         """, sum(range(1, 9))),
+    ])
+    def test_instrumented_matches(self, source, value, any_mode):
+        assert minic_result(source, any_mode, include_libc=False) == value

@@ -1,0 +1,322 @@
+"""End-to-end MiniC execution semantics.
+
+Every test runs a small program through the full pipeline (parse -> IR
+-> regalloc -> codegen -> load -> execute) and checks the exit code.
+The ``any_mode`` fixture re-runs a representative subset under byte- and
+word-level instrumentation, asserting instrumentation never changes
+program results.
+"""
+
+import pytest
+
+from tests.conftest import minic_result, run_minic
+
+
+def expect(source, value, **kwargs):
+    assert minic_result(source, include_libc=False, **kwargs) == value
+
+
+class TestArithmetic:
+    def test_constant_return(self):
+        expect("int main() { return 42; }", 42)
+
+    def test_precedence(self):
+        expect("int main() { return 2 + 3 * 4; }", 14)
+
+    def test_division_and_modulo(self):
+        expect("int main() { return 17 / 5 * 100 + 17 % 5; }", 302)
+
+    def test_bitwise(self):
+        expect("int main() { return (0xf0 | 0x0f) & 0x3c ^ 0x01; }", 0x3D)
+
+    def test_shifts(self):
+        expect("int main() { return (1 << 6) + (256 >> 4); }", 80)
+
+    def test_unary_minus_and_not(self):
+        expect("int main() { return -(-5) + ~0 + !0 + !7; }", 5)
+
+    def test_char_arithmetic(self):
+        expect("int main() { char c = 'a'; return c + 2 - 'a'; }", 2)
+
+    def test_negative_division_truncates_toward_zero(self):
+        expect("int main() { int a = -7; return a / 2 + 10; }", 7)
+
+    def test_cast_to_char_truncates(self):
+        expect("int main() { int x = 0x141; return (char)x; }", 0x41)
+
+    def test_sizeof(self):
+        expect("int main() { return sizeof(int) + sizeof(char) + sizeof(char*); }", 17)
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        expect("""
+        int main() {
+            int x = 7;
+            if (x > 10) { return 1; } else if (x > 5) { return 2; }
+            return 3;
+        }
+        """, 2)
+
+    def test_while_loop(self):
+        expect("""
+        int main() {
+            int i = 0; int s = 0;
+            while (i < 10) { s += i; i++; }
+            return s;
+        }
+        """, 45)
+
+    def test_for_loop_with_break_continue(self):
+        expect("""
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 100; i++) {
+                if (i % 2) continue;
+                if (i > 10) break;
+                s += i;
+            }
+            return s;
+        }
+        """, 30)
+
+    def test_nested_loops(self):
+        expect("""
+        int main() {
+            int total = 0;
+            for (int i = 0; i < 5; i++)
+                for (int j = 0; j < 5; j++)
+                    if (i != j) total++;
+            return total;
+        }
+        """, 20)
+
+    def test_short_circuit_and(self):
+        expect("""
+        int g;
+        int bump() { g++; return 0; }
+        int main() { int x = 0 && bump(); return g * 10 + x; }
+        """, 0)
+
+    def test_short_circuit_or(self):
+        expect("""
+        int g;
+        int bump() { g++; return 1; }
+        int main() { int x = 1 || bump(); return g * 10 + x; }
+        """, 1)
+
+    def test_comparison_yields_bool(self):
+        expect("int main() { return (3 < 5) + (5 < 3) * 10; }", 1)
+
+
+class TestFunctions:
+    def test_call_with_args(self):
+        expect("""
+        int add3(int a, int b, int c) { return a + b + c; }
+        int main() { return add3(1, 2, 3); }
+        """, 6)
+
+    def test_recursion(self):
+        expect("""
+        int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }
+        int main() { return fact(5); }
+        """, 120)
+
+    def test_mutual_recursion(self):
+        expect("""
+        int is_odd(int n);
+        int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+        int main() { return is_even(10) * 10 + is_odd(7); }
+        """, 11)
+
+    def test_void_function(self):
+        expect("""
+        int g;
+        void set(int v) { g = v; }
+        int main() { set(9); return g; }
+        """, 9)
+
+    def test_many_locals_force_spills(self):
+        # More live values than allocatable registers.
+        decls = "".join(f"int v{i} = {i};" for i in range(30))
+        total = "+".join(f"v{i}" for i in range(30))
+        expect(f"int main() {{ {decls} return {total}; }}", sum(range(30)))
+
+    def test_deep_call_chain(self):
+        expect("""
+        int step(int n) { if (n == 0) return 0; return 1 + step(n - 1); }
+        int main() { return step(50); }
+        """, 50)
+
+    def test_eight_arguments(self):
+        expect("""
+        int f(int a, int b, int c, int d, int e, int g, int h, int i) {
+            return a + b * 2 + c + d + e + g + h + i;
+        }
+        int main() { return f(1, 2, 3, 4, 5, 6, 7, 8); }
+        """, 38)
+
+    def test_indirect_call(self):
+        expect("""
+        int twice(int x) { return 2 * x; }
+        int main() { int fp = (int)&twice; return __icall(fp, 21); }
+        """, 42)
+
+
+class TestPointersAndArrays:
+    def test_global_array(self):
+        expect("""
+        int table[8];
+        int main() {
+            for (int i = 0; i < 8; i++) table[i] = i * i;
+            return table[5];
+        }
+        """, 25)
+
+    def test_initialised_global_array(self):
+        expect("""
+        int primes[4] = {2, 3, 5, 7};
+        int main() { return primes[0] + primes[3]; }
+        """, 9)
+
+    def test_local_array(self):
+        expect("""
+        int main() {
+            char buf[8];
+            buf[0] = 'A';
+            buf[1] = buf[0] + 1;
+            return buf[1];
+        }
+        """, ord("B"))
+
+    def test_pointer_deref_and_addrof(self):
+        expect("""
+        int main() {
+            int x = 5;
+            int *p = &x;
+            *p = *p + 2;
+            return x;
+        }
+        """, 7)
+
+    def test_pointer_arithmetic_scales(self):
+        expect("""
+        int a[4] = {10, 20, 30, 40};
+        int main() {
+            int *p = a;
+            p = p + 2;
+            return *p;
+        }
+        """, 30)
+
+    def test_pointer_difference(self):
+        expect("""
+        int a[8];
+        int main() {
+            int *p = &a[6];
+            int *q = &a[1];
+            return p - q;
+        }
+        """, 5)
+
+    def test_char_pointer_walk(self):
+        expect("""
+        char s[8] = "abc";
+        int main() {
+            char *p = s;
+            int n = 0;
+            while (*p) { n++; p++; }
+            return n;
+        }
+        """, 3)
+
+    def test_string_literal(self):
+        expect("""
+        int main() {
+            char *s = "hi!";
+            return s[0] + s[2] - s[0];
+        }
+        """, ord("!") - 0)
+
+    def test_address_taken_local(self):
+        expect("""
+        void bump(int *p) { *p = *p + 1; }
+        int main() {
+            int x = 41;
+            bump(&x);
+            return x;
+        }
+        """, 42)
+
+    def test_global_scalar_assignment(self):
+        expect("""
+        int g = 7;
+        int main() { g += 3; return g; }
+        """, 10)
+
+    def test_incdec_on_memory(self):
+        expect("""
+        int a[2] = {5, 0};
+        int main() {
+            a[1] = a[0]++;
+            return a[0] * 10 + a[1];
+        }
+        """, 65)
+
+    def test_prefix_vs_postfix(self):
+        expect("""
+        int main() {
+            int i = 3;
+            int a = i++;
+            int b = ++i;
+            return a * 10 + b;
+        }
+        """, 35)
+
+
+class TestModesAgree:
+    """Instrumentation must never change program results."""
+
+    SOURCE = """
+    native int read(int fd, char *buf, int n);
+    char data[64];
+    int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+    int main() {
+        int n = read(0, data, 32);
+        int acc = fib(10);
+        for (int i = 0; i < n; i++) acc += data[i] * (i + 1);
+        int *p = (int *)data;
+        acc += (int)(*p & 0xff);
+        return acc % 251;
+    }
+    """
+
+    def test_same_result_all_modes(self, any_mode):
+        result = minic_result(self.SOURCE, any_mode, stdin=b"speculative hardware")
+        baseline = minic_result(self.SOURCE, stdin=b"speculative hardware")
+        assert result == baseline
+
+
+class TestDiagnostics:
+    def test_undefined_variable(self):
+        from repro.compiler.errors import CompileError
+        with pytest.raises(CompileError, match="undefined identifier"):
+            minic_result("int main() { return nope; }", include_libc=False)
+
+    def test_undeclared_function(self):
+        from repro.compiler.errors import CompileError
+        with pytest.raises(CompileError, match="undeclared function"):
+            minic_result("int main() { return mystery(1); }", include_libc=False)
+
+    def test_wrong_arity(self):
+        from repro.compiler.errors import CompileError
+        with pytest.raises(CompileError, match="expects"):
+            minic_result("""
+            int f(int a) { return a; }
+            int main() { return f(1, 2); }
+            """, include_libc=False)
+
+    def test_missing_main(self):
+        with pytest.raises(ValueError, match="no main"):
+            minic_result("int helper() { return 1; }", include_libc=False)

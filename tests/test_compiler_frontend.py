@@ -1,0 +1,195 @@
+"""Lexer and parser tests for MiniC."""
+
+import pytest
+
+from repro.compiler import ast_nodes as ast
+from repro.compiler.errors import CompileError
+from repro.compiler.lexer import tokenize
+from repro.compiler.parser import parse
+
+
+class TestLexer:
+    def test_keywords_and_idents(self):
+        kinds = [t.kind for t in tokenize("int foo while whilex")]
+        assert kinds == ["int", "ident", "while", "ident", "eof"]
+
+    def test_numbers(self):
+        tokens = tokenize("42 0x1f 0")
+        assert [t.value for t in tokens[:-1]] == [42, 31, 0]
+
+    def test_string_escapes(self):
+        token = tokenize(r'"a\n\t\\\x41"')[0]
+        assert token.value == "a\n\t\\A"
+
+    def test_char_literal(self):
+        token = tokenize("'z'")[0]
+        assert token.kind == "charlit"
+        assert token.value == ord("z")
+
+    def test_char_escape(self):
+        assert tokenize(r"'\n'")[0].value == 10
+
+    def test_operators_longest_match(self):
+        ops = [t.value for t in tokenize("a <<= b << c <= d") if t.kind == "op"]
+        assert ops == ["<<=", "<<", "<="]
+
+    def test_comments(self):
+        tokens = tokenize("a // line\n/* block\nstill */ b")
+        idents = [t.value for t in tokens if t.kind == "ident"]
+        assert idents == ["a", "b"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_bad_character(self):
+        with pytest.raises(CompileError):
+            tokenize("a @ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(CompileError):
+            tokenize('"abc')
+
+
+class TestParserTopLevel:
+    def test_function_def(self):
+        unit = parse("int add(int a, int b) { return a + b; }")
+        func = unit.functions[0]
+        assert func.name == "add"
+        assert len(func.params) == 2
+        assert func.body is not None
+
+    def test_prototype(self):
+        unit = parse("int f(int x);")
+        assert unit.functions[0].body is None
+
+    def test_native_declaration(self):
+        unit = parse("native int read(int fd, char *buf, int n);")
+        assert unit.functions[0].is_native
+
+    def test_global_scalar(self):
+        unit = parse("int counter = 5;")
+        glob = unit.globals[0]
+        assert glob.name == "counter"
+        assert glob.init.value == 5
+
+    def test_global_array_with_string(self):
+        unit = parse('char banner[16] = "hi";')
+        assert unit.globals[0].ctype.is_array
+        assert unit.globals[0].init.value == b"hi"
+
+    def test_global_int_array_braces(self):
+        unit = parse("int t[3] = {1, -2, 3};")
+        assert [n.value for n in unit.globals[0].init] == [1, -2, 3]
+
+    def test_pointer_types(self):
+        unit = parse("char **argv;")
+        ctype = unit.globals[0].ctype
+        assert ctype.is_pointer and ctype.pointee.is_pointer
+
+    def test_void_params(self):
+        unit = parse("int f(void) { return 0; }")
+        assert unit.functions[0].params == []
+
+
+class TestParserStatements:
+    def _body(self, text):
+        return parse("int f() {" + text + "}").functions[0].body.statements
+
+    def test_if_else_chain(self):
+        stmts = self._body("if (1) { } else if (2) { } else { }")
+        assert isinstance(stmts[0], ast.If)
+        assert isinstance(stmts[0].otherwise, ast.If)
+
+    def test_while(self):
+        stmts = self._body("while (x) x = x - 1;")
+        assert isinstance(stmts[0], ast.While)
+
+    def test_for_with_decl(self):
+        stmts = self._body("for (int i = 0; i < 10; i++) { }")
+        loop = stmts[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.DeclStmt)
+
+    def test_for_empty_clauses(self):
+        stmts = self._body("for (;;) break;")
+        loop = stmts[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_break_continue(self):
+        stmts = self._body("while (1) { break; continue; }")
+        body = stmts[0].body.statements
+        assert isinstance(body[0], ast.Break)
+        assert isinstance(body[1], ast.Continue)
+
+    def test_local_array_decl(self):
+        stmts = self._body("char buf[64];")
+        assert stmts[0].ctype.is_array
+
+
+class TestParserExpressions:
+    def _expr(self, text):
+        return parse("int f() { return " + text + "; }").functions[0] \
+            .body.statements[0].value
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_shift_below_add(self):
+        expr = self._expr("1 << 2 + 3")
+        assert expr.op == "<<"
+
+    def test_logical_lowest(self):
+        expr = self._expr("a == 1 && b < 2")
+        assert expr.op == "&&"
+
+    def test_unary_chain(self):
+        expr = self._expr("-~x")
+        assert expr.op == "-"
+        assert expr.operand.op == "~"
+
+    def test_cast(self):
+        expr = self._expr("(char)x")
+        assert isinstance(expr, ast.Cast)
+
+    def test_cast_vs_paren(self):
+        expr = self._expr("('a' + 1)")
+        assert isinstance(expr, ast.Binary)
+
+    def test_sizeof(self):
+        expr = self._expr("sizeof(int)")
+        assert isinstance(expr, ast.SizeOf)
+
+    def test_index_chain(self):
+        expr = self._expr("m[i][j]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Index)
+
+    def test_call_args(self):
+        expr = self._expr("f(1, x + 2)")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 2
+
+    def test_postfix_incdec(self):
+        expr = self._expr("x++")
+        assert isinstance(expr, ast.IncDec) and not expr.prefix
+
+    def test_assignment_right_associative(self):
+        expr = self._expr("a = b = 1")
+        assert isinstance(expr, ast.Assign)
+        assert isinstance(expr.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        expr = self._expr("x += 3")
+        assert expr.op == "+="
+
+    def test_address_of_and_deref(self):
+        expr = self._expr("*&x")
+        assert expr.op == "*"
+        assert expr.operand.op == "&"
+
+    def test_error_reports_location(self):
+        with pytest.raises(CompileError, match=r"\d+:\d+"):
+            parse("int f() { if }")

@@ -1,0 +1,155 @@
+"""Register-allocation invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.irgen import IRGenerator
+from repro.compiler.parser import parse
+from repro.compiler.regalloc import (
+    CALLEE_SAVED_POOL,
+    CALLER_SAVED_POOL,
+    CODEGEN_SCRATCH,
+    INSTRUMENTATION_SCRATCH,
+    allocate,
+    build_intervals,
+)
+
+
+def ir_function(source, name="main"):
+    gen = IRGenerator()
+    gen.add_unit(parse(source))
+    module = gen.finish()
+    return next(f for f in module.functions if f.name == name)
+
+
+SIMPLE = """
+int main() {
+    int a = 1; int b = 2; int c = a + b;
+    return c * a;
+}
+"""
+
+WITH_CALL = """
+int helper(int x) { return x + 1; }
+int main() {
+    int kept = 10;
+    int result = helper(5);
+    return kept + result;
+}
+"""
+
+
+class TestIntervals:
+    def test_every_used_vreg_gets_interval(self):
+        irf = ir_function(SIMPLE)
+        intervals, _ = build_intervals(irf)
+        used = set()
+        for instr in irf.body:
+            used.update(instr.uses())
+            if instr.defines():
+                used.add(instr.defines())
+        assert {iv.vreg for iv in intervals} == used
+
+    def test_intervals_cover_uses(self):
+        irf = ir_function(SIMPLE)
+        intervals, _ = build_intervals(irf)
+        spans = {iv.vreg: (iv.start, iv.end) for iv in intervals}
+        for pos, instr in enumerate(irf.body):
+            for vreg in instr.uses():
+                start, end = spans[vreg]
+                assert start <= pos < end
+
+    def test_call_crossing_detected(self):
+        irf = ir_function(WITH_CALL)
+        intervals, calls = build_intervals(irf)
+        assert calls, "the call must be found"
+        crossing = [iv for iv in intervals if iv.crosses_call]
+        assert crossing, "`kept` lives across the call"
+
+    def test_loop_carried_value_covers_loop(self):
+        irf = ir_function("""
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 4; i++) s += i;
+            return s;
+        }
+        """)
+        intervals, _ = build_intervals(irf)
+        # Find the loop's backward branch; loop-carried intervals must
+        # span past it.
+        label_pos = {instr.name: i for i, instr in enumerate(irf.body)
+                     if instr.op == "label"}
+        back_edges = [i for i, instr in enumerate(irf.body)
+                      if instr.op == "br" and label_pos.get(instr.label, i) < i]
+        assert back_edges
+        covering = [iv for iv in intervals
+                    if iv.start < back_edges[-1] < iv.end]
+        assert len(covering) >= 2  # both s and i
+
+
+class TestAllocation:
+    def test_no_reserved_registers_used(self):
+        for source in (SIMPLE, WITH_CALL):
+            allocation = allocate(ir_function(source))
+            forbidden = set(INSTRUMENTATION_SCRATCH) | set(CODEGEN_SCRATCH) | {0, 8, 12, 31}
+            assert not set(allocation.regs.values()) & forbidden
+
+    def test_call_crossing_values_in_callee_saved_or_spilled(self):
+        irf = ir_function(WITH_CALL)
+        intervals, _ = build_intervals(irf)
+        allocation = allocate(irf)
+        for interval in intervals:
+            if interval.crosses_call and interval.vreg in allocation.regs:
+                assert allocation.regs[interval.vreg] in CALLEE_SAVED_POOL
+
+    def test_overlapping_intervals_distinct_registers(self):
+        irf = ir_function(SIMPLE)
+        intervals, _ = build_intervals(irf)
+        allocation = allocate(irf)
+        placed = [iv for iv in intervals if iv.vreg in allocation.regs]
+        for i, a in enumerate(placed):
+            for b in placed[i + 1:]:
+                if a.start < b.end and b.start < a.end:
+                    assert allocation.regs[a.vreg] != allocation.regs[b.vreg], \
+                        f"{a.vreg} and {b.vreg} overlap in r{allocation.regs[a.vreg]}"
+
+    def test_pressure_causes_spills(self):
+        decls = "".join(f"int v{i} = {i};" for i in range(40))
+        total = "+".join(f"v{i}" for i in range(40))
+        irf = ir_function(f"int main() {{ {decls} return {total}; }}")
+        allocation = allocate(irf)
+        assert allocation.spill_slot_count > 0
+
+    def test_callee_saved_usage_recorded(self):
+        irf = ir_function(WITH_CALL)
+        allocation = allocate(irf)
+        for reg in allocation.callee_saved_used:
+            assert reg in CALLEE_SAVED_POOL
+
+
+class TestAllocationProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=24), st.integers(min_value=0, max_value=10))
+    def test_random_expression_chains_allocate_consistently(self, n, calls):
+        """Programs with varying pressure always allocate without overlap
+        conflicts, and spilled + placed covers every interval."""
+        decls = "".join(f"int v{i} = {i + 1};" for i in range(n))
+        body = decls
+        for c in range(calls):
+            body += f"v{c % n} = helper(v{(c + 1) % n});"
+        total = "+".join(f"v{i}" for i in range(n))
+        source = f"""
+        int helper(int x) {{ return x; }}
+        int main() {{ {body} return {total}; }}
+        """
+        irf = ir_function(source)
+        intervals, _ = build_intervals(irf)
+        allocation = allocate(irf)
+        for interval in intervals:
+            in_reg = interval.vreg in allocation.regs
+            in_slot = interval.vreg in allocation.slots
+            assert in_reg != in_slot  # exactly one location
+        placed = [iv for iv in intervals if iv.vreg in allocation.regs]
+        for i, a in enumerate(placed):
+            for b in placed[i + 1:]:
+                if a.start < b.end and b.start < a.end:
+                    assert allocation.regs[a.vreg] != allocation.regs[b.vreg]

@@ -1,0 +1,162 @@
+"""Combining SHIFT with control speculation (paper section 3.3.4).
+
+SHIFT repurposes the deferred-exception token, but compiled code can
+still use control speculation: on speculation "failure" — whether the
+NaT came from a genuine deferred exception or from taint — ``chk.s``
+redirects to recovery code that re-executes the work non-speculatively.
+A taint-induced recovery is a false positive for the *speculation*
+(wasted work) but never corrupts results, and the non-speculative
+recovery path is instrumented normally so taint is preserved.
+"""
+
+from repro.cpu import CPU, NaTConsumptionFault
+from repro.isa import assemble
+from repro.mem import REGION_DATA, SparseMemory, make_address
+
+DATA = make_address(REGION_DATA, 0x1000)
+BAD = 1 << 60  # unimplemented address: ld8.s defers the exception
+
+EXIT = "break 0x100000"
+
+
+def run(text, setup=None):
+    program = assemble(text)
+    memory = SparseMemory()
+
+    def exit_syscall(cpu):
+        cpu.halted = True
+        cpu.exit_code = cpu.read_gr(32)
+
+    cpu = CPU(program, memory, syscall_handler=exit_syscall)
+    if setup:
+        setup(cpu)
+    cpu.run(max_instructions=100_000)
+    return cpu
+
+
+class TestClassicControlSpeculation:
+    """The paper's Figure 2 pattern: a load hoisted above its branch."""
+
+    def test_speculation_succeeds_on_valid_address(self):
+        cpu = run(f"""
+        func main:
+            movl r13 = {DATA}
+            movl r20 = 7
+            st8 [r13] = r20
+            // speculatively hoisted load (would sit before the branch)
+            ld8.s r14 = [r13]
+            and r15 = r14, 8
+            // original home of the load: check the token
+            chk.s r15, recovery
+        next:
+            mov r32 = r15
+            {EXIT}
+        recovery:
+            // non-speculative re-execution
+            ld8 r14 = [r13]
+            and r15 = r14, 8
+            br next
+        endfunc
+        """)
+        assert cpu.exit_code == 0  # 7 & 8
+
+    def test_speculation_failure_runs_recovery(self):
+        cpu = run(f"""
+        func main:
+            movl r13 = {BAD}
+            ld8.s r14 = [r13]
+            and r15 = r14, 8
+            chk.s r15, recovery
+        next:
+            mov r32 = r15
+            {EXIT}
+        recovery:
+            movl r13 = {DATA}
+            movl r20 = 12
+            st8 [r13] = r20
+            ld8 r14 = [r13]
+            and r15 = r14, 8
+            br next
+        endfunc
+        """)
+        assert cpu.exit_code == 8  # 12 & 8 via the recovery path
+
+    def test_deferred_exception_does_not_fault_until_consumed(self):
+        # The speculative load itself must not raise: the exception is
+        # deferred into the NaT bit (that is the whole mechanism).
+        cpu = run(f"""
+        func main:
+            movl r13 = {BAD}
+            ld8.s r14 = [r13]
+            mov r32 = r0
+            {EXIT}
+        endfunc
+        """)
+        assert cpu.read_nat(14)
+
+
+class TestTaintTriggersRecovery:
+    """Tainted data entering a speculated region redirects to recovery —
+    a speculation false positive, but correct execution (3.3.4)."""
+
+    def test_tainted_operand_sends_execution_to_recovery(self):
+        cpu = run(f"""
+        func main:
+            movl r13 = {DATA}
+            movl r20 = 5
+            st8 [r13] = r20
+            ld8 r14 = [r13]
+            settag r14            // taint (as SHIFT's bitmap check would)
+            adds r15 = 1, r14     // speculated computation inherits it
+            chk.s r15, recovery
+        next:
+            mov r32 = r15
+            {EXIT}
+        recovery:
+            // non-speculative version: recompute, keep the NaT via the
+            // normal tracking policy (spill/fill preserves it)
+            movl r21 = 100
+            adds r15 = 1, r14
+            st8.spill [r13] = r15
+            ld8.fill r15 = [r13]
+            mov r32 = r21
+            {EXIT}
+        endfunc
+        """)
+        # Recovery executed (r32 == 100) and the recomputed value kept
+        # its taint through the spill/fill pair.
+        assert cpu.exit_code == 100
+        assert cpu.read_nat(15)
+        assert cpu.read_gr(15) == 6
+
+    def test_untainted_value_stays_on_fast_path(self):
+        cpu = run(f"""
+        func main:
+            movl r14 = 5
+            adds r15 = 1, r14
+            chk.s r15, recovery
+        next:
+            mov r32 = r15
+            {EXIT}
+        recovery:
+            movl r32 = 100
+            {EXIT}
+        endfunc
+        """)
+        assert cpu.exit_code == 6
+
+    def test_speculative_state_cannot_commit_through_store(self):
+        """A NaT-tagged value cannot be committed with a plain store —
+        exactly the guarantee that makes mis-speculation recoverable."""
+        import pytest
+
+        with pytest.raises(NaTConsumptionFault):
+            run(f"""
+            func main:
+                movl r13 = {BAD}
+                ld8.s r14 = [r13]
+                movl r13 = {DATA}
+                st8 [r13] = r14
+                {EXIT}
+            endfunc
+            """)

@@ -1,0 +1,114 @@
+"""Public API tests (repro.core)."""
+
+import pytest
+
+from repro.core import (
+    ALL_ENHANCEMENTS,
+    ENHANCEMENT_NAT_CMP,
+    ENHANCEMENT_SET_CLEAR,
+    RunResult,
+    build_machine,
+    compile_protected,
+    run_machine,
+    shift_options,
+)
+from repro.taint.policy import PolicyConfig, parse_policy_config
+
+
+class TestShiftOptions:
+    def test_defaults(self):
+        options = shift_options()
+        assert options.mode == "shift"
+        assert options.granularity == 1
+
+    def test_word_granularity(self):
+        assert shift_options("word").granularity == 8
+
+    def test_tracking_off(self):
+        assert shift_options(tracking=False).mode == "none"
+
+    def test_enhancements(self):
+        options = shift_options(enhancements=ALL_ENHANCEMENTS)
+        assert options.enh_set_clear and options.enh_nat_cmp
+        only_cmp = shift_options(enhancements=[ENHANCEMENT_NAT_CMP])
+        assert only_cmp.enh_nat_cmp and not only_cmp.enh_set_clear
+
+    def test_unknown_enhancement_rejected(self):
+        with pytest.raises(ValueError, match="unknown enhancement"):
+            shift_options(enhancements=["magic"])
+
+    def test_unknown_granularity_rejected(self):
+        with pytest.raises(ValueError, match="granularity"):
+            shift_options("nibble")
+
+
+class TestCompileProtected:
+    def test_includes_libc_by_default(self):
+        compiled = compile_protected("int main() { return strlen(\"abc\"); }")
+        assert "strlen" in compiled.function_sizes
+
+    def test_without_libc(self):
+        compiled = compile_protected("int main() { return 1; }", include_libc=False)
+        assert "strlen" not in compiled.function_sizes
+
+    def test_instrumented_code_is_larger(self):
+        source = "int g; int main() { g = 7; return g; }"
+        base = compile_protected(source, shift_options(tracking=False))
+        inst = compile_protected(source, shift_options())
+        assert inst.total_instructions > base.total_instructions
+
+
+class TestRunMachine:
+    def test_successful_run(self):
+        machine = build_machine("int main() { puts(\"hi\"); return 3; }")
+        result = run_machine(machine)
+        assert result.exit_code == 3
+        assert result.console == "hi\n"
+        assert not result.detected
+        assert result.cycles > 0
+
+    def test_detection_folded_into_result(self):
+        source = """
+        native int read(int fd, char *buf, int n);
+        char src[16];
+        int main() {
+            read(0, src, 8);
+            int *p = (int *)atoi(src);
+            *p = 1;
+            return 0;
+        }
+        """
+        machine = build_machine(source, shift_options(), stdin=b"4611686018427387904")
+        result = run_machine(machine)
+        assert result.detected
+        assert result.alerts[0].policy_id == "L2"
+        assert result.exit_code is None
+
+    def test_policy_config_from_text(self):
+        config = parse_policy_config("""
+        [sources]
+        stdin = tainted
+        [policies]
+        H4 = on
+        """)
+        source = """
+        native int read(int fd, char *buf, int n);
+        native int system(char *c);
+        char src[32];
+        int main() {
+            read(0, src, 16);
+            return system(src);
+        }
+        """
+        machine = build_machine(source, shift_options(), policy_config=config,
+                                stdin=b"ls; evil")
+        result = run_machine(machine)
+        assert result.detected
+        assert result.alerts[0].policy_id == "H4"
+
+    def test_runresult_fields(self):
+        machine = build_machine("int main() { return 0; }")
+        result = run_machine(machine)
+        assert isinstance(result, RunResult)
+        assert result.fault is None
+        assert result.counters.instructions > 0

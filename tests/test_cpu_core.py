@@ -1,0 +1,448 @@
+"""Executor tests: ALU semantics, NaT propagation, faults, control flow."""
+
+import pytest
+
+from repro.cpu import CPU, MASK64, NaTConsumptionFault, RunawayError, to_signed
+from repro.isa import assemble
+from repro.mem import SparseMemory, make_address, REGION_DATA
+
+
+def run_asm(text, setup=None, max_instructions=100_000):
+    """Assemble, run to completion (via break exit), return the CPU."""
+    program = assemble(text)
+    memory = SparseMemory()
+    cpu = CPU(program, memory, syscall_handler=_exit_syscall)
+    if setup:
+        setup(cpu)
+    cpu.run(max_instructions=max_instructions)
+    return cpu
+
+
+def _exit_syscall(cpu):
+    cpu.halted = True
+    cpu.exit_code = cpu.read_gr(32)
+
+
+EXIT = "break 0x100000"
+
+
+class TestAluSemantics:
+    def test_add(self):
+        cpu = run_asm(f"""
+        func main:
+            movl r14 = 40
+            movl r15 = 2
+            add r16 = r14, r15
+            {EXIT}
+        endfunc
+        """)
+        assert cpu.read_gr(16) == 42
+
+    def test_sub_wraps(self):
+        cpu = run_asm(f"""
+        func main:
+            movl r14 = 0
+            movl r15 = 1
+            sub r16 = r14, r15
+            {EXIT}
+        endfunc
+        """)
+        assert cpu.read_gr(16) == MASK64
+
+    def test_signed_division(self):
+        cpu = run_asm(f"""
+        func main:
+            movl r14 = -7
+            movl r15 = 2
+            div r16 = r14, r15
+            mod r17 = r14, r15
+            {EXIT}
+        endfunc
+        """)
+        assert to_signed(cpu.read_gr(16)) == -3
+        assert to_signed(cpu.read_gr(17)) == -1
+
+    def test_shifts(self):
+        cpu = run_asm(f"""
+        func main:
+            movl r14 = -8
+            movl r15 = 1
+            shr r16 = r14, r15
+            shr.u r17 = r14, r15
+            shl r18 = r15, r15
+            {EXIT}
+        endfunc
+        """)
+        assert to_signed(cpu.read_gr(16)) == -4
+        assert cpu.read_gr(17) == (MASK64 - 7) >> 1
+        assert cpu.read_gr(18) == 2
+
+    def test_sign_extension(self):
+        cpu = run_asm(f"""
+        func main:
+            movl r14 = 0xff
+            sxt1 r15 = r14
+            zxt1 r16 = r14
+            {EXIT}
+        endfunc
+        """)
+        assert to_signed(cpu.read_gr(15)) == -1
+        assert cpu.read_gr(16) == 0xFF
+
+    def test_andcm(self):
+        cpu = run_asm(f"""
+        func main:
+            movl r14 = 0xff
+            movl r15 = 0x0f
+            andcm r16 = r14, r15
+            {EXIT}
+        endfunc
+        """)
+        assert cpu.read_gr(16) == 0xF0
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        addr = make_address(REGION_DATA, 0x1000)
+        cpu = run_asm(f"""
+        func main:
+            movl r13 = {addr}
+            movl r14 = 0x1122334455667788
+            st8 [r13] = r14
+            ld8 r15 = [r13]
+            ld1 r16 = [r13]
+            {EXIT}
+        endfunc
+        """)
+        assert cpu.read_gr(15) == 0x1122334455667788
+        assert cpu.read_gr(16) == 0x88  # little-endian low byte
+
+    def test_subword_store(self):
+        addr = make_address(REGION_DATA, 0x2000)
+        cpu = run_asm(f"""
+        func main:
+            movl r13 = {addr}
+            movl r14 = 0xabcd
+            st2 [r13] = r14
+            ld8 r15 = [r13]
+            {EXIT}
+        endfunc
+        """)
+        assert cpu.read_gr(15) == 0xABCD
+
+
+class TestNaTSemantics:
+    """The deferred-exception machinery SHIFT builds on (paper section 2.2)."""
+
+    def test_speculative_load_from_invalid_address_sets_nat(self):
+        bad = 1 << 60  # unimplemented bit set
+        cpu = run_asm(f"""
+        func main:
+            movl r14 = {bad}
+            ld8.s r14 = [r14]
+            {EXIT}
+        endfunc
+        """)
+        assert cpu.read_nat(14)
+        assert cpu.read_gr(14) == 0
+
+    def test_nat_propagates_through_alu(self):
+        bad = 1 << 60
+        cpu = run_asm(f"""
+        func main:
+            movl r14 = {bad}
+            ld8.s r14 = [r14]
+            movl r15 = 5
+            add r16 = r15, r14
+            mov r17 = r16
+            {EXIT}
+        endfunc
+        """)
+        assert cpu.read_nat(16)
+        assert cpu.read_nat(17)
+
+    def test_movl_clears_nat(self):
+        bad = 1 << 60
+        cpu = run_asm(f"""
+        func main:
+            movl r14 = {bad}
+            ld8.s r14 = [r14]
+            movl r14 = 3
+            {EXIT}
+        endfunc
+        """)
+        assert not cpu.read_nat(14)
+
+    def test_settag_cleartag(self):
+        cpu = run_asm(f"""
+        func main:
+            movl r14 = 7
+            settag r14
+            mov r15 = r14
+            cleartag r14
+            {EXIT}
+        endfunc
+        """)
+        assert not cpu.read_nat(14)
+        assert cpu.read_nat(15)
+        assert cpu.read_gr(14) == 7
+
+    def test_compare_with_nat_clears_both_predicates(self):
+        cpu = run_asm(f"""
+        func main:
+            movl r14 = 1
+            settag r14
+            cmp.eq p6, p7 = r14, r14
+            {EXIT}
+        endfunc
+        """)
+        assert not cpu.pr[6]
+        assert not cpu.pr[7]
+
+    def test_taint_aware_compare_proceeds(self):
+        cpu = run_asm(f"""
+        func main:
+            movl r14 = 1
+            settag r14
+            tcmp.eq p6, p7 = r14, r14
+            {EXIT}
+        endfunc
+        """)
+        assert cpu.pr[6]
+        assert not cpu.pr[7]
+
+    def test_tnat(self):
+        cpu = run_asm(f"""
+        func main:
+            movl r14 = 1
+            settag r14
+            tnat p6, p7 = r14
+            tnat p8, p9 = r15
+            {EXIT}
+        endfunc
+        """)
+        assert cpu.pr[6] and not cpu.pr[7]
+        assert not cpu.pr[8] and cpu.pr[9]
+
+    def test_chk_branches_to_recovery_on_nat(self):
+        cpu = run_asm(f"""
+        func main:
+            movl r14 = 1
+            settag r14
+            chk.s r14, recovery
+            movl r20 = 111
+            {EXIT}
+        recovery:
+            movl r20 = 222
+            {EXIT}
+        endfunc
+        """)
+        assert cpu.read_gr(20) == 222
+
+    def test_chk_falls_through_without_nat(self):
+        cpu = run_asm(f"""
+        func main:
+            movl r14 = 1
+            chk.s r14, recovery
+            movl r20 = 111
+            {EXIT}
+        recovery:
+            movl r20 = 222
+            {EXIT}
+        endfunc
+        """)
+        assert cpu.read_gr(20) == 111
+
+    def test_spill_then_plain_load_clears_nat(self):
+        """The paper's NaT-clearing trick (section 4.1)."""
+        slot = make_address(REGION_DATA, 0x3000)
+        cpu = run_asm(f"""
+        func main:
+            movl r14 = 99
+            settag r14
+            movl r13 = {slot}
+            st8.spill [r13] = r14
+            ld8 r14 = [r13]
+            {EXIT}
+        endfunc
+        """)
+        assert not cpu.read_nat(14)
+        assert cpu.read_gr(14) == 99
+
+    def test_spill_fill_preserves_nat(self):
+        slot = make_address(REGION_DATA, 0x3000)
+        cpu = run_asm(f"""
+        func main:
+            movl r14 = 99
+            settag r14
+            movl r13 = {slot}
+            st8.spill [r13] = r14
+            movl r14 = 0
+            ld8.fill r14 = [r13]
+            {EXIT}
+        endfunc
+        """)
+        assert cpu.read_nat(14)
+        assert cpu.read_gr(14) == 99
+
+
+class TestNaTConsumptionFaults:
+    def _expect_fault(self, text, kind):
+        with pytest.raises(NaTConsumptionFault) as excinfo:
+            run_asm(text)
+        assert excinfo.value.kind == kind
+
+    def test_tainted_load_address_faults(self):
+        self._expect_fault(f"""
+        func main:
+            movl r14 = 4611686018427387904
+            settag r14
+            ld8 r15 = [r14]
+            {EXIT}
+        endfunc
+        """, "load_addr")
+
+    def test_tainted_store_address_faults(self):
+        self._expect_fault(f"""
+        func main:
+            movl r14 = 4611686018427387904
+            settag r14
+            st8 [r14] = r0
+            {EXIT}
+        endfunc
+        """, "store_addr")
+
+    def test_plain_store_of_nat_value_faults(self):
+        addr = make_address(REGION_DATA, 0x100)
+        self._expect_fault(f"""
+        func main:
+            movl r13 = {addr}
+            movl r14 = 5
+            settag r14
+            st8 [r13] = r14
+            {EXIT}
+        endfunc
+        """, "store_value")
+
+    def test_spill_store_of_nat_value_allowed(self):
+        addr = make_address(REGION_DATA, 0x100)
+        cpu = run_asm(f"""
+        func main:
+            movl r13 = {addr}
+            movl r14 = 5
+            settag r14
+            st8.spill [r13] = r14
+            {EXIT}
+        endfunc
+        """)
+        assert cpu.halted
+
+    def test_tainted_branch_move_faults(self):
+        self._expect_fault(f"""
+        func main:
+            movl r14 = 16
+            settag r14
+            mov b6 = r14
+            {EXIT}
+        endfunc
+        """, "branch_move")
+
+
+class TestControlFlow:
+    def test_loop(self):
+        cpu = run_asm(f"""
+        func main:
+            movl r14 = 10
+            movl r16 = 0
+        loop:
+            add r16 = r16, r14
+            adds r14 = -1, r14
+            cmp.ne p6, p7 = r14, r0
+            (p6) br.cond loop
+            {EXIT}
+        endfunc
+        """)
+        assert cpu.read_gr(16) == 55
+
+    def test_call_and_return(self):
+        cpu = run_asm(f"""
+        func main:
+            movl r32 = 20
+            br.call b0 = double
+            mov r20 = r8
+            {EXIT}
+        endfunc
+        func double:
+            add r8 = r32, r32
+            br.ret b0
+        endfunc
+        """)
+        assert cpu.read_gr(20) == 40
+
+    def test_indirect_call(self):
+        cpu = run_asm(f"""
+        func main:
+            movl r32 = 5
+            br.call b0 = getfn
+            mov b6 = r8
+            br.call b0 = b6
+            mov r20 = r8
+            {EXIT}
+        endfunc
+        func getfn:
+            movl r8 = 0
+            br.ret b0
+        endfunc
+        """, setup=_patch_getfn)
+        assert cpu.read_gr(20) == 15
+
+    def test_predicated_off_instruction_is_noop(self):
+        cpu = run_asm(f"""
+        func main:
+            movl r14 = 1
+            cmp.eq p6, p7 = r14, r0
+            (p6) movl r20 = 111
+            (p7) movl r20 = 222
+            {EXIT}
+        endfunc
+        """)
+        assert cpu.read_gr(20) == 222
+
+    def test_runaway_guard(self):
+        with pytest.raises(RunawayError):
+            run_asm(f"""
+            func main:
+            spin:
+                br.cond spin
+            endfunc
+            """, max_instructions=1000)
+
+
+def _patch_getfn(cpu):
+    """Make getfn return the code address of the triple function."""
+    from repro.cpu import code_address
+
+    # Rewrite getfn to return the address of `triple` at runtime:
+    # easier here to just append the function via a second program is
+    # overkill -- instead we look up `getfn` and substitute the movl
+    # immediate with the code address of a helper we add below.
+    program = cpu.program
+    # Add a `triple` function on the fly.
+    from repro.isa import Instruction, GR, RET
+
+    start = len(program.code)
+    program.labels["triple"] = start
+    program.code.append(Instruction("mul", outs=(GR(8),), ins=(GR(32),), imm=3))
+    program.code.append(Instruction("br.ret", ins=(cpu.program.code[0].outs[0],) if False else (parse_b0(),)))
+    program.functions["triple"] = (start, len(program.code))
+    # Patch getfn's movl to load triple's code address.
+    getfn_start, _ = program.functions["getfn"]
+    movl = program.code[getfn_start]
+    assert movl.op == "movl"
+    movl.imm = code_address(start)
+
+
+def parse_b0():
+    from repro.isa import BR
+
+    return BR(0)

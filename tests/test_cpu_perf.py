@@ -1,0 +1,142 @@
+"""Issue-group timing model tests."""
+
+from repro.cpu.perf import IssueConfig, IssueModel, PerfCounters
+from repro.isa import parse_instruction
+from repro.isa.instruction import ROLE_TAG_COMPUTE, ROLE_TAG_MEM
+
+
+def issue_all(lines, config=None):
+    counters = PerfCounters()
+    model = IssueModel(counters, config)
+    for line in lines:
+        model.issue(parse_instruction(line))
+    model.flush()
+    return counters
+
+
+class TestGrouping:
+    def test_independent_ops_share_group(self):
+        c = issue_all([
+            "add r14 = r15, r16",
+            "add r17 = r18, r19",
+            "add r20 = r21, r22",
+        ])
+        assert c.groups == 1
+        assert c.issue_cycles == 1.0
+
+    def test_dependency_splits_group(self):
+        c = issue_all([
+            "add r14 = r15, r16",
+            "add r17 = r14, r19",  # reads r14
+        ])
+        assert c.groups == 2
+
+    def test_write_after_write_splits(self):
+        c = issue_all([
+            "add r14 = r15, r16",
+            "add r14 = r18, r19",
+        ])
+        assert c.groups == 2
+
+    def test_width_limit(self):
+        lines = [f"add r{14 + i} = r0, r0" for i in range(7)]
+        c = issue_all(lines, IssueConfig(width=6))
+        assert c.groups == 2
+
+    def test_mem_port_limit(self):
+        c = issue_all([
+            "ld8 r14 = [r20]",
+            "ld8 r15 = [r21]",
+            "ld8 r16 = [r22]",  # third memory op: new group
+        ], IssueConfig(mem_ports=2))
+        assert c.groups == 2
+
+    def test_r0_never_conflicts(self):
+        c = issue_all([
+            "add r14 = r0, r0",
+            "add r15 = r0, r0",
+        ])
+        assert c.groups == 1
+
+    def test_cmp_and_branch_same_group(self):
+        counters = PerfCounters()
+        model = IssueModel(counters)
+        model.issue(parse_instruction("cmp.eq p6, p7 = r14, r15"))
+        model.issue(parse_instruction("(p6) br.cond x"), taken_branch=False)
+        model.flush()
+        assert counters.groups == 1
+
+    def test_movl_occupies_two_slots(self):
+        # Three movl (2 slots each) exceed a 6-wide group boundary.
+        lines = ["movl r14 = 1", "movl r15 = 2", "movl r16 = 3", "movl r17 = 4"]
+        c = issue_all(lines, IssueConfig(width=6))
+        assert c.groups == 2
+
+
+class TestAccounting:
+    def test_stall_cycles_recorded(self):
+        counters = PerfCounters()
+        model = IssueModel(counters)
+        model.issue(parse_instruction("ld8 r14 = [r20]"), mem_stall=120)
+        model.flush()
+        assert counters.stall_cycles == 120
+        assert counters.cycles == 121
+
+    def test_branch_penalty(self):
+        counters = PerfCounters()
+        model = IssueModel(counters, IssueConfig(branch_penalty=3))
+        model.issue(parse_instruction("br target"), taken_branch=True)
+        model.flush()
+        assert counters.branch_penalty_cycles == 3
+        assert counters.branches_taken == 1
+
+    def test_load_store_counts(self):
+        c = issue_all(["ld8 r14 = [r20]", "st8 [r21] = r14"])
+        assert c.loads == 1
+        assert c.stores == 1
+
+    def test_io_cycles(self):
+        counters = PerfCounters()
+        counters.add_io_cycles(500)
+        assert counters.io_cycles == 500
+        assert counters.cycles == 500
+
+
+class TestRoleAttribution:
+    def test_group_cycle_split_among_members(self):
+        counters = PerfCounters()
+        model = IssueModel(counters)
+        user = parse_instruction("add r14 = r15, r16")
+        instr = parse_instruction("add r17 = r18, r19").with_role(
+            ROLE_TAG_COMPUTE, "load")
+        model.issue(user)
+        model.issue(instr)
+        model.flush()
+        assert counters.pair(None, None).issue_cycles == 0.5
+        assert counters.pair(ROLE_TAG_COMPUTE, "load").issue_cycles == 0.5
+
+    def test_role_cycles_aggregation(self):
+        counters = PerfCounters()
+        model = IssueModel(counters)
+        model.issue(parse_instruction("ld8 r14 = [r20]").with_role(
+            ROLE_TAG_MEM, "load"), mem_stall=10)
+        model.flush()
+        assert counters.role_cycles(ROLE_TAG_MEM) == 11
+        assert counters.origin_cycles("load") == 11
+        assert counters.instrumentation_cycles() == 11
+
+    def test_serial_chain_charged_more_per_instruction(self):
+        # A serial chain: each instruction gets its own group (1 cycle
+        # each); independent code shares groups (fractional cycles).
+        serial = issue_all([
+            "add r14 = r15, r16",
+            "add r14 = r14, r16",
+            "add r14 = r14, r16",
+        ])
+        parallel = issue_all([
+            "add r14 = r15, r16",
+            "add r17 = r18, r19",
+            "add r20 = r21, r22",
+        ])
+        assert serial.issue_cycles == 3.0
+        assert parallel.issue_cycles == 1.0

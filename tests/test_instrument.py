@@ -1,0 +1,250 @@
+"""Instrumentation-pass tests: the Fig. 5 sequences and their variants."""
+
+import pytest
+
+from repro.compiler.codegen import FunctionCode
+from repro.compiler.instrument import (
+    GRANULARITY_BYTE,
+    GRANULARITY_WORD,
+    INVALID_ADDR,
+    ShiftOptions,
+    UNINSTRUMENTED,
+    instrument_function,
+)
+from repro.isa import parse_instruction
+from repro.isa.instruction import (
+    Instruction,
+    Label,
+    ROLE_NATGEN,
+    ROLE_RELAX,
+    ROLE_TAG_COMPUTE,
+    ROLE_TAG_MEM,
+    ROLE_TAINT_SET,
+)
+
+BYTE = ShiftOptions(granularity=GRANULARITY_BYTE)
+WORD = ShiftOptions(granularity=GRANULARITY_WORD)
+
+
+def instrument(lines, options=BYTE):
+    items = [parse_instruction(line) for line in lines]
+    out = instrument_function(FunctionCode(name="t", items=items), options)
+    return out.items
+
+
+def instructions_of(items):
+    return [i for i in items if isinstance(i, Instruction)]
+
+
+def ops_of(items):
+    return [i.op for i in instructions_of(items)]
+
+
+class TestNatGeneration:
+    def test_natgen_prologue_present(self):
+        items = instrument(["nop"])
+        ops = ops_of(items)
+        assert ops[0] == "movl" and ops[1] == "ld8.s"
+        assert instructions_of(items)[0].imm == INVALID_ADDR
+        assert instructions_of(items)[0].role == ROLE_NATGEN
+
+    def test_enhancement_removes_natgen(self):
+        items = instrument(["nop"], ShiftOptions(granularity=1, enh_set_clear=True))
+        assert all(i.role != ROLE_NATGEN for i in instructions_of(items))
+
+    def test_uninstrumented_passthrough(self):
+        items = instrument(["ld8 r14 = [r15]"], UNINSTRUMENTED)
+        assert ops_of(items) == ["ld8"]
+
+
+class TestLoadInstrumentation:
+    def test_byte_level_sequence(self):
+        items = instrument(["ld8 r14 = [r15]"])
+        ops = ops_of(items)
+        # natgen(2) + linearise(5) + original + tag ld2 + mask build + test + set
+        assert "ld2" in ops  # 16-bit bitmap window
+        assert ops.count("ld8") == 1  # the original
+        roles = [i.role for i in instructions_of(items)]
+        assert ROLE_TAG_COMPUTE in roles
+        assert ROLE_TAG_MEM in roles
+        assert ROLE_TAINT_SET in roles
+
+    def test_word_level_uses_single_tag_byte(self):
+        items = instrument(["ld8 r14 = [r15]"], WORD)
+        ops = ops_of(items)
+        assert "ld1" in ops and "ld2" not in ops
+
+    def test_byte_sequence_longer_than_word(self):
+        byte_len = len(instructions_of(instrument(["ld4 r14 = [r15]"], BYTE)))
+        word_len = len(instructions_of(instrument(["ld4 r14 = [r15]"], WORD)))
+        assert byte_len > word_len
+
+    def test_taint_set_is_predicated_add_of_nat_source(self):
+        items = instrument(["ld8 r14 = [r15]"])
+        sets = [i for i in instructions_of(items) if i.role == ROLE_TAINT_SET]
+        assert len(sets) == 1
+        assert sets[0].op == "add"
+        assert sets[0].qp == 8
+        assert any(r.index == 31 for r in sets[0].ins)
+
+    def test_enhanced_taint_set_uses_settag(self):
+        items = instrument(["ld8 r14 = [r15]"],
+                           ShiftOptions(granularity=1, enh_set_clear=True))
+        sets = [i for i in instructions_of(items) if i.role == ROLE_TAINT_SET]
+        assert sets[0].op == "settag"
+
+    def test_original_load_keeps_user_role(self):
+        items = instrument(["ld8 r14 = [r15]"])
+        original = [i for i in instructions_of(items) if i.op == "ld8"]
+        assert original[0].role is None
+
+    def test_speculative_and_fill_loads_not_instrumented(self):
+        items = instrument(["ld8.s r14 = [r15]", "ld8.fill r14 = [r15]"])
+        ops = [op for op in ops_of(items) if op not in ("movl", "ld8.s")]
+        # only natgen inserted; the two loads pass through
+        assert "ld8.fill" in ops
+        assert "cmp.ne" not in ops_of(items)
+
+
+class TestStoreInstrumentation:
+    def test_st8_becomes_spill(self):
+        items = instrument(["st8 [r15] = r14"])
+        ops = ops_of(items)
+        assert "st8.spill" in ops
+        assert "st8" not in ops
+
+    def test_byte_level_rmw(self):
+        ops = ops_of(instrument(["st8 [r15] = r14"], BYTE))
+        assert "ld2" in ops and "st2" in ops  # read-modify-write
+        assert "andcm" in ops  # the clear path
+
+    def test_word_level_direct_write(self):
+        ops = ops_of(instrument(["st8 [r15] = r14"], WORD))
+        assert "st1" in ops and "ld1" not in ops  # no RMW needed
+
+    def test_subword_store_has_laundering_slow_path(self):
+        items = instrument(["st1 [r15] = r14"])
+        labels = [i.name for i in items if isinstance(i, Label)]
+        assert any("slow" in name for name in labels)
+        assert "st8.spill" in ops_of(items)  # the launder spill
+
+    def test_subword_store_enhanced_uses_cleartag(self):
+        items = instrument(["st1 [r15] = r14"],
+                           ShiftOptions(granularity=1, enh_set_clear=True))
+        ops = ops_of(items)
+        assert "cleartag" in ops
+        assert not [i for i in items if isinstance(i, Label)]  # branch-free
+
+    def test_tnat_guards_bitmap_update(self):
+        items = instrument(["st8 [r15] = r14"])
+        tnat = [i for i in instructions_of(items) if i.op == "tnat"]
+        assert tnat and tnat[0].ins[0].index == 14
+
+
+class TestCompareRelaxation:
+    def test_relax_wraps_compare(self):
+        items = instrument(["cmp.eq p6, p7 = r14, r15"])
+        ops = ops_of(items)
+        assert ops.count("tnat") == 2  # both operands checked
+        assert ops.count("cmp.eq") == 2  # fast path + laundered slow path
+        assert "st8.spill" in ops  # NaT-clearing spill
+
+    def test_single_operand_compare(self):
+        items = instrument(["cmp.lt p6, p7 = r14, 5"])
+        assert ops_of(items).count("tnat") == 1
+
+    def test_compare_against_r0_only_not_relaxed(self):
+        items = instrument(["cmp.eq p6, p7 = r0, r0"])
+        assert "tnat" not in ops_of(items)
+
+    def test_nat_aware_compare_enhancement(self):
+        items = instrument(["cmp.eq p6, p7 = r14, r15"],
+                           ShiftOptions(granularity=1, enh_nat_cmp=True))
+        ops = [op for op in ops_of(items) if op not in ("movl", "ld8.s")]
+        assert ops == ["tcmp.eq"]
+
+    def test_set_clear_enhancement_branch_free_relax(self):
+        items = instrument(["cmp.eq p6, p7 = r14, r15"],
+                           ShiftOptions(granularity=1, enh_set_clear=True))
+        ops = ops_of(items)
+        assert "cleartag" in ops
+        assert "br.cond" not in ops
+
+    def test_relax_disabled_by_option(self):
+        items = instrument(["cmp.eq p6, p7 = r14, r15"],
+                           ShiftOptions(granularity=1, relax_compares=False))
+        assert "tnat" not in ops_of(items)
+
+    def test_instrumentation_compares_not_relaxed(self):
+        # The cmp.ne inserted for a load must not itself be relaxed.
+        items = instrument(["ld8 r14 = [r15]"])
+        relax = [i for i in instructions_of(items) if i.role == ROLE_RELAX]
+        assert not relax
+
+
+class TestZeroingIdioms:
+    def test_xor_self_purified(self):
+        items = instrument(["xor r14 = r14, r14"])
+        ops = [op for op in ops_of(items) if op not in ("movl", "ld8.s")]
+        assert ops == ["mov"]
+
+    def test_sub_self_purified(self):
+        items = instrument(["sub r20 = r20, r20"])
+        assert "sub" not in ops_of(items)
+
+    def test_regular_xor_untouched(self):
+        items = instrument(["xor r14 = r14, r15"])
+        assert "xor" in ops_of(items)
+
+
+class TestPointerPolicy:
+    def test_permissive_adds_guard(self):
+        opts = ShiftOptions(granularity=1, pointer_policy="permissive")
+        items = instrument(["ld8 r14 = [r15]"], opts)
+        ops = ops_of(items)
+        assert "tnat" in ops
+        assert "br.cond" in ops
+        labels = [i.name for i in items if isinstance(i, Label)]
+        assert any("afix" in name for name in labels)
+
+    def test_permissive_fix_block_out_of_line(self):
+        opts = ShiftOptions(granularity=1, pointer_policy="permissive")
+        items = instrument(["ld8 r14 = [r15]", "nop"], opts)
+        # The fix block must come after all mainline code.
+        mainline_end = max(i for i, item in enumerate(items)
+                           if isinstance(item, Instruction) and item.op == "nop")
+        fix_start = next(i for i, item in enumerate(items)
+                         if isinstance(item, Label) and "afix" in item.name)
+        assert fix_start > mainline_end
+
+    def test_strict_has_no_guard(self):
+        items = instrument(["ld8 r14 = [r15]"], BYTE)
+        assert "br.cond" not in ops_of(items)
+
+    def test_sp_relative_access_never_guarded(self):
+        opts = ShiftOptions(granularity=1, pointer_policy="permissive")
+        items = instrument(["ld8 r14 = [r12]"], opts)
+        assert "br.cond" not in ops_of(items)
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftOptions(pointer_policy="lenient")
+
+
+class TestOptionLabels:
+    def test_labels(self):
+        assert UNINSTRUMENTED.label == "baseline"
+        assert BYTE.label == "shift-byte"
+        assert WORD.label == "shift-word"
+        assert ShiftOptions(granularity=1, enh_set_clear=True).label == "shift-byte-set/clear"
+        assert ShiftOptions(granularity=8, enh_set_clear=True,
+                            enh_nat_cmp=True).label == "shift-word-both"
+        assert ShiftOptions(mode="lift").label == "lift"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftOptions(mode="magic")
+
+    def test_invalid_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftOptions(granularity=4)

@@ -1,0 +1,243 @@
+"""Tests for the assembler and instruction model."""
+
+import pytest
+
+from repro.isa import (
+    AssemblerError,
+    GR,
+    Instruction,
+    OpKind,
+    PR,
+    assemble,
+    parse_instruction,
+    parse_reg,
+)
+from repro.isa.operands import RegClass
+
+
+class TestParseReg:
+    def test_general_register(self):
+        reg = parse_reg("r14")
+        assert reg.cls is RegClass.GR
+        assert reg.index == 14
+
+    def test_predicate_register(self):
+        assert parse_reg("p6") == PR(6)
+
+    def test_branch_register(self):
+        assert parse_reg("b0").cls is RegClass.BR
+
+    def test_unat(self):
+        assert parse_reg("ar.unat").cls is RegClass.AR
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            parse_reg("r128")
+
+    def test_garbage(self):
+        with pytest.raises(ValueError):
+            parse_reg("q3")
+
+
+class TestParseInstruction:
+    def test_alu_three_operand(self):
+        instr = parse_instruction("add r14 = r15, r16")
+        assert instr.op == "add"
+        assert instr.outs == (GR(14),)
+        assert instr.ins == (GR(15), GR(16))
+
+    def test_adds_immediate(self):
+        instr = parse_instruction("adds r12 = -16, r12")
+        assert instr.imm == -16
+        assert instr.ins == (GR(12),)
+
+    def test_movl(self):
+        instr = parse_instruction("movl r14 = 0x123456789abcdef")
+        assert instr.op == "movl"
+        assert instr.imm == 0x123456789ABCDEF
+
+    def test_mov_gr(self):
+        instr = parse_instruction("mov r14 = r15")
+        assert instr.op == "mov"
+
+    def test_mov_to_branch(self):
+        instr = parse_instruction("mov b6 = r14")
+        assert instr.op == "mov.tobr"
+
+    def test_mov_from_branch(self):
+        instr = parse_instruction("mov r14 = b0")
+        assert instr.op == "mov.frombr"
+
+    def test_mov_unat(self):
+        assert parse_instruction("mov ar.unat = r2").op == "mov.toar"
+        assert parse_instruction("mov r2 = ar.unat").op == "mov.fromar"
+
+    def test_load(self):
+        instr = parse_instruction("ld8 r14 = [r13]")
+        assert instr.kind is OpKind.LOAD
+        assert instr.access_size == 8
+        assert instr.ins == (GR(13),)
+
+    def test_speculative_load(self):
+        assert parse_instruction("ld8.s r14 = [r13]").op == "ld8.s"
+
+    def test_store(self):
+        instr = parse_instruction("st8 [r12] = r15")
+        assert instr.kind is OpKind.STORE
+        assert instr.ins == (GR(12), GR(15))
+
+    def test_compare(self):
+        instr = parse_instruction("cmp.eq p6, p7 = r14, r15")
+        assert instr.outs == (PR(6), PR(7))
+
+    def test_compare_immediate(self):
+        instr = parse_instruction("cmp.lt p6, p7 = r14, 10")
+        assert instr.imm == 10
+
+    def test_taint_aware_compare(self):
+        assert parse_instruction("tcmp.eq p6, p7 = r14, r15").op == "tcmp.eq"
+
+    def test_tnat(self):
+        instr = parse_instruction("tnat p6, p7 = r14")
+        assert instr.ins == (GR(14),)
+
+    def test_predicated(self):
+        instr = parse_instruction("(p6) add r14 = r15, r16")
+        assert instr.qp == 6
+
+    def test_branch(self):
+        instr = parse_instruction("br.cond loop")
+        assert instr.target == "loop"
+
+    def test_call(self):
+        instr = parse_instruction("br.call b0 = strcpy")
+        assert instr.op == "br.call"
+        assert instr.target == "strcpy"
+
+    def test_indirect_call(self):
+        instr = parse_instruction("br.call b0 = b6")
+        assert instr.op == "br.call.ind"
+
+    def test_return(self):
+        instr = parse_instruction("br.ret b0")
+        assert instr.op == "br.ret"
+
+    def test_chk(self):
+        instr = parse_instruction("chk.s r15, recovery")
+        assert instr.ins == (GR(15),)
+        assert instr.target == "recovery"
+
+    def test_break(self):
+        assert parse_instruction("break 0x100000").imm == 0x100000
+
+    def test_settag(self):
+        instr = parse_instruction("settag r14")
+        assert instr.outs == (GR(14),)
+
+    def test_unknown_opcode(self):
+        with pytest.raises(ValueError):
+            parse_instruction("frobnicate r1 = r2")
+
+
+class TestAssembleProgram:
+    def test_function_and_labels(self):
+        program = assemble(
+            """
+            func main:
+                movl r14 = 5
+            loop:
+                adds r14 = -1, r14
+                cmp.ne p6, p7 = r14, r0
+                (p6) br.cond loop
+                br.ret b0
+            endfunc
+            """
+        )
+        assert "main" in program.functions
+        assert program.labels["loop"] == 1
+        assert len(program.code) == 5
+
+    def test_data_directive(self):
+        program = assemble(
+            """
+            data greeting, 16, "hi\\n"
+            func main:
+                nop
+            endfunc
+            """
+        )
+        item = program.data[0]
+        assert item.name == "greeting"
+        assert item.size == 16
+        assert item.init == b"hi\n"
+
+    def test_native_directive(self):
+        program = assemble(
+            """
+            native memcpy
+            func main:
+                br.call b0 = memcpy
+            endfunc
+            """
+        )
+        assert program.natives == ["memcpy"]
+
+    def test_undefined_target_rejected(self):
+        with pytest.raises(ValueError):
+            assemble(
+                """
+                func main:
+                    br.cond nowhere
+                endfunc
+                """
+            )
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(Exception):
+            assemble(
+                """
+                func main:
+                x:
+                x:
+                    nop
+                endfunc
+                """
+            )
+
+    def test_comments_ignored(self):
+        program = assemble(
+            """
+            func main:
+                nop  // a comment
+                nop  ; another
+            endfunc
+            """
+        )
+        assert len(program.code) == 2
+
+    def test_listing_roundtrip(self):
+        text = """
+        func main:
+            movl r14 = 7
+            st8 [r12] = r14
+            br.ret b0
+        endfunc
+        """
+        program = assemble(text)
+        listing = program.listing()
+        assert "movl r14 = 7" in listing
+        assert "main:" in listing
+
+
+class TestInstructionStr:
+    def test_alu_str(self):
+        assert str(parse_instruction("add r1 = r2, r3")) == "add r1 = r2, r3"
+
+    def test_predicated_str(self):
+        text = str(parse_instruction("(p6) mov r1 = r2"))
+        assert text.startswith("(p6) ")
+
+    def test_with_role(self):
+        instr = parse_instruction("add r1 = r2, r3").with_role("tag_compute", "load")
+        assert instr.role == "tag_compute"
+        assert instr.origin == "load"

@@ -1,0 +1,130 @@
+"""Program container and NaT-propagation property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import CPU
+from repro.isa import (
+    DataItem,
+    GR,
+    Instruction,
+    Label,
+    Program,
+    ProgramBuilder,
+    assemble,
+)
+from repro.mem import SparseMemory
+
+
+class TestProgramBuilder:
+    def test_function_ranges(self):
+        builder = ProgramBuilder()
+        builder.begin_function("a")
+        builder.emit(Instruction("nop"))
+        builder.emit(Instruction("nop"))
+        builder.end_function()
+        builder.begin_function("b")
+        builder.emit(Instruction("nop"))
+        builder.end_function()
+        program = builder.build(entry="a")
+        assert program.functions["a"] == (0, 2)
+        assert program.functions["b"] == (2, 3)
+        assert len(program.function_code("a")) == 2
+
+    def test_nested_function_rejected(self):
+        builder = ProgramBuilder()
+        builder.begin_function("a")
+        with pytest.raises(ValueError):
+            builder.begin_function("b")
+
+    def test_unterminated_function_rejected(self):
+        builder = ProgramBuilder()
+        builder.begin_function("a")
+        with pytest.raises(ValueError):
+            builder.build()
+
+    def test_duplicate_data_rejected(self):
+        builder = ProgramBuilder()
+        builder.add_data(DataItem(name="x", size=8))
+        with pytest.raises(ValueError):
+            builder.add_data(DataItem(name="x", size=16))
+
+    def test_extend_with_labels(self):
+        builder = ProgramBuilder()
+        builder.begin_function("main")
+        builder.extend([Instruction("nop"), Label("mid"), Instruction("nop")])
+        builder.end_function()
+        program = builder.build()
+        assert program.labels["mid"] == 1
+
+    def test_data_item_init_too_long(self):
+        with pytest.raises(ValueError):
+            DataItem(name="x", size=2, init=b"toolong")
+
+    def test_listing_shows_labels_and_code(self):
+        program = assemble("""
+        func main:
+            movl r14 = 1
+        loop:
+            br.cond loop
+        endfunc
+        """)
+        listing = program.listing()
+        assert "main:" in listing
+        assert "loop:" in listing
+        assert "movl r14 = 1" in listing
+
+
+ALU_OPS = ["add", "sub", "and", "or", "xor", "mul", "shl"]
+
+
+class TestNaTPropagationProperty:
+    """Hardware invariant: taint is sticky through data-flow chains."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(st.tuples(st.sampled_from(ALU_OPS), st.booleans()),
+                     min_size=1, max_size=8),
+        taint_first=st.booleans(),
+    )
+    def test_chain_propagates_nat(self, ops, taint_first):
+        """A chain r20 = f(...f(r20, rX)) stays NaT iff any input was."""
+        lines = ["func main:", "    movl r20 = 3", "    movl r21 = 5"]
+        if taint_first:
+            lines.append("    settag r20")
+        any_taint = taint_first
+        for op, taint_operand in ops:
+            if taint_operand:
+                lines.append("    settag r21")
+                any_taint = True
+            lines.append(f"    {op} r20 = r20, r21")
+            lines.append("    movl r21 = 5")  # refresh the clean operand
+        lines += ["    break 0x100000", "endfunc"]
+        program = assemble("\n".join(lines))
+
+        def exit_syscall(cpu):
+            cpu.halted = True
+
+        cpu = CPU(program, SparseMemory(), syscall_handler=exit_syscall)
+        cpu.run(max_instructions=10_000)
+        assert cpu.read_nat(20) == any_taint
+
+    @settings(max_examples=20, deadline=None)
+    @given(op=st.sampled_from(ALU_OPS))
+    def test_movl_always_launders(self, op):
+        program = assemble(f"""
+        func main:
+            movl r20 = 3
+            settag r20
+            {op} r21 = r20, r20
+            movl r21 = 9
+            break 0x100000
+        endfunc
+        """)
+
+        def exit_syscall(cpu):
+            cpu.halted = True
+
+        cpu = CPU(program, SparseMemory(), syscall_handler=exit_syscall)
+        cpu.run(max_instructions=1_000)
+        assert not cpu.read_nat(21)

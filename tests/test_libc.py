@@ -1,0 +1,165 @@
+"""MiniC libc behaviour (the instrumentable C library)."""
+
+import pytest
+
+from tests.conftest import minic_result, run_minic
+
+
+def libc_expect(body, value, **kwargs):
+    assert minic_result("int main() {" + body + "}", **kwargs) == value
+
+
+class TestStringLength:
+    def test_strlen(self):
+        libc_expect('return strlen("hello");', 5)
+
+    def test_strlen_empty(self):
+        libc_expect('return strlen("");', 0)
+
+
+class TestCopyAndConcat:
+    def test_strcpy(self):
+        libc_expect("""
+            char buf[16];
+            strcpy(buf, "abc");
+            return buf[0] + (buf[3] == 0);
+        """, ord("a") + 1)
+
+    def test_strncpy_pads(self):
+        libc_expect("""
+            char buf[8];
+            buf[5] = 'Z';
+            strncpy(buf, "ab", 6);
+            return (buf[1] == 'b') + (buf[5] == 0) * 2;
+        """, 3)
+
+    def test_strcat(self):
+        libc_expect("""
+            char buf[16];
+            strcpy(buf, "ab");
+            strcat(buf, "cd");
+            return strlen(buf) * 10 + (buf[3] == 'd');
+        """, 41)
+
+
+class TestCompare:
+    def test_strcmp_equal(self):
+        libc_expect('return strcmp("same", "same");', 0)
+
+    def test_strcmp_orders(self):
+        libc_expect('return (strcmp("abc", "abd") < 0) + (strcmp("b", "a") > 0) * 2;', 3)
+
+    def test_strcmp_prefix(self):
+        libc_expect('return strcmp("ab", "abc") < 0;', 1)
+
+    def test_strncmp(self):
+        libc_expect('return strncmp("abcX", "abcY", 3);', 0)
+
+    def test_strcasecmp(self):
+        libc_expect('return strcasecmp("HeLLo", "hello");', 0)
+
+    def test_strcasecmp_differs(self):
+        libc_expect('return strcasecmp("abc", "abd") != 0;', 1)
+
+
+class TestSearch:
+    def test_strchr_found(self):
+        libc_expect("""
+            char *s = "network";
+            char *p = strchr(s, 'w');
+            return p - s;
+        """, 3)
+
+    def test_strchr_missing(self):
+        libc_expect("""
+            char *p = strchr("abc", 'z');
+            return p == (char *)0;
+        """, 1)
+
+    def test_strstr_found(self):
+        libc_expect("""
+            char *h = "taint tracking";
+            char *p = strstr(h, "track");
+            return p - h;
+        """, 6)
+
+    def test_strstr_missing(self):
+        libc_expect('return strstr("abc", "zq") == (char *)0;', 1)
+
+    def test_strstr_empty_needle(self):
+        libc_expect("""
+            char *h = "x";
+            return strstr(h, "") == h;
+        """, 1)
+
+
+class TestNumbers:
+    def test_atoi_basic(self):
+        libc_expect('return atoi("123");', 123)
+
+    def test_atoi_negative_and_spaces(self):
+        libc_expect('return atoi("  -45") + 100;', 55)
+
+    def test_atoi_stops_at_nondigit(self):
+        libc_expect('return atoi("42abc");', 42)
+
+    def test_write_int(self):
+        libc_expect("""
+            char buf[24];
+            int n = write_int(buf, -307);
+            buf[n] = 0;
+            return (strcmp(buf, "-307") == 0) * 10 + n;
+        """, 14)
+
+    def test_write_int_zero(self):
+        libc_expect("""
+            char buf[8];
+            int n = write_int(buf, 0);
+            return n * 10 + buf[0];
+        """, 10 + ord("0"))
+
+    def test_write_hex(self):
+        libc_expect("""
+            char buf[24];
+            int n = write_hex(buf, 0x1a2f);
+            buf[n] = 0;
+            return strcmp(buf, "1a2f") == 0;
+        """, 1)
+
+
+class TestFormat:
+    def test_format_decimal_and_string(self):
+        m = run_minic("""
+        char out[64];
+        int main() {
+            format_str(out, "n=%d s=%s!", 42, (int)"hey", 0, 0);
+            return 0;
+        }
+        """)
+        assert m.read_string("out") == b"n=42 s=hey!"
+
+    def test_format_hex_char_percent(self):
+        m = run_minic("""
+        char out[64];
+        int main() {
+            format_str(out, "%x %c 100%%", 255, 'Q', 0, 0);
+            return 0;
+        }
+        """)
+        assert m.read_string("out") == b"ff Q 100%"
+
+    def test_format_n_writes_count(self):
+        m = run_minic("""
+        char out[64];
+        int captured;
+        int main() {
+            format_str(out, "abcd%n", (int)&captured, 0, 0, 0);
+            return captured;
+        }
+        """)
+        assert m.exit_code == 4
+
+    def test_puts(self):
+        m = run_minic('int main() { return puts("line"); }')
+        assert m.console.text == "line\n"
+        assert m.exit_code == 5

@@ -1,0 +1,67 @@
+"""Machine configuration knobs: device costs, cache and issue configs."""
+
+from repro.core.shift import build_machine
+from repro.cpu.perf import IssueConfig
+from repro.mem.cache import CacheConfig, HierarchyConfig
+from repro.runtime.devices import DeviceCosts
+
+SOURCE = """
+native int read(int fd, char *buf, int n);
+char buf[256];
+int main() {
+    int n = read(0, buf, 200);
+    int s = 0;
+    for (int i = 0; i < n; i++) s += buf[i];
+    return s & 0xff;
+}
+"""
+
+STDIN = bytes(range(200))
+
+
+def run(**kwargs):
+    machine = build_machine(SOURCE, stdin=STDIN, **kwargs)
+    machine.exit_code = machine.run()
+    return machine
+
+
+class TestDeviceCosts:
+    def test_costlier_devices_raise_io_cycles(self):
+        cheap = run(costs=DeviceCosts(file_base=100, file_byte=0.1))
+        pricey = run(costs=DeviceCosts(file_base=100_000, file_byte=50))
+        assert pricey.counters.io_cycles > cheap.counters.io_cycles * 10
+        assert pricey.exit_code == cheap.exit_code  # results unchanged
+
+
+class TestIssueConfig:
+    def test_narrow_machine_is_slower(self):
+        wide = run(issue_config=IssueConfig(width=6))
+        narrow = run(issue_config=IssueConfig(width=1, mem_ports=1))
+        assert narrow.counters.compute_cycles > wide.counters.compute_cycles
+        assert narrow.exit_code == wide.exit_code
+
+    def test_branch_penalty_visible(self):
+        cheap = run(issue_config=IssueConfig(branch_penalty=0))
+        costly = run(issue_config=IssueConfig(branch_penalty=10))
+        assert costly.counters.branch_penalty_cycles > \
+            cheap.counters.branch_penalty_cycles
+
+
+class TestCacheConfig:
+    def test_tiny_cache_stalls_more(self):
+        big = run()
+        tiny = run(cache_config=HierarchyConfig(
+            l1=CacheConfig(256, 1, line_bytes=64),
+            l2=CacheConfig(1024, 2, line_bytes=64),
+            l3=CacheConfig(4096, 4, line_bytes=64),
+        ))
+        assert tiny.counters.stall_cycles >= big.counters.stall_cycles
+        assert tiny.exit_code == big.exit_code
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_cycles(self):
+        first = run()
+        second = run()
+        assert first.counters.cycles == second.counters.cycles
+        assert first.counters.instructions == second.counters.instructions

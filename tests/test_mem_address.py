@@ -1,0 +1,117 @@
+"""Address-space and tag-translation tests (paper Fig. 4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.address import (
+    IMPL_BITS,
+    IMPL_MASK,
+    NUM_REGIONS,
+    REGION_DATA,
+    REGION_TAG,
+    is_implemented,
+    linearize,
+    make_address,
+    offset_of,
+    region_of,
+    tag_address,
+    tag_space_limit,
+)
+
+addresses = st.builds(
+    make_address,
+    st.integers(min_value=0, max_value=NUM_REGIONS - 1),
+    st.integers(min_value=0, max_value=IMPL_MASK),
+)
+
+
+class TestRegions:
+    def test_region_roundtrip(self):
+        addr = make_address(3, 0x1234)
+        assert region_of(addr) == 3
+        assert offset_of(addr) == 0x1234
+
+    def test_region_zero(self):
+        assert region_of(0x1000) == 0
+
+    def test_make_address_rejects_bad_region(self):
+        with pytest.raises(ValueError):
+            make_address(8, 0)
+
+    def test_make_address_rejects_unimplemented_offset(self):
+        with pytest.raises(ValueError):
+            make_address(0, 1 << IMPL_BITS)
+
+    @given(addresses)
+    def test_roundtrip_property(self, addr):
+        assert make_address(region_of(addr), offset_of(addr)) == addr
+
+    @given(addresses)
+    def test_constructed_addresses_are_implemented(self, addr):
+        assert is_implemented(addr)
+
+    def test_unimplemented_bits_detected(self):
+        bad = make_address(2, 0x100) | (1 << (IMPL_BITS + 2))
+        assert not is_implemented(bad)
+
+
+class TestLinearize:
+    def test_moves_region_down(self):
+        addr = make_address(2, 0x40)
+        assert linearize(addr) == (2 << IMPL_BITS) | 0x40
+
+    @given(addresses, addresses)
+    def test_injective(self, a, b):
+        if a != b:
+            assert linearize(a) != linearize(b)
+
+    @given(addresses)
+    def test_fits_in_region_zero_space(self, addr):
+        assert linearize(addr) < NUM_REGIONS << IMPL_BITS
+
+
+class TestTagAddress:
+    def test_byte_level_bit_per_byte(self):
+        addr = make_address(REGION_DATA, 0x100)
+        lin = linearize(addr)
+        tag = tag_address(addr, 1)
+        assert tag.byte_addr == lin >> 3
+        assert tag.bit == lin & 7
+
+    def test_word_level_byte_per_word(self):
+        addr = make_address(REGION_DATA, 0x108)
+        lin = linearize(addr)
+        tag = tag_address(addr, 8)
+        assert tag.byte_addr == lin >> 3
+        assert tag.bit is None
+        assert tag.mask == 0xFF
+
+    def test_bytes_of_one_word_share_tag_byte(self):
+        base = make_address(REGION_DATA, 0x200)
+        tags = {tag_address(base + i, 8).byte_addr for i in range(8)}
+        assert len(tags) == 1
+
+    def test_adjacent_bytes_get_adjacent_bits(self):
+        base = make_address(REGION_DATA, 0x200)
+        t0 = tag_address(base, 1)
+        t1 = tag_address(base + 1, 1)
+        assert t0.byte_addr == t1.byte_addr
+        assert t1.bit == t0.bit + 1
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(ValueError):
+            tag_address(0, 4)
+
+    @given(addresses)
+    def test_tag_lives_in_region_zero(self, addr):
+        tag = tag_address(addr, 1)
+        assert region_of(tag.byte_addr) == REGION_TAG
+        assert tag.byte_addr < tag_space_limit(1)
+
+    @given(addresses)
+    def test_distinct_granules_distinct_tags(self, addr):
+        # The next word's tag must differ from this word's.
+        t0 = tag_address(addr, 8)
+        t1 = tag_address((addr & ~0x7) + 8, 8) if offset_of(addr) + 8 <= IMPL_MASK else None
+        if t1 is not None:
+            assert t1.byte_addr != t0.byte_addr

@@ -1,0 +1,82 @@
+"""Cache timing-model tests."""
+
+import pytest
+
+from repro.mem.cache import Cache, CacheConfig, CacheHierarchy, HierarchyConfig
+
+
+class TestSingleCache:
+    def test_cold_miss_then_hit(self):
+        cache = Cache(CacheConfig(1024, 2, line_bytes=64))
+        assert cache.access(0x100) is False
+        assert cache.access(0x100) is True
+        assert cache.stats.accesses == 2
+        assert cache.stats.misses == 1
+
+    def test_same_line_shares(self):
+        cache = Cache(CacheConfig(1024, 2, line_bytes=64))
+        cache.access(0x100)
+        assert cache.access(0x13F) is True  # same 64-byte line
+
+    def test_lru_eviction(self):
+        # 2-way set: third distinct line in one set evicts the oldest.
+        config = CacheConfig(2 * 64, 2, line_bytes=64)  # one set, two ways
+        cache = Cache(config)
+        cache.access(0x000)
+        cache.access(0x040)
+        cache.access(0x000)  # refresh line 0
+        cache.access(0x080)  # evicts 0x040 (LRU)
+        assert cache.access(0x000) is True
+        assert cache.access(0x040) is False
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(CacheConfig(3 * 64, 1, line_bytes=64))
+
+    def test_miss_rate(self):
+        cache = Cache(CacheConfig(1024, 2))
+        for _ in range(4):
+            cache.access(0)
+        assert cache.stats.miss_rate == 0.25
+
+
+class TestHierarchy:
+    def test_l1_hit_is_free(self):
+        h = CacheHierarchy()
+        h.access(0x1000)
+        assert h.access(0x1000) == 0
+
+    def test_miss_costs_l2_latency(self):
+        config = HierarchyConfig()
+        h = CacheHierarchy(config)
+        first = h.access(0x1000)
+        assert first == config.memory_latency  # cold: misses both levels
+
+    def test_l2_hit_after_l1_eviction(self):
+        config = HierarchyConfig()
+        h = CacheHierarchy(config)
+        # Touch more distinct lines than L1 can hold, then return.
+        lines = config.l1.size_bytes // config.l1.line_bytes
+        h.access(0)
+        for i in range(1, 4 * lines):
+            h.access(i * config.l1.line_bytes)
+        cost = h.access(0)
+        assert cost in (config.l2_latency, config.l3_latency, config.memory_latency)
+
+    def test_cold_streaming_misses_everywhere(self):
+        config = HierarchyConfig()
+        h = CacheHierarchy(config)
+        span = config.l2.size_bytes * 4
+        stalls = sum(h.access(addr) for addr in range(0, span, 64))
+        # A cold streaming pass misses every level.
+        assert stalls > (span / 64) * config.memory_latency * 0.9
+
+    def test_l3_catches_l2_overflow(self):
+        config = HierarchyConfig()
+        h = CacheHierarchy(config)
+        span = config.l2.size_bytes * 2  # fits in L3, not in L2
+        for addr in range(0, span, 64):
+            h.access(addr)
+        cost = sum(h.access(addr) for addr in range(0, span, 64))
+        per_access = cost / (span / 64)
+        assert per_access <= config.l3_latency + 1

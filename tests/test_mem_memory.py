@@ -1,0 +1,101 @@
+"""Sparse-memory tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.address import IMPL_BITS, make_address
+from repro.mem.memory import MemoryError_, PAGE_SIZE, SparseMemory
+
+
+def data_addr(offset):
+    return make_address(2, offset)
+
+
+class TestScalarAccess:
+    def test_zero_initialised(self):
+        mem = SparseMemory()
+        assert mem.load(data_addr(0x500), 8) == 0
+
+    def test_store_load_roundtrip(self):
+        mem = SparseMemory()
+        mem.store(data_addr(0x10), 8, 0x1122334455667788)
+        assert mem.load(data_addr(0x10), 8) == 0x1122334455667788
+
+    def test_little_endian(self):
+        mem = SparseMemory()
+        mem.store(data_addr(0x10), 4, 0xAABBCCDD)
+        assert mem.load(data_addr(0x10), 1) == 0xDD
+        assert mem.load(data_addr(0x13), 1) == 0xAA
+
+    def test_store_truncates_to_size(self):
+        mem = SparseMemory()
+        mem.store(data_addr(0x20), 1, 0x1FF)
+        assert mem.load(data_addr(0x20), 1) == 0xFF
+
+    def test_cross_page_access(self):
+        mem = SparseMemory()
+        addr = data_addr(PAGE_SIZE - 4)
+        mem.store(addr, 8, 0x0102030405060708)
+        assert mem.load(addr, 8) == 0x0102030405060708
+
+    def test_unimplemented_address_rejected(self):
+        mem = SparseMemory()
+        with pytest.raises(MemoryError_):
+            mem.load(1 << (IMPL_BITS + 3), 8)
+
+    @given(st.integers(min_value=0, max_value=1 << 30),
+           st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.sampled_from([1, 2, 4, 8]))
+    def test_roundtrip_property(self, offset, value, size):
+        mem = SparseMemory()
+        addr = data_addr(offset)
+        mem.store(addr, size, value)
+        assert mem.load(addr, size) == value & ((1 << (8 * size)) - 1)
+
+
+class TestBulkAccess:
+    def test_write_read_bytes(self):
+        mem = SparseMemory()
+        mem.write_bytes(data_addr(0x100), b"hello world")
+        assert mem.read_bytes(data_addr(0x100), 11) == b"hello world"
+
+    def test_cross_page_bulk(self):
+        mem = SparseMemory()
+        blob = bytes(range(256)) * 40  # > 2 pages
+        mem.write_bytes(data_addr(PAGE_SIZE - 100), blob)
+        assert mem.read_bytes(data_addr(PAGE_SIZE - 100), len(blob)) == blob
+
+    @given(st.binary(min_size=1, max_size=5000),
+           st.integers(min_value=0, max_value=1 << 20))
+    def test_bulk_roundtrip_property(self, blob, offset):
+        mem = SparseMemory()
+        mem.write_bytes(data_addr(offset), blob)
+        assert mem.read_bytes(data_addr(offset), len(blob)) == blob
+
+
+class TestCString:
+    def test_read_cstring(self):
+        mem = SparseMemory()
+        mem.write_bytes(data_addr(0x40), b"taint\x00junk")
+        assert mem.read_cstring(data_addr(0x40)) == b"taint"
+
+    def test_empty_string(self):
+        mem = SparseMemory()
+        assert mem.read_cstring(data_addr(0x50)) == b""
+
+    def test_unterminated_raises(self):
+        mem = SparseMemory()
+        mem.write_bytes(data_addr(0), b"x" * 64)
+        with pytest.raises(MemoryError_):
+            mem.read_cstring(data_addr(0), limit=16)
+
+
+class TestPages:
+    def test_lazy_allocation(self):
+        mem = SparseMemory()
+        assert mem.pages_touched() == 0
+        mem.store(data_addr(0), 1, 1)
+        mem.store(data_addr(1), 1, 1)
+        assert mem.pages_touched() == 1
+        mem.store(data_addr(PAGE_SIZE), 1, 1)
+        assert mem.pages_touched() == 2

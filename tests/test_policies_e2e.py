@@ -1,0 +1,174 @@
+"""End-to-end policy detection: each Table 1 policy caught in a guest."""
+
+import pytest
+
+from repro.taint.engine import SecurityAlert
+from repro.taint.policy import PolicyConfig
+from tests.conftest import BYTE_STRICT, WORD_STRICT, run_minic
+
+READ = "native int read(int fd, char *buf, int n);\n"
+
+
+def expect_alert(policy_id, source, *, config=None, stdin=b"", files=None,
+                 options=BYTE_STRICT):
+    with pytest.raises(SecurityAlert) as excinfo:
+        run_minic(source, options, stdin=stdin, files=files,
+                  policy_config=config or PolicyConfig())
+    assert excinfo.value.policy_id == policy_id
+    return excinfo.value
+
+
+class TestLowLevelPolicies:
+    def test_l1_tainted_load_address(self):
+        expect_alert("L1", READ + """
+        char src[16];
+        int main() {
+            read(0, src, 8);
+            int *p = (int *)(src[0] * 65536);
+            return *p;
+        }
+        """, stdin=b"\x42")
+
+    def test_l2_tainted_store_address(self):
+        expect_alert("L2", READ + """
+        char src[16];
+        int main() {
+            read(0, src, 8);
+            int *p = (int *)atoi(src);
+            *p = 1;
+            return 0;
+        }
+        """, stdin=b"4611686018427387904")
+
+    def test_l3_tainted_branch_target(self):
+        expect_alert("L3", READ + """
+        char src[16];
+        int main() {
+            read(0, src, 8);
+            int fp = atoi(src);
+            return __icall(fp);
+        }
+        """, stdin=b"12345")
+
+    def test_l1_works_at_word_level(self):
+        expect_alert("L1", READ + """
+        char src[16];
+        int main() {
+            read(0, src, 8);
+            int *p = (int *)(src[0] * 65536);
+            return *p;
+        }
+        """, stdin=b"\x42", options=WORD_STRICT)
+
+    def test_disabled_l1_does_not_alert(self):
+        config = PolicyConfig().disable("L1")
+        # The hardware fault still terminates the guest, but no
+        # SecurityAlert is raised.
+        from repro.cpu.faults import NaTConsumptionFault
+        with pytest.raises(NaTConsumptionFault):
+            run_minic(READ + """
+            char src[16];
+            int main() {
+                read(0, src, 8);
+                int *p = (int *)(src[0] * 65536);
+                return *p;
+            }
+            """, BYTE_STRICT, stdin=b"\x42", policy_config=config)
+
+
+class TestHighLevelPolicies:
+    def test_h1_absolute_path(self):
+        expect_alert("H1", READ + """
+        native int open(char *p, int f);
+        char src[64];
+        int main() {
+            read(0, src, 32);
+            return open(src, 0);
+        }
+        """, config=PolicyConfig().enable("H1"), stdin=b"/etc/passwd")
+
+    def test_h2_traversal(self):
+        expect_alert("H2", READ + """
+        native int open(char *p, int f);
+        char src[64];
+        char path[128];
+        int main() {
+            read(0, src, 32);
+            strcpy(path, "/www/");
+            strcat(path, src);
+            return open(path, 0);
+        }
+        """, config=PolicyConfig().enable("H2"), stdin=b"../../etc/shadow")
+
+    def test_h3_sql_injection(self):
+        expect_alert("H3", READ + """
+        native int sql_exec(char *q);
+        char src[64];
+        char query[128];
+        int main() {
+            read(0, src, 32);
+            strcpy(query, "SELECT * FROM t WHERE name = '");
+            strcat(query, src);
+            strcat(query, "'");
+            return sql_exec(query);
+        }
+        """, config=PolicyConfig().enable("H3"), stdin=b"x' OR 'a'='a")
+
+    def test_h4_command_injection(self):
+        expect_alert("H4", READ + """
+        native int system(char *c);
+        char src[64];
+        char cmd[128];
+        int main() {
+            read(0, src, 32);
+            strcpy(cmd, "cat ");
+            strcat(cmd, src);
+            return system(cmd);
+        }
+        """, config=PolicyConfig().enable("H4"), stdin=b"log.txt; rm -rf /")
+
+    def test_h5_xss(self):
+        source = READ + """
+        native int accept();
+        native int recv(int fd, char *b, int n);
+        native int send(int fd, char *b, int n);
+        char req[128];
+        char resp[256];
+        int main() {
+            int fd = accept();
+            int n = recv(fd, req, 100);
+            req[n] = 0;
+            strcpy(resp, "<html>");
+            strcat(resp, req);
+            strcat(resp, "</html>");
+            send(fd, resp, strlen(resp));
+            return 0;
+        }
+        """
+        from repro.core.shift import build_machine
+        machine = build_machine(source, BYTE_STRICT,
+                                policy_config=PolicyConfig().enable("H5"))
+        machine.net.add_request(b"<script>steal(document.cookie)</script>")
+        with pytest.raises(SecurityAlert) as excinfo:
+            machine.run()
+        assert excinfo.value.policy_id == "H5"
+
+    def test_benign_inputs_raise_nothing(self):
+        source = READ + """
+        native int open(char *p, int f);
+        native int sql_exec(char *q);
+        char src[64];
+        char query[128];
+        int main() {
+            read(0, src, 32);
+            strcpy(query, "SELECT * FROM t WHERE id = '");
+            strcat(query, src);
+            strcat(query, "'");
+            sql_exec(query);
+            return 0;
+        }
+        """
+        config = PolicyConfig().enable("H1", "H2", "H3", "H4", "H5")
+        machine = run_minic(source, BYTE_STRICT, stdin=b"12345",
+                            policy_config=config)
+        assert not machine.alerts

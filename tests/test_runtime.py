@@ -1,0 +1,214 @@
+"""Guest-OS tests: syscalls, natives, devices, loader."""
+
+import pytest
+
+from repro.runtime.devices import DeviceCosts, SimFileSystem, SimNetwork
+from repro.runtime.machine import LoaderError
+from tests.conftest import run_minic
+
+NATIVES = """
+native int open(char *path, int flags);
+native int read(int fd, char *buf, int n);
+native int write(int fd, char *buf, int n);
+native int close(int fd);
+native int accept();
+native int recv(int fd, char *buf, int n);
+native int send(int fd, char *buf, int n);
+native char *malloc(int n);
+native int rand();
+native void srand(int seed);
+native void console_log(char *s);
+"""
+
+
+class TestFileIO:
+    def test_read_existing_file(self):
+        m = run_minic(NATIVES + """
+        char buf[64];
+        int main() {
+            int fd = open("/hello.txt", 0);
+            int n = read(fd, buf, 64);
+            close(fd);
+            return n;
+        }
+        """, files={"/hello.txt": b"file contents"})
+        assert m.exit_code == 13
+        assert m.read_string("buf") == b"file contents"
+
+    def test_open_missing_file_fails(self):
+        m = run_minic(NATIVES + """
+        int main() { return open("/absent", 0) + 100; }
+        """)
+        assert m.exit_code == 99
+
+    def test_write_file_visible_after_close(self):
+        m = run_minic(NATIVES + """
+        int main() {
+            int fd = open("/out.txt", 1);
+            write(fd, "written!", 8);
+            close(fd);
+            return 0;
+        }
+        """)
+        assert m.fs.read("/out.txt") == b"written!"
+
+    def test_incremental_reads(self):
+        m = run_minic(NATIVES + """
+        char a[8];
+        char b[8];
+        int main() {
+            int fd = open("/f", 0);
+            read(fd, a, 4);
+            read(fd, b, 4);
+            close(fd);
+            return 0;
+        }
+        """, files={"/f": b"AAAABBBB"})
+        assert m.read_string("a")[:4] == b"AAAA"
+        assert m.read_string("b")[:4] == b"BBBB"
+
+    def test_stdout_write_reaches_console(self):
+        m = run_minic(NATIVES + """
+        int main() { return write(1, "to console", 10); }
+        """)
+        assert m.console.text == "to console"
+
+    def test_console_log(self):
+        m = run_minic(NATIVES + """
+        int main() { console_log("hello log"); return 0; }
+        """)
+        assert "hello log\n" in m.console.text
+
+    def test_path_normalisation(self):
+        m = run_minic(NATIVES + """
+        char buf[32];
+        int main() {
+            int fd = open("/www/a/../secret", 0);
+            return read(fd, buf, 32);
+        }
+        """, files={"/www/secret": b"norm"})
+        assert m.exit_code == 4
+
+
+class TestNetwork:
+    def test_accept_recv_send_cycle(self):
+        from repro.core.shift import build_machine
+        m = build_machine(NATIVES + """
+        char buf[64];
+        int main() {
+            int served = 0;
+            int fd;
+            while ((fd = accept()) >= 0) {
+                int n = recv(fd, buf, 64);
+                send(fd, buf, n);
+                served++;
+            }
+            return served;
+        }
+        """)
+        m.net.add_request(b"ping-1")
+        m.net.add_request(b"ping-2")
+        assert m.run() == 2
+        assert bytes(m.net.completed[0].outbound) == b"ping-1"
+        assert bytes(m.net.completed[1].outbound) == b"ping-2"
+
+    def test_accept_returns_minus_one_when_drained(self):
+        m = run_minic(NATIVES + "int main() { return accept(); }")
+        assert m.exit_code & 0xFF == 0xFF  # -1 low byte
+
+
+class TestMemoryNatives:
+    def test_malloc_returns_distinct_chunks(self):
+        m = run_minic(NATIVES + """
+        int main() {
+            char *a = malloc(100);
+            char *b = malloc(100);
+            a[0] = 'x';
+            b[0] = 'y';
+            return (b - a) >= 100 && a[0] == 'x';
+        }
+        """)
+        assert m.exit_code == 1
+
+    def test_rand_deterministic_with_seed(self):
+        src = NATIVES + """
+        int main() { srand(7); return rand() % 100; }
+        """
+        assert run_minic(src).exit_code == run_minic(src).exit_code
+
+
+class TestDevices:
+    def test_filesystem(self):
+        fs = SimFileSystem({"/a": b"1"})
+        assert fs.exists("/a") and not fs.exists("/b")
+        fs.append("/a", b"2")
+        assert fs.read("/a") == b"12"
+
+    def test_network_fifo_order(self):
+        net = SimNetwork()
+        net.add_request(b"first")
+        net.add_request(b"second")
+        assert net.accept().inbound == b"first"
+        assert net.accept().inbound == b"second"
+        assert net.accept() is None
+
+    def test_connection_recv_chunks(self):
+        net = SimNetwork()
+        conn = net.add_request(b"abcdef")
+        net.accept()
+        assert conn.recv(4) == b"abcd"
+        assert conn.recv(4) == b"ef"
+        assert conn.recv(4) == b""
+
+
+class TestIOCosts:
+    def test_io_cycles_accumulate(self):
+        m = run_minic(NATIVES + """
+        char buf[64];
+        int main() {
+            int fd = open("/f", 0);
+            read(fd, buf, 64);
+            close(fd);
+            return 0;
+        }
+        """, files={"/f": b"x" * 64})
+        costs = DeviceCosts()
+        assert m.counters.io_cycles >= costs.open_cost + costs.file_base
+
+    def test_bigger_transfers_cost_more(self):
+        def io_for(n):
+            m = run_minic(NATIVES + f"""
+            char buf[2048];
+            int main() {{
+                int fd = open("/f", 0);
+                read(fd, buf, {n});
+                return 0;
+            }}
+            """, files={"/f": b"y" * 2048})
+            return m.counters.io_cycles
+        assert io_for(2048) > io_for(64)
+
+
+class TestLoader:
+    def test_unknown_symbol_lookup_raises(self):
+        m = run_minic("int g; int main() { return 0; }", include_libc=False)
+        with pytest.raises(LoaderError):
+            m.address_of("nope")
+
+    def test_globals_initialised(self):
+        m = run_minic("""
+        int answer = 42;
+        char text[8] = "ok";
+        int main() { return 0; }
+        """, include_libc=False)
+        assert m.read_global("answer") == 42
+        assert m.read_string("text") == b"ok"
+
+    def test_distinct_globals_distinct_addresses(self):
+        m = run_minic("""
+        int a; int b; char c[100]; int d;
+        int main() { return 0; }
+        """, include_libc=False)
+        addrs = [m.address_of(s) for s in ("a", "b", "c", "d")]
+        assert len(set(addrs)) == 4
+        assert addrs[3] >= addrs[2] + 100

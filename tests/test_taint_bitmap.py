@@ -1,0 +1,128 @@
+"""TaintMap tests at both granularities."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.address import make_address
+from repro.mem.memory import SparseMemory
+from repro.taint.bitmap import GRANULARITY_BYTE, GRANULARITY_WORD, TaintMap
+
+
+def addr(offset):
+    return make_address(2, 0x1000 + offset)
+
+
+@pytest.fixture(params=[GRANULARITY_BYTE, GRANULARITY_WORD],
+                ids=["byte", "word"])
+def tmap(request):
+    return TaintMap(SparseMemory(), request.param)
+
+
+class TestBasics:
+    def test_initially_clean(self, tmap):
+        assert not tmap.is_tainted(addr(0))
+
+    def test_set_and_clear(self, tmap):
+        tmap.set_taint(addr(0), True)
+        assert tmap.is_tainted(addr(0))
+        tmap.set_taint(addr(0), False)
+        assert not tmap.is_tainted(addr(0))
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(ValueError):
+            TaintMap(SparseMemory(), 4)
+
+    def test_range_marks_all_bytes(self, tmap):
+        tmap.set_range(addr(0), 20, True)
+        assert all(tmap.taint_flags(addr(0), 20))
+
+    def test_empty_range_is_noop(self, tmap):
+        tmap.set_range(addr(0), 0, True)
+        assert not tmap.any_tainted(addr(0), 8)
+
+    def test_any_tainted(self, tmap):
+        tmap.set_taint(addr(16), True)
+        assert tmap.any_tainted(addr(0), 32)
+        assert not tmap.any_tainted(addr(64), 32)
+
+
+class TestGranularityDifferences:
+    def test_byte_level_is_precise(self):
+        tmap = TaintMap(SparseMemory(), GRANULARITY_BYTE)
+        tmap.set_taint(addr(3), True)
+        flags = tmap.taint_flags(addr(0), 8)
+        assert flags == [False, False, False, True, False, False, False, False]
+
+    def test_word_level_taints_whole_word(self):
+        tmap = TaintMap(SparseMemory(), GRANULARITY_WORD)
+        tmap.set_taint(addr(3), True)
+        # addr(3) is inside the word [0, 8): all eight bytes report taint.
+        assert all(tmap.taint_flags(addr(0), 8))
+        assert not tmap.any_tainted(addr(8), 8)
+
+
+class TestSpans:
+    def test_single_span(self):
+        tmap = TaintMap(SparseMemory(), GRANULARITY_BYTE)
+        tmap.set_range(addr(4), 6, True)
+        assert list(tmap.tainted_spans(addr(0), 16)) == [(4, 6)]
+
+    def test_multiple_spans(self):
+        tmap = TaintMap(SparseMemory(), GRANULARITY_BYTE)
+        tmap.set_range(addr(0), 2, True)
+        tmap.set_range(addr(6), 2, True)
+        assert list(tmap.tainted_spans(addr(0), 10)) == [(0, 2), (6, 2)]
+
+    def test_span_reaching_end(self):
+        tmap = TaintMap(SparseMemory(), GRANULARITY_BYTE)
+        tmap.set_range(addr(8), 8, True)
+        assert list(tmap.tainted_spans(addr(0), 16)) == [(8, 8)]
+
+
+class TestCopyTaint:
+    def test_wrap_function_summary(self, tmap):
+        tmap.set_range(addr(0), 8, True)
+        tmap.copy_taint(addr(64), addr(0), 16)
+        assert tmap.any_tainted(addr(64), 8)
+        assert tmap.taint_flags(addr(64), 16) == tmap.taint_flags(addr(0), 16)
+
+
+class TestPropertyBased:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=255),  # offset
+                st.integers(min_value=1, max_value=40),  # length
+                st.booleans(),
+            ),
+            max_size=12,
+        )
+    )
+    def test_byte_level_matches_reference_model(self, ops):
+        tmap = TaintMap(SparseMemory(), GRANULARITY_BYTE)
+        reference = [False] * 512
+        for offset, length, tainted in ops:
+            tmap.set_range(addr(offset), length, tainted)
+            for i in range(offset, min(offset + length, 512)):
+                reference[i] = tainted
+        assert tmap.taint_flags(addr(0), 512) == reference
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=31),  # word-aligned offset/8
+                st.booleans(),
+            ),
+            max_size=12,
+        )
+    )
+    def test_word_level_matches_reference_model(self, ops):
+        tmap = TaintMap(SparseMemory(), GRANULARITY_WORD)
+        reference = [False] * 32  # per-word flags
+        for word, tainted in ops:
+            tmap.set_range(addr(word * 8), 8, tainted)
+            reference[word] = tainted
+        for word in range(32):
+            assert tmap.is_tainted(addr(word * 8)) == reference[word]

@@ -1,0 +1,115 @@
+"""Policy-engine tests: fault mapping, use points, record vs raise."""
+
+import pytest
+
+from repro.cpu.faults import NaTConsumptionFault
+from repro.mem.address import make_address
+from repro.mem.memory import SparseMemory
+from repro.taint.bitmap import TaintMap
+from repro.taint.engine import PolicyEngine, SecurityAlert
+from repro.taint.policy import PolicyConfig
+
+
+def make_engine(mode="raise", **enables):
+    memory = SparseMemory()
+    tmap = TaintMap(memory, 1)
+    config = PolicyConfig()
+    for pid, on in enables.items():
+        (config.enable if on else config.disable)(pid)
+    return PolicyEngine(config, tmap, mode=mode), tmap
+
+
+def put(tmap, text, offset=0x2000):
+    addr = make_address(2, offset)
+    tmap.memory.write_bytes(addr, text)
+    return addr
+
+
+class TestFaultMapping:
+    def test_load_addr_fault_is_l1(self):
+        engine, _ = make_engine()
+        with pytest.raises(SecurityAlert) as excinfo:
+            engine.on_fault(None, NaTConsumptionFault("load_addr"))
+        assert excinfo.value.policy_id == "L1"
+
+    def test_store_addr_fault_is_l2(self):
+        engine, _ = make_engine()
+        with pytest.raises(SecurityAlert) as excinfo:
+            engine.on_fault(None, NaTConsumptionFault("store_addr"))
+        assert excinfo.value.policy_id == "L2"
+
+    def test_branch_move_fault_is_l3(self):
+        engine, _ = make_engine()
+        with pytest.raises(SecurityAlert) as excinfo:
+            engine.on_fault(None, NaTConsumptionFault("branch_move"))
+        assert excinfo.value.policy_id == "L3"
+
+    def test_disabled_policy_ignores_fault(self):
+        engine, _ = make_engine(L1=False)
+        engine.on_fault(None, NaTConsumptionFault("load_addr"))
+        assert not engine.alerts
+
+    def test_non_nat_fault_ignored(self):
+        from repro.cpu.faults import IllegalInstructionFault
+        engine, _ = make_engine()
+        engine.on_fault(None, IllegalInstructionFault("x"))
+        assert not engine.alerts
+
+
+class TestUsePoints:
+    def test_fopen_h1(self):
+        engine, tmap = make_engine(H1=True)
+        addr = put(tmap, b"/etc/passwd")
+        tmap.set_range(addr, 11, True)
+        with pytest.raises(SecurityAlert) as excinfo:
+            engine.check_use_point("fopen", addr, b"/etc/passwd")
+        assert excinfo.value.policy_id == "H1"
+
+    def test_untainted_data_skips_checks(self):
+        engine, tmap = make_engine(H1=True)
+        addr = put(tmap, b"/etc/passwd")
+        engine.check_use_point("fopen", addr, b"/etc/passwd")
+        assert not engine.alerts
+
+    def test_sql_h3(self):
+        engine, tmap = make_engine(H3=True)
+        query = b"SELECT * FROM t WHERE x = '1' OR ''='"
+        addr = put(tmap, query)
+        tmap.set_range(addr + 26, len(query) - 26, True)
+        with pytest.raises(SecurityAlert):
+            engine.check_use_point("sql", addr, query)
+
+    def test_disabled_policy_not_checked(self):
+        engine, tmap = make_engine()  # H policies off by default
+        addr = put(tmap, b"/etc/passwd")
+        tmap.set_range(addr, 11, True)
+        engine.check_use_point("fopen", addr, b"/etc/passwd")
+        assert not engine.alerts
+
+    def test_unknown_use_point_rejected(self):
+        engine, _ = make_engine()
+        with pytest.raises(ValueError):
+            engine.check_use_point("telnet", 0, b"")
+
+
+class TestModes:
+    def test_record_mode_collects_without_raising(self):
+        engine, tmap = make_engine(mode="record", H1=True)
+        addr = put(tmap, b"/etc/passwd")
+        tmap.set_range(addr, 11, True)
+        engine.check_use_point("fopen", addr, b"/etc/passwd")
+        assert engine.detected("H1")
+        assert len(engine.alerts) == 1
+
+    def test_reset(self):
+        engine, tmap = make_engine(mode="record", H1=True)
+        addr = put(tmap, b"/x")
+        tmap.set_range(addr, 2, True)
+        engine.check_use_point("fopen", addr, b"/x")
+        engine.reset()
+        assert not engine.detected()
+
+    def test_alert_message_names_attack(self):
+        engine, _ = make_engine()
+        with pytest.raises(SecurityAlert, match="De-referencing tainted pointer"):
+            engine.on_fault(None, NaTConsumptionFault("load_addr"))

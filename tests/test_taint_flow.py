@@ -1,0 +1,248 @@
+"""End-to-end taint propagation through instrumented guests.
+
+These tests exercise the whole SHIFT mechanism: taint sources mark the
+bitmap, instrumented loads lift taint into NaT bits, the processor
+propagates NaT through computation, and instrumented stores write it
+back to the bitmap.
+"""
+
+import pytest
+
+from tests.conftest import BYTE_STRICT, WORD_STRICT, run_minic
+
+READ = "native int read(int fd, char *buf, int n);\n"
+IS_TAINTED = "native int is_tainted(char *p);\n"
+
+
+def spans(machine, symbol, length):
+    return list(machine.taint_map.tainted_spans(machine.address_of(symbol), length))
+
+
+class TestSources:
+    def test_stdin_read_marks_bitmap(self):
+        m = run_minic(READ + """
+        char buf[32];
+        int main() { return read(0, buf, 32); }
+        """, BYTE_STRICT, stdin=b"abcdef")
+        assert spans(m, "buf", 32) == [(0, 6)]
+
+    def test_trusted_source_leaves_bitmap_clean(self):
+        from repro.taint.policy import PolicyConfig
+        config = PolicyConfig()
+        config.tainted_sources["stdin"] = False
+        m = run_minic(READ + """
+        char buf[32];
+        int main() { return read(0, buf, 32); }
+        """, BYTE_STRICT, stdin=b"abcdef", policy_config=config)
+        assert spans(m, "buf", 32) == []
+
+    def test_file_read_marks_bitmap(self):
+        m = run_minic("""
+        native int open(char *p, int f);
+        native int read(int fd, char *buf, int n);
+        char buf[32];
+        int main() { int fd = open("/d", 0); return read(fd, buf, 32); }
+        """, BYTE_STRICT, files={"/d": b"12345678"})
+        assert spans(m, "buf", 32) == [(0, 8)]
+
+    def test_taint_region_native(self):
+        m = run_minic("""
+        native void taint_region(char *p, int n);
+        char buf[16];
+        int main() { taint_region(buf + 4, 4); return 0; }
+        """, BYTE_STRICT)
+        assert spans(m, "buf", 16) == [(4, 4)]
+
+
+class TestExplicitPropagation:
+    COPY = READ + """
+    char src[32];
+    char dst[32];
+    int main() {
+        read(0, src, 16);
+        for (int i = 0; i < 16; i++) dst[i] = src[i];
+        return 0;
+    }
+    """
+
+    def test_byte_copy_propagates_byte_level(self):
+        m = run_minic(self.COPY, BYTE_STRICT, stdin=b"0123456789abcdef")
+        assert spans(m, "dst", 32) == [(0, 16)]
+
+    def test_byte_copy_propagates_word_level(self):
+        m = run_minic(self.COPY, WORD_STRICT, stdin=b"0123456789abcdef")
+        assert spans(m, "dst", 32) == [(0, 16)]
+
+    def test_arithmetic_propagates(self):
+        m = run_minic(READ + """
+        char src[16];
+        int out;
+        int main() {
+            read(0, src, 8);
+            int x = src[0] + src[1] * 3;
+            out = x ^ 0x55;
+            return 0;
+        }
+        """, BYTE_STRICT, stdin=b"zz")
+        assert m.taint_map.is_tainted(m.address_of("out"))
+
+    def test_constant_store_clears_taint(self):
+        m = run_minic(READ + """
+        char src[16];
+        int main() {
+            read(0, src, 8);
+            src[2] = 'x';
+            return 0;
+        }
+        """, BYTE_STRICT, stdin=b"AAAAAAAA")
+        assert spans(m, "src", 8) == [(0, 2), (3, 5)]
+
+    def test_partial_read_taints_only_received(self):
+        m = run_minic(READ + """
+        char src[32];
+        char dst[32];
+        int main() {
+            int n = read(0, src, 32);
+            for (int i = 0; i < 32; i++) dst[i] = src[i];
+            return n;
+        }
+        """, BYTE_STRICT, stdin=b"abc")
+        assert spans(m, "dst", 32) == [(0, 3)]
+
+    def test_int_load_store_propagates(self):
+        m = run_minic(READ + """
+        char src[16];
+        int words[4];
+        int main() {
+            read(0, src, 16);
+            int *p = (int *)src;
+            words[1] = *p + 1;
+            return 0;
+        }
+        """, BYTE_STRICT, stdin=b"0123456789abcdef")
+        assert m.taint_map.is_tainted(m.address_of("words") + 8)
+        assert not m.taint_map.is_tainted(m.address_of("words"))
+
+
+class TestLibcPropagation:
+    def test_strcpy_propagates(self):
+        m = run_minic(READ + """
+        char src[32];
+        char dst[32];
+        int main() {
+            read(0, src, 12);
+            strcpy(dst, src);
+            return 0;
+        }
+        """, BYTE_STRICT, stdin=b"tainted data")
+        assert spans(m, "dst", 12) == [(0, 12)]
+
+    def test_strcat_preserves_untainted_prefix(self):
+        m = run_minic(READ + """
+        char src[32];
+        char dst[64];
+        int main() {
+            read(0, src, 8);
+            strcpy(dst, "prefix: ");
+            strcat(dst, src);
+            return 0;
+        }
+        """, BYTE_STRICT, stdin=b"12345678")
+        assert spans(m, "dst", 24) == [(8, 8)]
+
+    def test_format_str_propagates_string_arg(self):
+        m = run_minic(READ + """
+        char src[32];
+        char out[64];
+        int main() {
+            read(0, src, 6);
+            format_str(out, "v=%s;", (int)src, 0, 0, 0);
+            return 0;
+        }
+        """, BYTE_STRICT, stdin=b"abcdef")
+        assert spans(m, "out", 16) == [(2, 6)]
+
+    def test_atoi_result_tainted(self):
+        m = run_minic(READ + IS_TAINTED + """
+        char src[16];
+        int value;
+        int main() {
+            read(0, src, 8);
+            value = atoi(src);
+            return is_tainted((char *)&value);
+        }
+        """, BYTE_STRICT, stdin=b"1234")
+        assert m.exit_code == 1
+        assert m.read_global("value") == 1234
+
+
+class TestWrapFunctions:
+    def test_memcpy_native_summary(self):
+        m = run_minic(READ + """
+        native char *memcpy(char *d, char *s, int n);
+        char src[32];
+        char dst[32];
+        int main() {
+            read(0, src, 10);
+            memcpy(dst, src + 2, 8);
+            return 0;
+        }
+        """, BYTE_STRICT, stdin=b"0123456789")
+        assert spans(m, "dst", 32) == [(0, 8)]
+
+    def test_memset_clears_taint(self):
+        m = run_minic(READ + """
+        native char *memset(char *d, int c, int n);
+        char src[32];
+        int main() {
+            read(0, src, 16);
+            memset(src, 0, 8);
+            return 0;
+        }
+        """, BYTE_STRICT, stdin=b"0123456789abcdef")
+        assert spans(m, "src", 16) == [(8, 8)]
+
+
+class TestRegisterTaintAcrossCalls:
+    def test_taint_survives_callee_saved_spill(self):
+        """A tainted value held across a call keeps its NaT via
+        st8.spill/ld8.fill and ar.unat (the compiler's save discipline)."""
+        m = run_minic(READ + IS_TAINTED + """
+        char src[16];
+        int out;
+        int noisy(int n) {
+            int a = 1; int b = 2; int c = 3; int d = 4;
+            return a + b + c + d + n;
+        }
+        int main() {
+            read(0, src, 8);
+            int held = src[0] + 100;
+            int other = noisy(5);
+            out = held + other;
+            return is_tainted((char *)&out);
+        }
+        """, BYTE_STRICT, stdin=b"Q")
+        assert m.exit_code == 1
+
+
+class TestWordLevelImprecision:
+    def test_word_level_spreads_within_word(self):
+        m = run_minic(READ + """
+        char src[16];
+        int main() { read(0, src, 2); return 0; }
+        """, WORD_STRICT, stdin=b"ab")
+        # Two tainted bytes taint their whole 8-byte word.
+        assert spans(m, "src", 16) == [(0, 8)]
+
+    def test_word_level_untainted_substore_wipes_word(self):
+        """The paper's Fig. 5 word update trades precision for speed: a
+        clean sub-word store clears the whole word's tag."""
+        m = run_minic(READ + """
+        char src[16];
+        int main() {
+            read(0, src, 8);
+            src[7] = 'x';
+            return 0;
+        }
+        """, WORD_STRICT, stdin=b"AAAAAAAA")
+        assert spans(m, "src", 16) == []

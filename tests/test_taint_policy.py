@@ -1,0 +1,163 @@
+"""Policy catalogue and config-file tests (paper Table 1)."""
+
+import pytest
+
+from repro.taint.policy import (
+    DEFAULT_ENABLED,
+    HIGH_LEVEL_CHECKS,
+    POLICY_BY_ID,
+    PolicyConfig,
+    PolicyConfigError,
+    PolicySettings,
+    TABLE1,
+    USE_POINT_POLICIES,
+    format_table1,
+    parse_policy_config,
+)
+
+
+def check(policy_id, data, tainted_all=True, settings=None, flags=None):
+    if flags is None:
+        flags = [tainted_all] * len(data)
+    return HIGH_LEVEL_CHECKS[policy_id](data, flags, settings or PolicySettings())
+
+
+class TestCatalogue:
+    def test_eight_policies(self):
+        assert len(TABLE1) == 8
+        assert set(POLICY_BY_ID) == {"H1", "H2", "H3", "H4", "H5", "L1", "L2", "L3"}
+
+    def test_low_level_defaults_on(self):
+        config = PolicyConfig()
+        for pid in DEFAULT_ENABLED:
+            assert config.is_enabled(pid)
+        assert not config.is_enabled("H1")
+
+    def test_use_points_cover_high_level(self):
+        covered = {pid for pids in USE_POINT_POLICIES.values() for pid in pids}
+        assert covered == {"H1", "H2", "H3", "H4", "H5"}
+
+    def test_format_table1(self):
+        text = format_table1()
+        assert "H1" in text and "L3" in text
+        assert "Directory Traversal" in text
+
+
+class TestH1:
+    def test_tainted_absolute_path(self):
+        assert check("H1", b"/etc/passwd") is not None
+
+    def test_untainted_absolute_path_ok(self):
+        assert check("H1", b"/etc/passwd", tainted_all=False) is None
+
+    def test_tainted_relative_path_ok(self):
+        assert check("H1", b"docs/x.txt") is None
+
+    def test_untainted_prefix_tainted_tail_ok(self):
+        flags = [False] * 5 + [True] * 6
+        assert check("H1", b"/www/evil.php", flags=flags) is None
+
+
+class TestH2:
+    def test_escape_via_dotdot(self):
+        violation = check("H2", b"/www/pages/../../etc/shadow")
+        assert violation is not None
+        assert violation.policy_id == "H2"
+
+    def test_inside_root_ok(self):
+        assert check("H2", b"/www/pages/home") is None
+
+    def test_untainted_escape_ok(self):
+        assert check("H2", b"/etc/passwd", tainted_all=False) is None
+
+    def test_custom_document_root(self):
+        settings = PolicySettings(document_root="/srv/site")
+        assert check("H2", b"/srv/site/a", settings=settings) is None
+        assert check("H2", b"/srv/other/a", settings=settings) is not None
+
+
+class TestH3:
+    def test_tainted_quote(self):
+        assert check("H3", b"SELECT * FROM t WHERE id='1' OR '1'='1'") is not None
+
+    def test_untainted_query_ok(self):
+        assert check("H3", b"SELECT 'x'", tainted_all=False) is None
+
+    def test_tainted_digits_ok(self):
+        flags = [c in b"42" for c in b"SELECT * WHERE id = 42"]
+        assert check("H3", b"SELECT * WHERE id = 42", flags=flags) is None
+
+
+class TestH4:
+    def test_tainted_shell_metachar(self):
+        assert check("H4", b"ls; rm -rf /") is not None
+
+    def test_plain_argument_ok(self):
+        assert check("H4", b"file.txt") is None
+
+    def test_untainted_pipe_ok(self):
+        assert check("H4", b"a | b", tainted_all=False) is None
+
+
+class TestH5:
+    def test_tainted_script_tag(self):
+        assert check("H5", b"<p><script>x()</script></p>") is not None
+
+    def test_case_insensitive(self):
+        assert check("H5", b"<ScRiPt>") is not None
+
+    def test_whitespace_variant(self):
+        assert check("H5", b"< script>") is not None
+
+    def test_untainted_script_ok(self):
+        assert check("H5", b"<script>legit</script>", tainted_all=False) is None
+
+    def test_tainted_text_without_script_ok(self):
+        assert check("H5", b"hello <b>world</b>") is None
+
+
+class TestConfigParsing:
+    def test_full_config(self):
+        config = parse_policy_config("""
+        [sources]
+        network = tainted
+        file = trusted
+
+        [policies]
+        H1 = on
+        H5 = on
+        L1 = off
+
+        [settings]
+        document_root = /srv/www
+        """)
+        assert config.source_is_tainted("network")
+        assert not config.source_is_tainted("file")
+        assert config.is_enabled("H1")
+        assert config.is_enabled("H5")
+        assert not config.is_enabled("L1")
+        assert config.is_enabled("L2")  # default stays
+        assert config.settings.document_root == "/srv/www"
+
+    def test_comments_and_blanks(self):
+        config = parse_policy_config("# header\n[policies]\nH3 = on # inline\n")
+        assert config.is_enabled("H3")
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(PolicyConfigError):
+            parse_policy_config("[bogus]\nx = 1\n")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(PolicyConfigError):
+            parse_policy_config("[policies]\nH9 = on\n")
+
+    def test_key_outside_section_rejected(self):
+        with pytest.raises(PolicyConfigError):
+            parse_policy_config("x = 1\n")
+
+    def test_enable_disable_api(self):
+        config = PolicyConfig().enable("H1", "H2").disable("L3")
+        assert config.is_enabled("H1") and config.is_enabled("H2")
+        assert not config.is_enabled("L3")
+        with pytest.raises(ValueError):
+            config.enable("H9")
