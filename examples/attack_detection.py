@@ -8,14 +8,18 @@ analogues through the security harness.
 Run:  python examples/attack_detection.py
 """
 
-from repro.apps.vulnerable import FIGURE1_APP, TABLE2_APPS
+from repro.apps.vulnerable import BFTPD, FIGURE1_APP, QWIKIWIKI, TABLE2_APPS
 from repro.compiler.instrument import UNINSTRUMENTED
+from repro.core.shift import build_machine, compile_protected
+from repro.cpu.faults import Fault
 from repro.harness.table2 import (
     BYTE_STRICT,
     _run_scenario,
     evaluate_app,
     unprotected_config,
 )
+from repro.obs.report import render_incidents
+from repro.taint.engine import SecurityAlert
 
 
 def figure1_demo():
@@ -62,9 +66,39 @@ def table2_tour(names=("tar", "qwikiwiki", "phpmyfaq", "bftpd")):
               f"{evaluation.false_positive_byte or evaluation.false_positive_word}")
 
 
+def incident_forensics():
+    print("=" * 70)
+    print("Incident forensics (repro.obs): tracing alerts back to their input")
+    print("=" * 70)
+    print("""
+Rerunning one low-level (L2, NaT-consumption fault) and one high-level
+(H2, use-point) detection with tracing=True: the incident report shows
+the policy, the faulting pc with disassembly, and the taint origin
+chain — which bytes of which input stream caused the alert.
+""")
+    for app in (BFTPD, QWIKIWIKI):
+        compiled = compile_protected(app.source, BYTE_STRICT)
+        machine = build_machine(compiled, policy_config=app.policy_config(),
+                                engine_mode="record", tracing=True)
+        scenario = app.attack(machine) if callable(app.attack) else app.attack
+        app.prepare(machine, scenario)
+        try:
+            machine.run(max_instructions=50_000_000)
+        except (SecurityAlert, Fault):
+            pass
+        print(f"{app.name} ({app.cve}) under attack:")
+        print(render_incidents(machine))
+        summary = machine.obs.tracer.summary()
+        print(f"    trace: {summary['events.total']} events "
+              f"({summary.get('events.taint_source', 0)} taint sources, "
+              f"{machine.obs.tracer.counts.get('syscall', 0)} native calls)\n")
+
+
 def main():
     figure1_demo()
     table2_tour()
+    print()
+    incident_forensics()
     print("\nAll attacks detected; benign runs clean (paper Table 2).")
 
 

@@ -41,6 +41,7 @@ def demonstrate_protection():
         compiled_webserver(PERF_OPTIONS["byte"]),
         policy_config=webserver_policy(),
         files=files,
+        tracing=True,
     )
     machine.net.add_request(make_request(4))  # benign first
     machine.net.add_request(b"GET /../etc/shadow HTTP/1.0\r\n\r\n")
@@ -50,6 +51,14 @@ def demonstrate_protection():
     except SecurityAlert as alert:
         print(f"    {alert}")
     print(f"    requests completed before the alert: {len(machine.net.completed) - 1}")
+    print("\nIncident report (tracing was on):")
+    for report in machine.incident_reports():
+        print(report.render())
+    metrics = machine.metrics().to_dict()
+    print(f"\nMetrics registry: {metrics['alerts.total']} alert(s), "
+          f"{metrics['taint.bitmap_population']:,} tainted granules, "
+          f"{metrics['cpu.instructions']:,} instructions, "
+          f"{metrics['trace.events.total']} trace events")
 
 
 def main():

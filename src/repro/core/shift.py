@@ -56,6 +56,9 @@ def build_machine(
     issue_config: Optional[IssueConfig] = None,
     thread_quantum: int = 800,
     serialize_bitmap: bool = False,
+    tracing: bool = False,
+    trace_path: Optional[str] = None,
+    trace_capacity: Optional[int] = None,
 ) -> Machine:
     """Compile (if needed) and load a guest into a ready Machine."""
     if isinstance(sources, CompiledProgram):
@@ -73,6 +76,9 @@ def build_machine(
         issue_config=issue_config,
         thread_quantum=thread_quantum,
         serialize_bitmap=serialize_bitmap,
+        tracing=tracing,
+        trace_path=trace_path,
+        trace_capacity=trace_capacity,
     )
 
 

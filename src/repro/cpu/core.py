@@ -158,6 +158,9 @@ class CPU:
         self.syscall_handler = syscall_handler
         self.native_handler = native_handler
         self.fault_hook = fault_hook
+        #: Optional obs tracer; only consulted on the fault path, so the
+        #: per-instruction execute loop is identical with tracing off.
+        self.tracer = None
 
         self.gr: List[int] = [0] * NUM_GR
         self.nat: List[bool] = [False] * NUM_GR
@@ -279,6 +282,16 @@ class CPU:
             self._execute(instr)
         except Fault as fault:
             fault.at(self.pc, instr)
+            if self.tracer is not None:
+                from repro.obs.events import FaultEvent
+
+                self.tracer.emit(FaultEvent(
+                    fault=type(fault).__name__,
+                    detail=getattr(fault, "kind", "") or str(fault),
+                    pc=self.pc,
+                    instruction=str(instr),
+                    instruction_count=self.counters.instructions,
+                ))
             if self.fault_hook is not None:
                 self.fault_hook(self, fault)
             raise

@@ -42,6 +42,24 @@ def _with_chart(result, table_fn, chart_fn) -> str:
     return table_fn(result) + "\n\n" + chart_fn(result)
 
 
+def _metrics_dump(scale: str) -> str:
+    """Run one instrumented kernel and render its full metrics registry."""
+    from repro.apps.spec import BENCHMARKS
+    from repro.core.shift import build_machine
+    from repro.harness.runners import PERF_OPTIONS, compiled_spec, spec_policy
+    from repro.obs.metrics import collect_machine
+
+    bench = BENCHMARKS["gzip"]
+    machine = build_machine(
+        compiled_spec(bench, PERF_OPTIONS["byte"], scale),
+        policy_config=spec_policy(safe_input=False),
+        files={"/data": bench.make_input(scale)},
+    )
+    machine.run()
+    return collect_machine(machine).render(
+        f"Observability metrics registry — gzip ({scale}, byte-level)")
+
+
 def main(argv=None) -> int:
     """CLI entry point: run and archive every experiment."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -76,6 +94,7 @@ def main(argv=None) -> int:
             run_ablations(scale=args.scale, benchmarks=["gzip", "gcc", "mcf"]))),
         ("ablation_width", lambda: format_width_ablation(
             run_width_ablation(scale="test"))),
+        ("metrics", lambda: _metrics_dump(args.scale)),
     ]
 
     for name, runner in experiments:

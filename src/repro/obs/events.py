@@ -1,0 +1,120 @@
+"""Structured trace events emitted by the observability subsystem.
+
+Every event is a plain dataclass with a class-level ``KIND`` string and
+a ``to_dict()`` that flattens it for the JSON-lines exporter.  Events
+are cheap to construct but are only ever built behind an
+``if tracer is not None:`` guard, so a machine running with tracing
+disabled never allocates one (the paper's hot loop stays untouched).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import ClassVar, Tuple
+
+
+@dataclass
+class Event:
+    """Base class: ``KIND`` names the event type in exports."""
+
+    KIND: ClassVar[str] = "event"
+
+    def to_dict(self) -> dict:
+        """Flat dict form, with the event kind under ``"kind"``."""
+        data = {"kind": self.KIND}
+        data.update(asdict(self))
+        return data
+
+    @classmethod
+    def field_names(cls) -> Tuple[str, ...]:
+        """Declared field names (schema documentation helper)."""
+        return tuple(f.name for f in fields(cls))
+
+
+@dataclass
+class TaintSourceEvent(Event):
+    """Input bytes were marked tainted by a taint source (paper 3.3.1)."""
+
+    KIND: ClassVar[str] = "taint_source"
+
+    source: str  # 'network' | 'file' | 'stdin' | 'manual'
+    label: str  # request#N, file path, ...
+    addr: int  # guest address the bytes landed at
+    length: int
+    origin_id: int  # provenance origin created for this input
+    stream_offset: int  # byte position within the source stream
+    instruction_count: int = 0
+
+
+@dataclass
+class TaintStoreEvent(Event):
+    """A host-side taint-summary update to the bitmap (wrap functions)."""
+
+    KIND: ClassVar[str] = "taint_store"
+
+    op: str  # 'set' | 'clear' | 'copy'
+    addr: int  # destination range start
+    length: int
+    src: int = -1  # source range start for 'copy'
+    instruction_count: int = 0
+
+
+@dataclass
+class FaultEvent(Event):
+    """A processor fault (NaT consumption, illegal instruction, ...)."""
+
+    KIND: ClassVar[str] = "fault"
+
+    fault: str  # fault class name
+    detail: str  # NaT-consumption kind or message
+    pc: int
+    instruction: str  # disassembly of the faulting instruction
+    instruction_count: int = 0
+
+
+@dataclass
+class AlertEvent(Event):
+    """The policy engine reported a security alert."""
+
+    KIND: ClassVar[str] = "alert"
+
+    policy_id: str
+    message: str
+    context: str = ""
+    pc: int = -1
+    instruction_count: int = 0
+    origin_ids: Tuple[int, ...] = ()
+
+
+@dataclass
+class SyscallEvent(Event):
+    """A syscall or native (wrap-function) call entered the runtime."""
+
+    KIND: ClassVar[str] = "syscall"
+
+    name: str
+    detail: str = ""
+    instruction_count: int = 0
+
+
+@dataclass
+class ThreadSwitchEvent(Event):
+    """The round-robin scheduler moved the core to another thread."""
+
+    KIND: ClassVar[str] = "thread_switch"
+
+    from_tid: int
+    to_tid: int
+    instruction_count: int = 0
+    switches: int = 0  # cumulative context-switch count
+
+
+#: Every event type, for schema documentation and exporters.
+EVENT_TYPES: Tuple[type, ...] = (
+    TaintSourceEvent,
+    TaintStoreEvent,
+    FaultEvent,
+    AlertEvent,
+    SyscallEvent,
+    ThreadSwitchEvent,
+)

@@ -1,0 +1,205 @@
+"""Counter/gauge/histogram registry for harness reports.
+
+A tiny Prometheus-flavoured metrics registry: components register named
+instruments, and :func:`collect_machine` aggregates one ``Machine``'s
+perf counters, cache statistics, taint-bitmap population, per-policy
+alert counts and per-role instrumentation cycles into a registry the
+harness can ``render()`` or serialise with ``to_dict()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+Number = Union[int, float]
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    help: str = ""
+    value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add a non-negative amount."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Point-in-time value."""
+
+    name: str
+    help: str = ""
+    value: Number = 0
+
+    def set(self, value: Number) -> None:
+        """Replace the value."""
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Streaming distribution summary (count / sum / min / max)."""
+
+    name: str
+    help: str = ""
+    count: int = 0
+    total: float = 0.0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class MetricsRegistry:
+    """Named instruments, rendered for humans or dumped for machines."""
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    gauges: Dict[str, Gauge] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create a counter."""
+        inst = self.counters.get(name)
+        if inst is None:
+            inst = self.counters[name] = Counter(name, help)
+        return inst
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create a gauge."""
+        inst = self.gauges.get(name)
+        if inst is None:
+            inst = self.gauges[name] = Gauge(name, help)
+        return inst
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        """Get or create a histogram."""
+        inst = self.histograms.get(name)
+        if inst is None:
+            inst = self.histograms[name] = Histogram(name, help)
+        return inst
+
+    def to_dict(self) -> Dict[str, Number]:
+        """Flat name -> value dict (histograms expand to sub-keys)."""
+        out: Dict[str, Number] = {}
+        for name, counter in self.counters.items():
+            out[name] = counter.value
+        for name, gauge in self.gauges.items():
+            out[name] = gauge.value
+        for name, hist in self.histograms.items():
+            out[f"{name}.count"] = hist.count
+            out[f"{name}.sum"] = hist.total
+            out[f"{name}.mean"] = hist.mean
+            if hist.minimum is not None:
+                out[f"{name}.min"] = hist.minimum
+                out[f"{name}.max"] = hist.maximum
+        return out
+
+    def render(self, title: str = "metrics") -> str:
+        """Aligned text table of every instrument."""
+        rows: List[str] = [title, "-" * max(len(title), 8)]
+        flat = self.to_dict()
+        width = max((len(name) for name in flat), default=8)
+        for name in sorted(flat):
+            value = flat[name]
+            shown = f"{value:,.2f}" if isinstance(value, float) else f"{value:,}"
+            rows.append(f"{name:<{width}}  {shown}")
+        return "\n".join(rows)
+
+
+# -- machine aggregation ------------------------------------------------
+
+
+def _bitmap_population(machine) -> int:
+    """Tainted granules recorded in the region-0 tag bitmap."""
+    from repro.mem.address import region_of, tag_space_limit
+    from repro.mem.memory import PAGE_BITS
+
+    granularity = machine.taint_map.granularity
+    limit = tag_space_limit(granularity)
+    population = 0
+    for page_no, page in machine.memory.iter_pages():
+        base = page_no << PAGE_BITS
+        if region_of(base) != 0 or base >= limit:
+            continue
+        if granularity == 1:
+            # One tag *bit* per byte: count set bits.
+            population += int.from_bytes(page, "little").bit_count()
+        else:
+            # One tag *byte* per word: count non-zero bytes.
+            population += len(page) - page.count(0)
+    return population
+
+
+def collect_machine(machine, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Aggregate one machine's observable state into a registry."""
+    reg = registry or MetricsRegistry()
+    counters = machine.counters
+
+    reg.counter("cpu.instructions", "retired instructions").value = counters.instructions
+    reg.counter("cpu.cycles", "total simulated cycles").value = counters.cycles
+    reg.counter("cpu.issue_cycles", "issue-group cycles").value = counters.issue_cycles
+    reg.counter("cpu.stall_cycles", "cache + forwarding stalls").value = counters.stall_cycles
+    reg.counter("cpu.branch_penalty_cycles", "taken-branch redirects").value = \
+        counters.branch_penalty_cycles
+    reg.counter("cpu.io_cycles", "device/syscall time").value = counters.io_cycles
+    reg.counter("cpu.loads", "dynamic loads").value = counters.loads
+    reg.counter("cpu.stores", "dynamic stores").value = counters.stores
+    reg.counter("cpu.branches_taken", "taken branches").value = counters.branches_taken
+    reg.counter("shift.instrumentation_cycles",
+                "cycles attributed to any instrumentation role").value = \
+        counters.instrumentation_cycles()
+    for (role, _), _cost in counters.pair_costs.items():
+        if role is not None:
+            reg.counter(f"shift.role_cycles.{role}",
+                        "cycles of one instrumentation role").value = \
+                counters.role_cycles(role)
+
+    for level_name, cache in (("l1", machine.cpu.caches.l1),
+                              ("l2", machine.cpu.caches.l2),
+                              ("l3", machine.cpu.caches.l3)):
+        stats = cache.stats
+        reg.counter(f"cache.{level_name}.accesses").value = stats.accesses
+        reg.counter(f"cache.{level_name}.misses").value = stats.misses
+        reg.gauge(f"cache.{level_name}.miss_rate").set(round(stats.miss_rate, 6))
+
+    reg.gauge("mem.pages_touched", "sparse pages allocated").set(
+        machine.memory.pages_touched())
+    reg.gauge("taint.bitmap_population",
+              "granules currently marked tainted").set(_bitmap_population(machine))
+    reg.gauge("taint.granularity").set(machine.taint_map.granularity)
+
+    reg.counter("alerts.total", "security alerts recorded").value = len(machine.alerts)
+    for alert in machine.alerts:
+        reg.counter(f"alerts.by_policy.{alert.policy_id}").inc()
+
+    threads = getattr(machine, "threads", None)
+    if threads is not None:
+        reg.counter("threads.context_switches").value = threads.context_switches
+        reg.gauge("threads.count").set(len(threads.threads))
+
+    obs = getattr(machine, "obs", None)
+    if obs is not None:
+        for name, value in obs.tracer.summary().items():
+            reg.counter(f"trace.{name}").value = value
+        reg.gauge("trace.origins", "taint origins recorded").set(
+            len(obs.provenance.origins))
+    return reg

@@ -1,0 +1,202 @@
+"""Taint provenance: where did each tainted byte come from?
+
+The taint bitmap answers *whether* a byte is tainted; this module keeps
+the forensic complement: a numbered :class:`TaintOrigin` per taint
+source event (source kind, stream label, byte range within that
+stream), plus a sparse granule -> ``(origin_id, stream_offset)`` side
+table mirroring the bitmap.  Wrap functions that copy taint
+(``memcpy``) copy the side table too, so after an alert the engine can
+say "this byte is byte 14 of network request #2".
+
+Granularity mirrors the bitmap exactly: at word level one table entry
+covers an 8-byte granule, so origins coarsen precisely as tags do — a
+granule shared by two origins keeps whichever wrote it last, the same
+over-approximation word-level tags introduce (paper 3.2.1).
+
+Like the NaT register bits, taint that travels *through registers* is
+not attributed per-byte; :meth:`ProvenanceTracker.live_origins` is the
+conservative fallback the fault path uses (every origin whose taint is
+still present in memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TaintOrigin:
+    """One numbered taint-source occurrence."""
+
+    origin_id: int
+    source: str  # 'network' | 'file' | 'stdin' | 'manual'
+    label: str  # request#N, file path, ...
+    index: int  # 1-based stream index (request number, fd order)
+    start: int  # first byte position within the source stream
+    length: int  # number of bytes this origin covers
+
+    @property
+    def end(self) -> int:
+        """One past the last stream byte covered."""
+        return self.start + self.length
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. for incident reports."""
+        if self.length == 1:
+            span = f"byte {self.start}"
+        else:
+            span = f"bytes {self.start}-{self.end - 1}"
+        return f"origin #{self.origin_id}: {span} of {self.source} {self.label!r}"
+
+    def to_dict(self) -> dict:
+        """Machine-readable form."""
+        return {
+            "origin_id": self.origin_id,
+            "source": self.source,
+            "label": self.label,
+            "index": self.index,
+            "start": self.start,
+            "length": self.length,
+        }
+
+
+class ProvenanceTracker:
+    """Origin registry plus the granule -> origin side table."""
+
+    def __init__(self, granularity: int = 1) -> None:
+        if granularity <= 0:
+            raise ValueError("granularity must be positive")
+        self.granularity = granularity
+        self.origins: List[TaintOrigin] = []
+        #: granule address -> (origin_id, stream offset of granule start).
+        self._table: Dict[int, Tuple[int, int]] = {}
+
+    def _granule(self, addr: int) -> int:
+        return addr - (addr % self.granularity)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    # -- recording ------------------------------------------------------
+
+    def record(self, source: str, label: str, index: int, addr: int,
+               length: int, stream_offset: int = 0) -> TaintOrigin:
+        """Register a new origin covering ``[addr, addr+length)``.
+
+        ``stream_offset`` is the position of ``addr``'s byte within the
+        source stream (e.g. how far into the request the ``recv`` was).
+
+        Consecutive reads of the same stream coalesce into one origin
+        (a byte-at-a-time ``recv`` loop yields "bytes 0-49 of request
+        #1", not fifty one-byte origins).
+        """
+        origin = None
+        if self.origins:
+            last = self.origins[-1]
+            if (last.source == source and last.label == label
+                    and last.index == index and last.end == stream_offset):
+                origin = TaintOrigin(last.origin_id, source, label, index,
+                                     last.start, last.length + length)
+                self.origins[-1] = origin
+        if origin is None:
+            origin = TaintOrigin(
+                origin_id=len(self.origins) + 1,
+                source=source,
+                label=label,
+                index=index,
+                start=stream_offset,
+                length=length,
+            )
+            self.origins.append(origin)
+        if length > 0:
+            step = self.granularity
+            granule = self._granule(addr)
+            last = addr + length - 1
+            while granule <= last:
+                # Word-level granules that start before ``addr`` coarsen
+                # to the origin's first byte, exactly as the tag does.
+                offset = max(granule, addr) - addr + stream_offset
+                self._table[granule] = (origin.origin_id, offset)
+                granule += step
+        return origin
+
+    def clear_range(self, addr: int, length: int) -> None:
+        """Forget origins for granules in ``[addr, addr+length)``."""
+        if length <= 0:
+            return
+        step = self.granularity
+        granule = self._granule(addr)
+        last = addr + length - 1
+        while granule <= last:
+            self._table.pop(granule, None)
+            granule += step
+
+    def copy_range(self, dst: int, src: int, length: int) -> None:
+        """Propagate origin attribution for a taint-copying wrap function."""
+        if length <= 0:
+            return
+        step = self.granularity
+        # Snapshot first so overlapping moves behave like memmove.
+        entries = []
+        granule = self._granule(dst)
+        src_delta = src - dst
+        last = dst + length - 1
+        while granule <= last:
+            entries.append((granule, self._table.get(self._granule(granule + src_delta))))
+            granule += step
+        for granule, entry in entries:
+            if entry is None:
+                self._table.pop(granule, None)
+            else:
+                self._table[granule] = entry
+
+    # -- queries --------------------------------------------------------
+
+    def get(self, origin_id: int) -> Optional[TaintOrigin]:
+        """Origin by id (ids are 1-based)."""
+        if 1 <= origin_id <= len(self.origins):
+            return self.origins[origin_id - 1]
+        return None
+
+    def origin_at(self, addr: int) -> Optional[Tuple[TaintOrigin, int]]:
+        """``(origin, stream_offset)`` attributed to ``addr``, or None.
+
+        The returned stream offset is for ``addr``'s own byte (granule
+        offset plus the byte's position inside the granule, clamped to
+        the origin's range at word level).
+        """
+        granule = self._granule(addr)
+        entry = self._table.get(granule)
+        if entry is None:
+            return None
+        origin_id, granule_offset = entry
+        origin = self.get(origin_id)
+        if origin is None:
+            return None
+        offset = min(granule_offset + (addr - granule), origin.end - 1)
+        return origin, offset
+
+    def origins_in_range(self, addr: int, length: int) -> List[TaintOrigin]:
+        """Distinct origins attributed inside ``[addr, addr+length)``.
+
+        Ordered by first appearance in the range.
+        """
+        seen: Dict[int, TaintOrigin] = {}
+        if length > 0:
+            step = self.granularity
+            granule = self._granule(addr)
+            last = addr + length - 1
+            while granule <= last:
+                entry = self._table.get(granule)
+                if entry is not None and entry[0] not in seen:
+                    origin = self.get(entry[0])
+                    if origin is not None:
+                        seen[entry[0]] = origin
+                granule += step
+        return list(seen.values())
+
+    def live_origins(self) -> List[TaintOrigin]:
+        """Origins with at least one granule still attributed to them."""
+        live = {origin_id for origin_id, _ in self._table.values()}
+        return [o for o in self.origins if o.origin_id in live]

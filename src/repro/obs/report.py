@@ -1,0 +1,108 @@
+"""Forensic incident reports: alert -> pc -> disassembly -> origins.
+
+Given a :class:`~repro.runtime.machine.Machine` after a run, build one
+:class:`IncidentReport` per recorded alert: the policy that fired, the
+faulting/checking pc with a disassembled window from :mod:`repro.isa`,
+and the taint-origin chain explaining where the offending bytes entered
+the system.  Both a human-readable ``render()`` and a machine-readable
+``to_dict()`` are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep repro.obs
+    from repro.taint.engine import AlertRecord  # import-safe from repro.taint
+    from repro.taint.policy import Policy
+
+#: Instructions shown on each side of the faulting pc.
+WINDOW_RADIUS = 3
+
+
+def disassemble_window(program, pc: Optional[int],
+                       radius: int = WINDOW_RADIUS) -> List[str]:
+    """Disassembly lines around ``pc`` (the pc line marked with ``=>``)."""
+    if pc is None or not 0 <= pc < len(program.code):
+        return []
+    lines = []
+    lo = max(0, pc - radius)
+    hi = min(len(program.code), pc + radius + 1)
+    labels = {index: name for name, index in program.labels.items()}
+    for index in range(lo, hi):
+        if index in labels:
+            lines.append(f"{labels[index]}:")
+        marker = "=>" if index == pc else "  "
+        lines.append(f"{marker} {index:6d}: {program.code[index]}")
+    return lines
+
+
+@dataclass
+class IncidentReport:
+    """Forensic record of one security alert."""
+
+    alert: AlertRecord
+    policy: Policy
+    disassembly: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (origins expand to their dicts)."""
+        return {
+            "policy_id": self.alert.policy_id,
+            "attack": self.policy.attack,
+            "description": self.policy.description,
+            "message": self.alert.message,
+            "context": self.alert.context,
+            "pc": self.alert.pc,
+            "instruction_count": self.alert.instruction_count,
+            "origins": [o.to_dict() for o in self.alert.origins],
+            "disassembly": list(self.disassembly),
+        }
+
+    def render(self) -> str:
+        """Human-readable incident report."""
+        alert = self.alert
+        lines = [
+            f"INCIDENT {alert.policy_id} — {self.policy.attack}",
+            f"  policy   : {self.policy.description}",
+            f"  message  : {alert.message}",
+        ]
+        if alert.context:
+            lines.append(f"  context  : {alert.context}")
+        where = "pc=?" if alert.pc is None else f"pc={alert.pc}"
+        lines.append(f"  where    : {where} after {alert.instruction_count:,} instructions")
+        if self.disassembly:
+            lines.append("  code     :")
+            lines.extend(f"    {line}" for line in self.disassembly)
+        if alert.origins:
+            lines.append("  taint origin chain:")
+            lines.extend(f"    {origin.describe()}" for origin in alert.origins)
+        else:
+            lines.append("  taint origin chain: (none recorded — run with tracing=True)")
+        return "\n".join(lines)
+
+
+def build_incident_report(machine, alert: "AlertRecord") -> IncidentReport:
+    """Build the forensic report for one recorded alert."""
+    from repro.taint.policy import POLICY_BY_ID
+
+    policy = POLICY_BY_ID[alert.policy_id]
+    return IncidentReport(
+        alert=alert,
+        policy=policy,
+        disassembly=disassemble_window(machine.program, alert.pc),
+    )
+
+
+def incident_reports(machine) -> List[IncidentReport]:
+    """One report per alert the machine's policy engine recorded."""
+    return [build_incident_report(machine, alert) for alert in machine.alerts]
+
+
+def render_incidents(machine) -> str:
+    """Render every incident report (or a clean-run note)."""
+    reports = incident_reports(machine)
+    if not reports:
+        return "no security alerts recorded"
+    return "\n\n".join(report.render() for report in reports)

@@ -1,0 +1,90 @@
+"""Bounded ring-buffer tracer with a JSON-lines exporter.
+
+The tracer is the single sink every instrumented component writes to.
+Integration sites hold an ``Optional[Tracer]`` and guard emission with
+``if tracer is not None:``, so a disabled machine pays nothing beyond
+the attribute load on the (cold) paths that can emit at all — the
+per-instruction execute loop has no tracer check whatsoever.
+
+The buffer is bounded (``capacity`` events); once full the oldest
+events are dropped and counted in ``dropped``, so tracing a
+billion-instruction run cannot exhaust host memory.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, deque
+from typing import Deque, Dict, Iterable, List, Optional
+
+from repro.obs.events import Event
+
+DEFAULT_CAPACITY = 65_536
+
+
+class Tracer:
+    """Collects :class:`Event` objects into a bounded ring buffer."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._ring: Deque[Event] = deque(maxlen=capacity)
+        self.total_events = 0
+        self.dropped = 0
+        self.counts: Counter = Counter()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def emit(self, event: Event) -> None:
+        """Record one event (oldest events drop when the ring is full)."""
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(event)
+        self.total_events += 1
+        self.counts[event.KIND] += 1
+
+    def events(self, kind: Optional[str] = None) -> List[Event]:
+        """Buffered events, optionally filtered by ``KIND``."""
+        if kind is None:
+            return list(self._ring)
+        return [e for e in self._ring if e.KIND == kind]
+
+    def last(self, kind: Optional[str] = None) -> Optional[Event]:
+        """Most recent event (of a kind), or None."""
+        if kind is None:
+            return self._ring[-1] if self._ring else None
+        for event in reversed(self._ring):
+            if event.KIND == kind:
+                return event
+        return None
+
+    def clear(self) -> None:
+        """Drop buffered events and reset the counters."""
+        self._ring.clear()
+        self.total_events = 0
+        self.dropped = 0
+        self.counts.clear()
+
+    def summary(self) -> Dict[str, int]:
+        """Per-kind event counts plus totals and drops."""
+        out = {f"events.{kind}": n for kind, n in sorted(self.counts.items())}
+        out["events.total"] = self.total_events
+        out["events.dropped"] = self.dropped
+        return out
+
+    # -- export ---------------------------------------------------------
+
+    def to_jsonl(self, events: Optional[Iterable[Event]] = None) -> str:
+        """Serialise the buffer (or the given events) as JSON lines."""
+        lines = [json.dumps(e.to_dict(), sort_keys=True)
+                 for e in (self._ring if events is None else events)]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def export_jsonl(self, path: str) -> int:
+        """Write the buffered events to ``path``; returns events written."""
+        text = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        return len(self._ring)

@@ -60,6 +60,8 @@ class Connection:
     inbound: bytes
     outbound: bytearray = field(default_factory=bytearray)
     read_pos: int = 0
+    #: 1-based arrival number, used by taint provenance ("request #2").
+    index: int = 0
 
     def recv(self, n: int) -> bytes:
         """Consume up to n inbound bytes."""
@@ -78,10 +80,12 @@ class SimNetwork:
     def __init__(self) -> None:
         self.pending: Deque[Connection] = deque()
         self.completed: List[Connection] = []
+        self._next_index = 1
 
     def add_request(self, data: bytes) -> Connection:
         """Queue an inbound connection carrying the given bytes."""
-        conn = Connection(inbound=data)
+        conn = Connection(inbound=data, index=self._next_index)
+        self._next_index += 1
         self.pending.append(conn)
         return conn
 

@@ -72,9 +72,33 @@ class GuestOS:
     def _charge(self, cpu: CPU, cycles: float) -> None:
         cpu.counters.add_io_cycles(cycles)
 
-    def _taint_input(self, source: str, addr: int, length: int) -> None:
+    def _taint_input(self, source: str, addr: int, length: int,
+                     label: str = "", index: int = 0,
+                     stream_offset: int = 0) -> None:
         if length > 0 and self.machine.policy_config.source_is_tainted(source):
             self.machine.taint_map.set_range(addr, length, True)
+            self._record_origin(source, label or source, index,
+                                addr, length, stream_offset)
+
+    def _record_origin(self, source: str, label: str, index: int,
+                       addr: int, length: int, stream_offset: int) -> None:
+        """Register taint provenance + a trace event (tracing runs only)."""
+        obs = self.machine.obs
+        if obs is None:
+            return
+        from repro.obs.events import TaintSourceEvent
+
+        origin = obs.provenance.record(source, label, index,
+                                       addr, length, stream_offset)
+        obs.tracer.emit(TaintSourceEvent(
+            source=source,
+            label=label,
+            addr=addr,
+            length=length,
+            origin_id=origin.origin_id,
+            stream_offset=stream_offset,
+            instruction_count=self.machine.cpu.counters.instructions,
+        ))
 
     def _alloc_fd(self, handle: FileHandle) -> int:
         fd = self._next_fd
@@ -84,9 +108,21 @@ class GuestOS:
 
     # -- syscalls ---------------------------------------------------------
 
+    def _trace_call(self, name: str, detail: str = "") -> None:
+        obs = self.machine.obs
+        if obs is None:
+            return
+        from repro.obs.events import SyscallEvent
+
+        obs.tracer.emit(SyscallEvent(
+            name=name, detail=detail,
+            instruction_count=self.machine.cpu.counters.instructions))
+
     def syscall(self, cpu: CPU) -> None:
         """Dispatch a `break`-based syscall (exit, thread exit)."""
         number = cpu.read_gr(GR_SYSNUM)
+        if self.machine.obs is not None:
+            self._trace_call("exit" if number == SYS_EXIT else f"syscall#{number}")
         if number == SYS_EXIT:
             cpu.exit_code = cpu.read_gr(GR_FIRST_ARG)
             cpu.halted = True
@@ -106,6 +142,8 @@ class GuestOS:
         handler = self._natives.get(names[index])
         if handler is None:
             raise IllegalInstructionFault(f"native {names[index]!r} not provided")
+        if self.machine.obs is not None:
+            self._trace_call(names[index])
         self._charge(cpu, self.costs.native_base)
         handler(cpu)
 
@@ -164,20 +202,23 @@ class GuestOS:
     def _native_read(self, cpu: CPU) -> None:
         fd, buf, length = (self._arg(cpu, i) for i in range(3))
         if fd == _FD_STDIN:
+            stream_offset = self._stdin_pos
             chunk = self.stdin[self._stdin_pos:self._stdin_pos + length]
             self._stdin_pos += len(chunk)
-            source = "stdin"
+            source, label, stream_index = "stdin", "stdin", 0
         else:
             handle = self._fds.get(fd)
             if handle is None or handle.kind != "file-r":
                 self._ret(cpu, -1)
                 return
             data = self.fs.read(handle.path) or b""
+            stream_offset = handle.pos
             chunk = data[handle.pos:handle.pos + length]
             handle.pos += len(chunk)
-            source = "file"
+            source, label, stream_index = "file", handle.path, fd
         self.machine.memory.write_bytes(buf, chunk)
-        self._taint_input(source, buf, len(chunk))
+        self._taint_input(source, buf, len(chunk), label=label,
+                          index=stream_index, stream_offset=stream_offset)
         self._charge(cpu, self.costs.file_base + self.costs.file_byte * len(chunk))
         self._ret(cpu, len(chunk))
 
@@ -219,9 +260,13 @@ class GuestOS:
         if handle is None or handle.kind != "conn":
             self._ret(cpu, -1)
             return
+        stream_offset = handle.conn.read_pos
         chunk = handle.conn.recv(length)
         self.machine.memory.write_bytes(buf, chunk)
-        self._taint_input("network", buf, len(chunk))
+        self._taint_input("network", buf, len(chunk),
+                          label=f"request#{handle.conn.index}",
+                          index=handle.conn.index,
+                          stream_offset=stream_offset)
         self._charge(cpu, self.costs.net_base + self.costs.net_byte * len(chunk))
         self._ret(cpu, len(chunk))
 
@@ -311,6 +356,8 @@ class GuestOS:
     def _native_taint_region(self, cpu: CPU) -> None:
         addr, n = self._arg(cpu, 0), self._arg(cpu, 1)
         self.machine.taint_map.set_range(addr, n, True)
+        if n > 0:
+            self._record_origin("manual", "taint_region", 0, addr, n, 0)
         self._ret(cpu, 0)
 
     def _native_clear_taint(self, cpu: CPU) -> None:

@@ -54,6 +54,9 @@ class Machine:
         stdin: bytes = b"",
         thread_quantum: int = 800,
         serialize_bitmap: bool = False,
+        tracing: bool = False,
+        trace_path: Optional[str] = None,
+        trace_capacity: Optional[int] = None,
     ) -> None:
         self.compiled = compiled
         self.program: Program = compiled.program
@@ -69,8 +72,24 @@ class Machine:
         )
         flat = getattr(compiled.options, "fast_tag_translation", False)
         self.taint_map = TaintMap(self.memory, granularity, flat=flat)
+        #: Observability bundle (tracer + provenance), or None when
+        #: tracing is off — the zero-overhead default.
+        self.obs = None
+        if tracing or trace_path is not None:
+            from repro.obs import DEFAULT_CAPACITY, Observability
+
+            self.obs = Observability(
+                granularity=granularity,
+                capacity=(DEFAULT_CAPACITY if trace_capacity is None
+                          else trace_capacity),
+                trace_path=trace_path,
+            )
+            self.taint_map.provenance = self.obs.provenance
+            self.taint_map.tracer = self.obs.tracer
         self.policy_config = policy_config or PolicyConfig()
         self.engine = PolicyEngine(self.policy_config, self.taint_map, mode=engine_mode)
+        if self.obs is not None:
+            self.engine.tracer = self.obs.tracer
 
         self.costs = costs or DeviceCosts()
         self.fs = SimFileSystem(files)
@@ -92,6 +111,10 @@ class Machine:
             native_handler=self.os.native,
             fault_hook=self.engine.on_fault,
         )
+        #: The engine locates alerts (pc / instruction count) via the CPU.
+        self.engine.cpu = self.cpu
+        if self.obs is not None:
+            self.cpu.tracer = self.obs.tracer
         from repro.runtime.threads import ThreadManager
 
         self.threads = ThreadManager(self, quantum=thread_quantum,
@@ -140,10 +163,14 @@ class Machine:
         single-context fast path.  :class:`SecurityAlert` propagates to
         the caller when the policy engine runs in ``raise`` mode.
         """
-        if "thread_create" in self.program.natives:
-            return self.threads.run_all(max_instructions=max_instructions)
-        self.cpu.run(max_instructions=max_instructions)
-        return self.cpu.exit_code
+        try:
+            if "thread_create" in self.program.natives:
+                return self.threads.run_all(max_instructions=max_instructions)
+            self.cpu.run(max_instructions=max_instructions)
+            return self.cpu.exit_code
+        finally:
+            if self.obs is not None:
+                self.obs.export()
 
     # -- convenience accessors -----------------------------------------------
 
@@ -156,6 +183,18 @@ class Machine:
     def alerts(self):
         """Security alerts recorded by the policy engine."""
         return self.engine.alerts
+
+    def metrics(self):
+        """Aggregate this machine's state into a fresh MetricsRegistry."""
+        from repro.obs.metrics import collect_machine
+
+        return collect_machine(self)
+
+    def incident_reports(self):
+        """Forensic reports for every recorded alert (see repro.obs)."""
+        from repro.obs.report import incident_reports
+
+        return incident_reports(self)
 
     def address_of(self, symbol: str) -> int:
         """Loaded address of a data symbol."""

@@ -217,9 +217,20 @@ class ThreadManager:
         self.cpu.load_context(thread.context)
         thread.context = None
         thread.status = "running"
+        previous_tid = self.current_tid
         self.current_tid = thread.tid
         self.context_switches += 1
         self.cpu.counters.add_io_cycles(self.switch_cost)
+        obs = getattr(self.machine, "obs", None)
+        if obs is not None:
+            from repro.obs.events import ThreadSwitchEvent
+
+            obs.tracer.emit(ThreadSwitchEvent(
+                from_tid=previous_tid,
+                to_tid=thread.tid,
+                instruction_count=self.cpu.counters.instructions,
+                switches=self.context_switches,
+            ))
 
     def _drain_instrumentation(self, budget: int) -> None:
         """With serialized bitmap access, never preempt mid-sequence."""

@@ -10,7 +10,11 @@ the policy engine (to inspect argument taint at checks).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.obs.provenance import ProvenanceTracker
+    from repro.obs.tracer import Tracer
 
 from repro.mem.address import tag_address
 from repro.mem.memory import SparseMemory
@@ -31,6 +35,12 @@ class TaintMap:
         #: Flat (x86-ablation) tag translation -- must match how the
         #: guest was compiled (ShiftOptions.fast_tag_translation).
         self.flat = flat
+        #: Optional observability hooks (see :mod:`repro.obs`): a
+        #: provenance side table mirroring the bitmap and a tracer for
+        #: host-side taint-summary updates.  Both default to None and
+        #: add no cost until a Machine wires them with ``tracing=True``.
+        self.provenance: Optional["ProvenanceTracker"] = None
+        self.tracer: Optional["Tracer"] = None
 
     def is_tainted(self, addr: int) -> bool:
         """Taint state of the granule containing ``addr``."""
@@ -50,7 +60,12 @@ class TaintMap:
         self.memory.store(tag.byte_addr, 1, byte)
 
     def set_range(self, addr: int, length: int, tainted: bool = True) -> None:
-        """Mark ``length`` bytes starting at ``addr``."""
+        """Mark ``length`` bytes starting at ``addr``.
+
+        Clearing also forgets any provenance attribution for the range;
+        origin *recording* is the taint source's job (it knows the
+        source kind and stream position — see ``GuestOS._taint_input``).
+        """
         if length <= 0:
             return
         step = self.granularity
@@ -60,6 +75,13 @@ class TaintMap:
         while granule <= last:
             self.set_taint(granule, tainted)
             granule += step
+        if not tainted and self.provenance is not None:
+            self.provenance.clear_range(addr, length)
+        if self.tracer is not None:
+            from repro.obs.events import TaintStoreEvent
+
+            self.tracer.emit(TaintStoreEvent(
+                op="set" if tainted else "clear", addr=addr, length=length))
 
     def taint_flags(self, addr: int, length: int) -> List[bool]:
         """Per-byte taint flags for ``[addr, addr+length)``."""
@@ -109,3 +131,10 @@ class TaintMap:
         flags = self.taint_flags(src, length)
         for offset, tainted in enumerate(flags):
             self.set_taint(dst + offset, tainted)
+        if self.provenance is not None:
+            self.provenance.copy_range(dst, src, length)
+        if self.tracer is not None:
+            from repro.obs.events import TaintStoreEvent
+
+            self.tracer.emit(TaintStoreEvent(
+                op="copy", addr=dst, length=length, src=src))

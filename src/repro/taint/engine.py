@@ -10,7 +10,11 @@ describes in sections 3.3.3 and 5.1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:
+    from repro.obs.provenance import TaintOrigin
+    from repro.obs.tracer import Tracer
 
 from repro.cpu.faults import Fault, NaTConsumptionFault
 from repro.taint.bitmap import TaintMap
@@ -45,11 +49,19 @@ class SecurityAlert(Exception):
 
 @dataclass
 class AlertRecord:
-    """A logged alert (used when the engine runs in record mode)."""
+    """A logged alert (used when the engine runs in record mode).
+
+    ``pc``/``instruction_count`` locate the detection in the execution;
+    ``origins`` is the taint-provenance chain (populated when the
+    machine runs with ``tracing=True``; see :mod:`repro.obs`).
+    """
 
     policy_id: str
     message: str
     context: str = ""
+    pc: Optional[int] = None
+    instruction_count: int = 0
+    origins: List["TaintOrigin"] = field(default_factory=list)
 
 
 @dataclass
@@ -63,9 +75,37 @@ class PolicyEngine:
     #: the experiment harness uses to count detections.
     mode: str = "raise"
     alerts: List[AlertRecord] = field(default_factory=list)
+    #: Optional observability hooks, wired by the Machine when tracing
+    #: is enabled; both stay None on the zero-overhead default path.
+    tracer: Optional["Tracer"] = None
+    cpu: Optional[object] = None
 
-    def _report(self, violation: PolicyViolation, context: str) -> None:
-        self.alerts.append(AlertRecord(violation.policy_id, violation.message, context))
+    def _instruction_count(self) -> int:
+        if self.cpu is None:
+            return 0
+        return self.cpu.counters.instructions
+
+    def _report(self, violation: PolicyViolation, context: str,
+                pc: Optional[int] = None,
+                origins: Optional[List["TaintOrigin"]] = None) -> None:
+        record = AlertRecord(
+            violation.policy_id, violation.message, context,
+            pc=pc,
+            instruction_count=self._instruction_count(),
+            origins=list(origins or ()),
+        )
+        self.alerts.append(record)
+        if self.tracer is not None:
+            from repro.obs.events import AlertEvent
+
+            self.tracer.emit(AlertEvent(
+                policy_id=record.policy_id,
+                message=record.message,
+                context=record.context,
+                pc=-1 if record.pc is None else record.pc,
+                instruction_count=record.instruction_count,
+                origin_ids=tuple(o.origin_id for o in record.origins),
+            ))
         if self.mode == "raise":
             raise SecurityAlert(violation, context)
 
@@ -79,7 +119,16 @@ class PolicyEngine:
         if policy_id is None or not self.config.is_enabled(policy_id):
             return
         violation = PolicyViolation(policy_id, f"NaT consumption: {fault.kind} at pc={fault.pc}")
-        self._report(violation, context=f"pc={fault.pc}")
+        # Register taint carries no per-byte attribution (exactly as the
+        # hardware NaT bit does not), so the fault path reports every
+        # origin whose taint is still live in memory — for an exploit
+        # run that is the offending request/file.
+        origins = None
+        provenance = getattr(self.taint_map, "provenance", None)
+        if provenance is not None:
+            origins = provenance.live_origins()
+        pc = fault.pc if fault.pc >= 0 else None
+        self._report(violation, context=f"pc={fault.pc}", pc=pc, origins=origins)
 
     # -- High-level policies (semantic use points) ----------------------
 
@@ -98,10 +147,22 @@ class PolicyEngine:
         flags = self.taint_map.taint_flags(addr, len(data))
         if not any(flags):
             return
+        provenance = getattr(self.taint_map, "provenance", None)
         for pid in relevant:
             violation = HIGH_LEVEL_CHECKS[pid](data, flags, self.config.settings)
             if violation is not None:
-                self._report(violation, context)
+                origins = None
+                if provenance is not None:
+                    # Per-byte attribution when the checked buffer still
+                    # carries side-table entries; when the guest rebuilt
+                    # the data through instrumented stores (which track
+                    # taint but not origins), fall back to every origin
+                    # with live taint — the same coarsening as register
+                    # taint on the fault path.
+                    origins = (provenance.origins_in_range(addr, len(data))
+                               or provenance.live_origins())
+                pc = self.cpu.pc if self.cpu is not None else None
+                self._report(violation, context, pc=pc, origins=origins)
 
     # --------------------------------------------------------------
 

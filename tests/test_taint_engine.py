@@ -113,3 +113,71 @@ class TestModes:
         engine, _ = make_engine()
         with pytest.raises(SecurityAlert, match="De-referencing tainted pointer"):
             engine.on_fault(None, NaTConsumptionFault("load_addr"))
+
+
+class TestRecordMode:
+    def test_multiple_alerts_accumulate(self):
+        engine, tmap = make_engine(mode="record", H1=True)
+        addr = put(tmap, b"/etc/passwd")
+        tmap.set_range(addr, 11, True)
+        engine.check_use_point("fopen", addr, b"/etc/passwd")
+        engine.check_use_point("fopen", addr, b"/etc/passwd")
+        engine.on_fault(None, NaTConsumptionFault("load_addr"))
+        assert len(engine.alerts) == 3
+        assert [a.policy_id for a in engine.alerts] == ["H1", "H1", "L1"]
+
+    def test_detected_filters_by_policy(self):
+        engine, tmap = make_engine(mode="record", H1=True)
+        addr = put(tmap, b"/etc/passwd")
+        tmap.set_range(addr, 11, True)
+        engine.check_use_point("fopen", addr, b"/etc/passwd")
+        assert engine.detected()
+        assert engine.detected("H1")
+        assert not engine.detected("L1")
+        assert not engine.detected("H3")
+
+    def test_reset_clears_all_alerts(self):
+        engine, tmap = make_engine(mode="record", H1=True)
+        addr = put(tmap, b"/x")
+        tmap.set_range(addr, 2, True)
+        engine.check_use_point("fopen", addr, b"/x")
+        engine.on_fault(None, NaTConsumptionFault("store_addr"))
+        assert len(engine.alerts) == 2
+        engine.reset()
+        assert engine.alerts == [] and not engine.detected()
+
+    def test_fault_alert_records_pc(self):
+        engine, _ = make_engine(mode="record")
+        engine.on_fault(None, NaTConsumptionFault("store_addr").at(41, None))
+        alert = engine.alerts[0]
+        assert alert.pc == 41
+        assert alert.context == "pc=41"
+
+    def test_alert_defaults_without_observability(self):
+        # No cpu/provenance wired: the record still carries the new
+        # fields, just unattributed.
+        engine, _ = make_engine(mode="record")
+        engine.on_fault(None, NaTConsumptionFault("load_addr"))
+        alert = engine.alerts[0]
+        assert alert.pc is None  # fault carried no pc
+        assert alert.instruction_count == 0
+        assert alert.origins == []
+
+    def test_provenance_fields_round_trip(self):
+        from repro.obs.provenance import ProvenanceTracker
+        from repro.obs.tracer import Tracer
+
+        engine, tmap = make_engine(mode="record", H1=True)
+        tmap.provenance = ProvenanceTracker()
+        engine.tracer = Tracer()
+        addr = put(tmap, b"/etc/passwd")
+        tmap.set_range(addr, 11, True)
+        tmap.provenance.record("network", "request#1", 1, addr, 11)
+        engine.check_use_point("fopen", addr, b"/etc/passwd")
+        alert = engine.alerts[0]
+        origin = alert.origins[0]
+        assert (origin.source, origin.label) == ("network", "request#1")
+        assert (origin.start, origin.length) == (0, 11)
+        event = engine.tracer.last("alert")
+        assert event.policy_id == "H1"
+        assert event.origin_ids == (origin.origin_id,)
