@@ -59,6 +59,7 @@ def build_machine(
     tracing: bool = False,
     trace_path: Optional[str] = None,
     trace_capacity: Optional[int] = None,
+    engine: str = "predecoded",
 ) -> Machine:
     """Compile (if needed) and load a guest into a ready Machine."""
     if isinstance(sources, CompiledProgram):
@@ -79,6 +80,7 @@ def build_machine(
         tracing=tracing,
         trace_path=trace_path,
         trace_capacity=trace_capacity,
+        engine=engine,
     )
 
 

@@ -149,7 +149,10 @@ class CPU:
         syscall_handler: Optional[Callable[["CPU"], None]] = None,
         native_handler: Optional[Callable[["CPU", int], None]] = None,
         fault_hook: Optional[Callable[["CPU", Fault], None]] = None,
+        engine: str = "predecoded",
     ) -> None:
+        if engine not in ("predecoded", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.program = program
         self.memory = memory
         self.caches = caches or CacheHierarchy()
@@ -176,6 +179,15 @@ class CPU:
         #: scheduling slice after the instruction completes.
         self.yield_requested = False
         self._dispatch = self._build_dispatch()
+        #: Execution engine: "predecoded" runs micro-op closures built
+        #: once per program (see repro.cpu.predecode); "reference" keeps
+        #: the original dispatch-per-step loop for differential testing.
+        self.engine = engine
+        self._uops: Optional[list] = None
+        self._fused: Optional[list] = None
+        #: Faulting pc reported by fused blocks (which cover several
+        #: instructions, so the block entry pc is not precise enough).
+        self._fault_pc = 0
         #: Recent stores (addr, size, seq) for the store-to-load
         #: forwarding penalty (see IssueConfig.store_forward_penalty).
         self._recent_stores = []
@@ -251,50 +263,263 @@ class CPU:
         Stops early when the guest halts or a native requests a yield
         (thread blocking).  Used by the thread scheduler.
         """
-        start = self.counters.instructions
-        self.yield_requested = False
-        while (not self.halted and not self.yield_requested
-               and self.counters.instructions - start < budget):
-            self.step()
-        self.issue.flush()
-        return self.counters.instructions - start
+        if self.engine == "predecoded":
+            return self._run_slice_predecoded(budget)
+        return self._run_slice_reference(budget)
 
     def run(self, max_instructions: int = 200_000_000) -> None:
         """Execute until the guest exits; raises on fault or runaway."""
+        if self.engine == "predecoded":
+            self._run_predecoded(max_instructions)
+        else:
+            self._run_reference(max_instructions)
+
+    # -- reference engine (dispatch per step, hoisted loop) ---------------
+
+    def _run_reference(self, max_instructions: int) -> None:
+        code = self.program.code
+        n = len(code)
+        dispatch = self._dispatch
+        pr = self.pr
+        issue = self.issue.issue
         budget = max_instructions
         while not self.halted:
             if budget <= 0:
                 raise RunawayError(
                     f"instruction budget exhausted at pc={self.pc} "
-                    f"({self.program.code[self.pc] if 0 <= self.pc < len(self.program.code) else '?'})"
+                    f"({code[self.pc] if 0 <= self.pc < n else '?'})"
                 )
             budget -= 1
-            self.step()
+            pc = self.pc
+            if not 0 <= pc < n:
+                raise IllegalInstructionFault(f"pc out of range: {pc}")
+            instr = code[pc]
+            try:
+                qp = instr.qp
+                if qp and not pr[qp]:
+                    issue(instr)
+                    self.pc = pc + 1
+                else:
+                    dispatch[instr.op](instr)
+            except Fault as fault:
+                self._fault_abort(pc, fault)
         self.issue.flush()
 
-    def step(self) -> None:
-        """Execute one instruction at the current pc."""
+    def _run_slice_reference(self, budget: int) -> int:
+        counters = self.counters
+        start = counters.instructions
+        self.yield_requested = False
         code = self.program.code
-        if not 0 <= self.pc < len(code):
-            raise IllegalInstructionFault(f"pc out of range: {self.pc}")
-        instr = code[self.pc]
-        try:
-            self._execute(instr)
-        except Fault as fault:
-            fault.at(self.pc, instr)
-            if self.tracer is not None:
-                from repro.obs.events import FaultEvent
+        n = len(code)
+        dispatch = self._dispatch
+        pr = self.pr
+        issue = self.issue.issue
+        while (not self.halted and not self.yield_requested
+               and counters.instructions - start < budget):
+            pc = self.pc
+            if not 0 <= pc < n:
+                raise IllegalInstructionFault(f"pc out of range: {pc}")
+            instr = code[pc]
+            try:
+                qp = instr.qp
+                if qp and not pr[qp]:
+                    issue(instr)
+                    self.pc = pc + 1
+                else:
+                    dispatch[instr.op](instr)
+            except Fault as fault:
+                self._fault_abort(pc, fault)
+        self.issue.flush()
+        return counters.instructions - start
 
-                self.tracer.emit(FaultEvent(
-                    fault=type(fault).__name__,
-                    detail=getattr(fault, "kind", "") or str(fault),
-                    pc=self.pc,
-                    instruction=str(instr),
-                    instruction_count=self.counters.instructions,
-                ))
-            if self.fault_hook is not None:
-                self.fault_hook(self, fault)
-            raise
+    # -- predecoded engine (micro-op closures) ----------------------------
+
+    def _ensure_uops(self) -> list:
+        from repro.cpu.predecode import predecode
+
+        uops = self._uops = predecode(self)
+        return uops
+
+    def _ensure_fused(self) -> list:
+        from repro.cpu.predecode import predecode_fused
+
+        fused = self._fused = predecode_fused(self)
+        return fused
+
+    def _run_predecoded(self, max_instructions: int) -> None:
+        if self.halted:
+            self.issue.flush()
+            return
+        uops = self._uops
+        if uops is None:
+            uops = self._ensure_uops()
+        fused = self._fused
+        if fused is None:
+            fused = self._ensure_fused()
+        n = len(uops)
+        counters = self.counters
+        limit = counters.instructions + max_instructions
+        # A fused block executes up to MAX_BLOCK instructions per call,
+        # so the bulk loop stops short of the budget and a per-pc tail
+        # loop enforces the exact exhaustion point.
+        safe = limit - 64
+        pc = self.pc
+        while counters.instructions < safe:
+            if not 0 <= pc < n:
+                self.pc = pc
+                raise IllegalInstructionFault(f"pc out of range: {pc}")
+            blk = fused[pc]
+            if blk is not None:
+                try:
+                    pc = blk(pc)
+                except Fault as fault:
+                    self._fault_abort(self._fault_pc, fault)
+                except BaseException:
+                    self.pc = pc
+                    raise
+                # Fused blocks return plain pcs; only a lazy trampoline
+                # falling back to a break micro-op can return the
+                # complemented sentinel (see below).
+                if pc >= 0:
+                    continue
+            else:
+                # Micro-ops return the next pc, or its bitwise
+                # complement when the halted/yield flags may have
+                # changed (only break micro-ops run handlers), so the
+                # hot loop needs no per-step flag checks.
+                try:
+                    pc = uops[pc](pc)
+                except Fault as fault:
+                    self._fault_abort(pc, fault)
+                except BaseException:
+                    self.pc = pc
+                    raise
+            if pc < 0:
+                pc = ~pc
+                if self.halted:
+                    self.pc = pc
+                    self.issue.flush()
+                    return
+        self.pc = pc
+        self._run_predecoded_tail(limit - counters.instructions)
+
+    def _run_predecoded_tail(self, budget: int) -> None:
+        """Per-pc loop with exact budget enforcement (rarely reached)."""
+        uops = self._uops
+        n = len(uops)
+        code = self.program.code
+        pc = self.pc
+        while True:
+            if budget <= 0:
+                self.pc = pc
+                raise RunawayError(
+                    f"instruction budget exhausted at pc={pc} "
+                    f"({code[pc] if 0 <= pc < n else '?'})"
+                )
+            budget -= 1
+            if not 0 <= pc < n:
+                self.pc = pc
+                raise IllegalInstructionFault(f"pc out of range: {pc}")
+            try:
+                pc = uops[pc](pc)
+            except Fault as fault:
+                self._fault_abort(pc, fault)
+            except BaseException:
+                self.pc = pc
+                raise
+            if pc < 0:
+                pc = ~pc
+                if self.halted:
+                    break
+        self.pc = pc
+        self.issue.flush()
+
+    def _run_slice_predecoded(self, budget: int) -> int:
+        counters = self.counters
+        start = counters.instructions
+        self.yield_requested = False
+        if self.halted:
+            self.issue.flush()
+            return 0
+        uops = self._uops
+        if uops is None:
+            uops = self._ensure_uops()
+        n = len(uops)
+        executed = 0
+        pc = self.pc
+        while executed < budget:
+            if not 0 <= pc < n:
+                self.pc = pc
+                raise IllegalInstructionFault(f"pc out of range: {pc}")
+            try:
+                pc = uops[pc](pc)
+            except Fault as fault:
+                self._fault_abort(pc, fault)
+            except BaseException:
+                self.pc = pc
+                raise
+            executed += 1
+            if pc < 0:
+                pc = ~pc
+                if self.halted or self.yield_requested:
+                    break
+        self.pc = pc
+        self.issue.flush()
+        return counters.instructions - start
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute one instruction at the current pc (reference path)."""
+        code = self.program.code
+        pc = self.pc
+        if not 0 <= pc < len(code):
+            raise IllegalInstructionFault(f"pc out of range: {pc}")
+        try:
+            self._execute(code[pc])
+        except Fault as fault:
+            self._fault_abort(pc, fault)
+
+    def step_fast(self) -> None:
+        """Execute one instruction via the active engine.
+
+        The thread scheduler's instrumentation drain uses this so that
+        serialized-bitmap runs execute identical micro-ops to the bulk
+        loop regardless of engine.
+        """
+        if self.engine != "predecoded":
+            self.step()
+            return
+        uops = self._uops
+        if uops is None:
+            uops = self._ensure_uops()
+        pc = self.pc
+        if not 0 <= pc < len(uops):
+            raise IllegalInstructionFault(f"pc out of range: {pc}")
+        try:
+            npc = uops[pc](pc)
+        except Fault as fault:
+            self._fault_abort(pc, fault)
+        self.pc = npc if npc >= 0 else ~npc
+
+    def _fault_abort(self, pc: int, fault: Fault) -> None:
+        """Shared fault protocol: locate, trace, hook, re-raise."""
+        instr = self.program.code[pc]
+        self.pc = pc
+        fault.at(pc, instr)
+        if self.tracer is not None:
+            from repro.obs.events import FaultEvent
+
+            self.tracer.emit(FaultEvent(
+                fault=type(fault).__name__,
+                detail=getattr(fault, "kind", "") or str(fault),
+                pc=pc,
+                instruction=str(instr),
+                instruction_count=self.counters.instructions,
+            ))
+        if self.fault_hook is not None:
+            self.fault_hook(self, fault)
+        raise fault
 
     # ------------------------------------------------------------------
 

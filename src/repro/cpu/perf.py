@@ -18,7 +18,7 @@ instructions, so serial instrumentation chains — which form small groups
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.isa.instruction import Instruction, OpKind
 from repro.isa.operands import RegClass
@@ -130,29 +130,37 @@ class PerfCounters:
         }
 
 
-_CLS_CODE = {RegClass.GR: 0, RegClass.PR: 1000, RegClass.BR: 2000, RegClass.AR: 3000}
+#: Bit position of each register class in the dependency masks: GR take
+#: bits 0-127, PR bits 128-191, BR bits 192-199, AR bits 200+.
+_CLS_BIT = {RegClass.GR: 0, RegClass.PR: 128, RegClass.BR: 192, RegClass.AR: 200}
+#: All predicate-register bits (for extracting predicate writes).
+_PR_ALL = ((1 << 64) - 1) << 128
+#: r0 and p0 are hardwired and never create dependencies.
+_HARDWIRED = 1 | (1 << 128)
 
 
-def _perf_meta(instr: Instruction) -> Tuple[frozenset, frozenset, frozenset, bool, int, bool]:
+def _perf_meta(instr: Instruction) -> Tuple[int, int, int, bool, int, bool, int]:
     """Static issue metadata, cached on the instruction object.
 
-    Registers are encoded as small ints (class code + index) so the
-    per-dynamic-instruction set operations stay cheap.
+    Register sets are encoded as integer bitmasks (one bit per
+    architectural register, see ``_CLS_BIT``) so the per-dynamic-
+    instruction dependency checks are single ``&``/``|`` operations.
     """
-    reads = {_CLS_CODE[r.cls] + r.index for r in instr.ins}
-    writes = {_CLS_CODE[r.cls] + r.index for r in instr.outs}
+    reads = 0
+    for r in instr.ins:
+        reads |= 1 << (_CLS_BIT[r.cls] + r.index)
+    writes = 0
+    for r in instr.outs:
+        writes |= 1 << (_CLS_BIT[r.cls] + r.index)
     if instr.qp:
-        reads.add(1000 + instr.qp)
-    # r0/p0 are hardwired and never create dependencies.
-    reads.discard(0)
-    writes.discard(0)
-    reads.discard(1000)
-    writes.discard(1000)
-    pr_writes = frozenset(w for w in writes if 1000 <= w < 2000)
+        reads |= 1 << (128 + instr.qp)
+    reads &= ~_HARDWIRED
+    writes &= ~_HARDWIRED
+    pr_writes = writes & _PR_ALL
     kind = instr.kind
     meta = (
-        frozenset(reads),
-        frozenset(writes),
+        reads,
+        writes,
         pr_writes,
         instr.is_mem,
         1 if kind is OpKind.LOAD else (2 if kind is OpKind.STORE else 0),
@@ -172,9 +180,12 @@ class IssueModel:
     def __init__(self, counters: PerfCounters, config: IssueConfig | None = None) -> None:
         self.counters = counters
         self.config = config or IssueConfig()
-        self._group: list[Tuple[Optional[str], Optional[str]]] = []  # (role, origin)
-        self._group_writes: Set[int] = set()
-        self._group_pr_writes: Set[int] = set()
+        #: Open group members as their RoleCost buckets (the bucket is
+        #: resolved at issue time anyway, and storing it directly makes
+        #: the close-time share attribution a plain attribute add).
+        self._group: list[RoleCost] = []
+        self._group_writes = 0  # register bitmask (see _perf_meta)
+        self._group_pr_writes = 0
         self._group_mem = 0
         self._group_slots = 0
 
@@ -184,32 +195,33 @@ class IssueModel:
         if meta is None:
             meta = _perf_meta(instr)
         reads, writes, pr_writes, is_mem, memkind, is_branch, slots = meta
-        gw = self._group_writes
-        conflict = bool(gw) and not (reads.isdisjoint(gw) and writes.isdisjoint(gw))
+        # conflict is the overlap between this instruction's registers
+        # and the open group's writes; a branch is exempt when the
+        # overlap is entirely predicate writes (cmp -> branch pairing).
+        conflict = self._group_writes & (reads | writes)
         if (
             conflict
             and is_branch
             and self.config.cmp_branch_same_group
-            and (reads | writes) & gw <= self._group_pr_writes
+            and not (conflict & ~self._group_pr_writes)
         ):
-            conflict = False
+            conflict = 0
         structural = (
             self._group_slots + slots > self.config.width
             or (is_mem and self._group_mem >= self.config.mem_ports)
         )
         if conflict or structural:
             self._close_group()
-        self._group.append((instr.role, instr.origin))
+        c = self.counters
+        cost = c.pair(instr.role, instr.origin)
+        self._group.append(cost)
         self._group_slots += slots
         self._group_writes |= writes
         if pr_writes:
             self._group_pr_writes |= pr_writes
         if is_mem:
             self._group_mem += 1
-
-        c = self.counters
         c.instructions += 1
-        cost = c.pair(instr.role, instr.origin)
         cost.slots += 1
         if memkind == 1:
             c.loads += 1
@@ -224,20 +236,30 @@ class IssueModel:
             self._close_group()
 
     def _close_group(self) -> None:
-        if not self._group:
+        group = self._group
+        if not group:
             return
         c = self.counters
         c.groups += 1
         c.issue_cycles += 1.0
-        share = 1.0 / len(self._group)
-        for role_name, origin_name in self._group:
-            c.pair(role_name, origin_name).issue_cycles += share
-        self._group = []
-        self._group_writes = set()
-        self._group_pr_writes = set()
+        share = 1.0 / len(group)
+        for cost in group:
+            cost.issue_cycles += share
+        # Cleared in place: the predecoded engine's fused blocks bind the
+        # list object itself, so its identity must never change.
+        group.clear()
+        self._group_writes = 0
+        self._group_pr_writes = 0
         self._group_mem = 0
         self._group_slots = 0
 
     def flush(self) -> None:
         """Close any open group (call at end of run / before syscalls)."""
         self._close_group()
+
+
+#: Public alias used by the predecoded engine, which replicates
+#: ``IssueModel.issue`` inline inside its micro-op closures and needs the
+#: same static metadata tuples (cached on the instruction) to stay
+#: bit-identical with the reference accounting.
+perf_meta = _perf_meta

@@ -72,6 +72,7 @@ def run_spec(
     scale: str = "ref",
     safe_input: bool = False,
     label: str = "",
+    engine: str = "predecoded",
 ) -> MeasuredRun:
     """Run one SPEC kernel under one configuration."""
     compiled = compiled_spec(bench, options, scale)
@@ -79,6 +80,7 @@ def run_spec(
         compiled,
         policy_config=spec_policy(safe_input),
         files={"/data": bench.make_input(scale)},
+        engine=engine,
     )
     exit_code = machine.run()
     counters = machine.counters
@@ -153,13 +155,15 @@ class WebRun:
         return self.requests / (self.total_cycles / 1e9)
 
 
-def run_webserver(options: ShiftOptions, file_kb: int, requests: int = 50) -> WebRun:
+def run_webserver(options: ShiftOptions, file_kb: int, requests: int = 50,
+                  engine: str = "predecoded") -> WebRun:
     """Serve ``requests`` identical requests for one file size."""
     compiled = compiled_webserver(options)
     machine = build_machine(
         compiled,
         policy_config=webserver_policy(),
         files=make_site((file_kb,)),
+        engine=engine,
     )
     for _ in range(requests):
         machine.net.add_request(make_request(file_kb))

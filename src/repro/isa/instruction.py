@@ -115,6 +115,12 @@ OPCODES = {
 LOAD_SIZES = {"ld1": 1, "ld2": 2, "ld4": 4, "ld8": 8, "ld8.s": 8, "ld8.fill": 8}
 STORE_SIZES = {"st1": 1, "st2": 2, "st4": 4, "st8": 8, "st8.spill": 8}
 
+#: Flat mnemonic->kind and mnemonic->latency views of OPCODES, so hot
+#: paths (dispatch table construction, the predecoder) can do one dict
+#: lookup instead of tuple indexing through a property call.
+OP_KIND = {op: kind for op, (kind, _lat) in OPCODES.items()}
+OP_LATENCY = {op: lat for op, (_kind, lat) in OPCODES.items()}
+
 # Roles attached to instrumentation-inserted instructions so the perf
 # counters can attribute cycles (paper Fig. 9 breakdown).
 ROLE_USER = None
@@ -155,12 +161,12 @@ class Instruction:
     @property
     def kind(self) -> OpKind:
         """Opcode family (ALU, load, branch, ...)."""
-        return OPCODES[self.op][0]
+        return OP_KIND[self.op]
 
     @property
     def latency(self) -> int:
         """Base issue latency in cycles."""
-        return OPCODES[self.op][1]
+        return OP_LATENCY[self.op]
 
     @property
     def access_size(self) -> int:

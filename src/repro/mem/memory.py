@@ -3,17 +3,39 @@
 Pages are allocated lazily on first touch, so the huge region-based
 address space (including the region-0 tag bitmap) costs host memory only
 for the pages actually used.  All accesses are little-endian.
+
+The scalar ``load``/``store`` entry points are on the interpreter's
+hottest path (every guest ``ldN``/``stN`` lands here), so they carry a
+fast path for accesses that stay inside one page: a one-entry page
+cache skips the dict lookup when consecutive accesses touch the same
+page (the overwhelmingly common case: stack frames and tag-bitmap
+bytes), and the value is packed/unpacked in place with ``struct``
+instead of round-tripping through an intermediate ``bytes`` object.
 """
 
 from __future__ import annotations
 
+import struct
 from typing import Dict, Iterator, Tuple
 
-from repro.mem.address import ADDRESS_MASK, is_implemented
+from repro.mem.address import ADDRESS_MASK, IMPL_MASK, REGION_SHIFT, is_implemented
 
 PAGE_BITS = 12
 PAGE_SIZE = 1 << PAGE_BITS
 PAGE_MASK = PAGE_SIZE - 1
+
+#: Address bits that must be zero (the "unimplemented" hole between the
+#: implemented offset and the region number; see repro.mem.address).
+_UNIMPL_MASK = ADDRESS_MASK & ~((0x7 << REGION_SHIFT) | IMPL_MASK)
+
+#: Little-endian scalar codecs for the power-of-two access sizes.  A 4 KiB
+#: page is entirely implemented or entirely not, so any access that stays
+#: within one implemented page needs no per-byte address checking.
+_SCALAR = {
+    2: struct.Struct("<H"),
+    4: struct.Struct("<I"),
+    8: struct.Struct("<Q"),
+}
 
 
 class MemoryError_(Exception):
@@ -30,12 +52,21 @@ class SparseMemory:
 
     def __init__(self) -> None:
         self._pages: Dict[int, bytearray] = {}
+        # One-entry page cache.  Pages are never freed, so a cached
+        # reference can never go stale.
+        self._cached_pno = -1
+        self._cached_page: bytearray = b""  # type: ignore[assignment]
 
     def _page_for(self, addr: int) -> Tuple[bytearray, int]:
-        page = self._pages.get(addr >> PAGE_BITS)
+        pno = addr >> PAGE_BITS
+        if pno == self._cached_pno:
+            return self._cached_page, addr & PAGE_MASK
+        page = self._pages.get(pno)
         if page is None:
             page = bytearray(PAGE_SIZE)
-            self._pages[addr >> PAGE_BITS] = page
+            self._pages[pno] = page
+        self._cached_pno = pno
+        self._cached_page = page
         return page, addr & PAGE_MASK
 
     def check(self, addr: int, size: int = 1) -> None:
@@ -46,11 +77,49 @@ class SparseMemory:
 
     def load(self, addr: int, size: int) -> int:
         """Load a little-endian unsigned integer of ``size`` bytes."""
+        addr &= ADDRESS_MASK
+        off = addr & PAGE_MASK
+        if off + size <= PAGE_SIZE and not addr & _UNIMPL_MASK:
+            pno = addr >> PAGE_BITS
+            if pno == self._cached_pno:
+                page = self._cached_page
+            else:
+                page = self._pages.get(pno)
+                if page is None:
+                    page = bytearray(PAGE_SIZE)
+                    self._pages[pno] = page
+                self._cached_pno = pno
+                self._cached_page = page
+            if size == 1:
+                return page[off]
+            codec = _SCALAR.get(size)
+            if codec is not None:
+                return codec.unpack_from(page, off)[0]
         self.check(addr, size)
         return int.from_bytes(self.read_bytes(addr, size), "little")
 
     def store(self, addr: int, size: int, value: int) -> None:
         """Store the low ``size`` bytes of ``value`` little-endian."""
+        addr &= ADDRESS_MASK
+        off = addr & PAGE_MASK
+        if off + size <= PAGE_SIZE and not addr & _UNIMPL_MASK:
+            pno = addr >> PAGE_BITS
+            if pno == self._cached_pno:
+                page = self._cached_page
+            else:
+                page = self._pages.get(pno)
+                if page is None:
+                    page = bytearray(PAGE_SIZE)
+                    self._pages[pno] = page
+                self._cached_pno = pno
+                self._cached_page = page
+            if size == 1:
+                page[off] = value & 0xFF
+                return
+            codec = _SCALAR.get(size)
+            if codec is not None:
+                codec.pack_into(page, off, value & ((1 << (8 * size)) - 1))
+                return
         self.check(addr, size)
         self.write_bytes(addr, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
 
@@ -77,13 +146,23 @@ class SparseMemory:
             pos += chunk
 
     def read_cstring(self, addr: int, limit: int = 1 << 20) -> bytes:
-        """Read a NUL-terminated byte string (without the NUL)."""
+        """Read a NUL-terminated byte string (without the NUL).
+
+        Scans whole page slices for the terminator (``bytearray.find``)
+        instead of issuing one checked scalar load per character.
+        """
         out = bytearray()
+        pos = addr & ADDRESS_MASK
         while len(out) < limit:
-            byte = self.load(addr + len(out), 1)
-            if byte == 0:
+            self.check(pos, 1)
+            page, off = self._page_for(pos)
+            end = min(PAGE_SIZE, off + (limit - len(out)))
+            nul = page.find(0, off, end)
+            if nul >= 0:
+                out += page[off:nul]
                 return bytes(out)
-            out.append(byte)
+            out += page[off:end]
+            pos += end - off
         raise MemoryError_(addr, "unterminated string")
 
     def pages_touched(self) -> int:

@@ -57,6 +57,7 @@ class Machine:
         tracing: bool = False,
         trace_path: Optional[str] = None,
         trace_capacity: Optional[int] = None,
+        engine: str = "predecoded",
     ) -> None:
         self.compiled = compiled
         self.program: Program = compiled.program
@@ -102,6 +103,9 @@ class Machine:
         if stdin:
             self.os.stdin = stdin
 
+        #: Interpreter engine choice ("predecoded" or "reference") —
+        #: named cpu_engine because ``self.engine`` is the PolicyEngine.
+        self.cpu_engine = engine
         self.cpu = CPU(
             self.program,
             self.memory,
@@ -110,6 +114,7 @@ class Machine:
             syscall_handler=self.os.syscall,
             native_handler=self.os.native,
             fault_hook=self.engine.on_fault,
+            engine=engine,
         )
         #: The engine locates alerts (pc / instruction count) via the CPU.
         self.engine.cpu = self.cpu

@@ -234,15 +234,18 @@ class ThreadManager:
 
     def _drain_instrumentation(self, budget: int) -> None:
         """With serialized bitmap access, never preempt mid-sequence."""
+        cpu = self.cpu
         code = self.machine.program.code
+        n = len(code)
+        step_fast = cpu.step_fast
         extra = 0
-        while (not self.cpu.halted and not self.cpu.yield_requested
+        while (not cpu.halted and not cpu.yield_requested
                and extra < budget
-               and 0 <= self.cpu.pc < len(code)
-               and code[self.cpu.pc].role is not None):
-            self.cpu.step()
+               and 0 <= cpu.pc < n
+               and code[cpu.pc].role is not None):
+            step_fast()
             extra += 1
-        self.cpu.issue.flush()
+        cpu.issue.flush()
 
     def run_all(self, max_instructions: int = 200_000_000) -> int:
         """Schedule threads until the process exits; returns exit code."""

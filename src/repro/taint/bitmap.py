@@ -6,6 +6,14 @@ and updates it with ordinary ``ld1``/``st1`` instructions.  This class
 is the host-side accessor used by taint sources (to mark incoming data),
 by native library taint summaries (the paper's "wrap functions") and by
 the policy engine (to inspect argument taint at checks).
+
+Range operations work on whole tag bytes wherever the data range is
+contiguous in tag space: at byte granularity one tag byte covers eight
+data bytes, so marking a 4 KiB network buffer touches 512 tag bytes via
+page-slice writes instead of 4096 read-modify-write scalar accesses.
+Only the partial tag bytes at the edges of a range still need a
+read-modify-write.  Ranges that straddle a region boundary (which never
+happens for real buffers) fall back to the per-granule reference loop.
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ if TYPE_CHECKING:
     from repro.obs.provenance import ProvenanceTracker
     from repro.obs.tracer import Tracer
 
-from repro.mem.address import tag_address
+from repro.mem.address import IMPL_MASK, linearize, region_of, tag_address
 from repro.mem.memory import SparseMemory
 
 GRANULARITY_BYTE = 1
@@ -42,6 +50,33 @@ class TaintMap:
         self.provenance: Optional["ProvenanceTracker"] = None
         self.tracer: Optional["Tracer"] = None
 
+    # -- tag-space geometry ------------------------------------------------
+
+    def _lin(self, addr: int) -> int:
+        """Linearised tag-space position of a data address."""
+        return (addr & IMPL_MASK) if self.flat else linearize(addr)
+
+    def _lin_span(self, addr: int, length: int) -> Optional[Tuple[int, int]]:
+        """Linearised positions of the first and last granule of a range.
+
+        Returns None when the range is not provably contiguous in tag
+        space (region-crossing or offset-wrapping), in which case the
+        caller must take the per-granule path.
+        """
+        step = self.granularity
+        first = addr - (addr % step)
+        last_byte = addr + length - 1
+        last = last_byte - (last_byte % step)
+        if region_of(first) != region_of(last):
+            return None
+        l0 = self._lin(first)
+        l1 = self._lin(last)
+        if l1 - l0 != last - first:
+            return None  # offset wrapped through unimplemented bits
+        return l0, l1
+
+    # -- scalar accessors --------------------------------------------------
+
     def is_tainted(self, addr: int) -> bool:
         """Taint state of the granule containing ``addr``."""
         tag = tag_address(addr, self.granularity, self.flat)
@@ -59,6 +94,50 @@ class TaintMap:
         byte = (byte | tag.mask) if tainted else (byte & ~tag.mask)
         self.memory.store(tag.byte_addr, 1, byte)
 
+    # -- batched internals -------------------------------------------------
+
+    def _rmw_tag_byte(self, byte_addr: int, mask: int, tainted: bool) -> None:
+        byte = self.memory.load(byte_addr, 1)
+        byte = (byte | mask) if tainted else (byte & ~mask & 0xFF)
+        self.memory.store(byte_addr, 1, byte)
+
+    def _fill_tags(self, l0: int, l1: int, tainted: bool) -> None:
+        """Set/clear every granule with linearised position in [l0, l1]."""
+        mem = self.memory
+        if self.granularity == GRANULARITY_WORD:
+            b0, b1 = l0 >> 3, l1 >> 3
+            mem.write_bytes(b0, (b"\x01" if tainted else b"\x00") * (b1 - b0 + 1))
+            return
+        b0, b1 = l0 >> 3, l1 >> 3
+        head_mask = (0xFF << (l0 & 7)) & 0xFF
+        tail_mask = 0xFF >> (7 - (l1 & 7))
+        if b0 == b1:
+            self._rmw_tag_byte(b0, head_mask & tail_mask, tainted)
+            return
+        if head_mask != 0xFF:
+            self._rmw_tag_byte(b0, head_mask, tainted)
+            b0 += 1
+        if tail_mask != 0xFF:
+            self._rmw_tag_byte(b1, tail_mask, tainted)
+            b1 -= 1
+        if b1 >= b0:
+            mem.write_bytes(b0, (b"\xff" if tainted else b"\x00") * (b1 - b0 + 1))
+
+    def _set_range_tags(self, addr: int, length: int, tainted: bool) -> None:
+        """Range set/clear without the provenance/tracer side effects."""
+        span = self._lin_span(addr, length)
+        if span is not None:
+            self._fill_tags(span[0], span[1], tainted)
+            return
+        step = self.granularity
+        granule = addr - (addr % step)
+        last = addr + length - 1
+        while granule <= last:
+            self.set_taint(granule, tainted)
+            granule += step
+
+    # -- range operations --------------------------------------------------
+
     def set_range(self, addr: int, length: int, tainted: bool = True) -> None:
         """Mark ``length`` bytes starting at ``addr``.
 
@@ -68,13 +147,7 @@ class TaintMap:
         """
         if length <= 0:
             return
-        step = self.granularity
-        first = addr - (addr % step)
-        last = addr + length - 1
-        granule = first
-        while granule <= last:
-            self.set_taint(granule, tainted)
-            granule += step
+        self._set_range_tags(addr, length, tainted)
         if not tainted and self.provenance is not None:
             self.provenance.clear_range(addr, length)
         if self.tracer is not None:
@@ -85,6 +158,24 @@ class TaintMap:
 
     def taint_flags(self, addr: int, length: int) -> List[bool]:
         """Per-byte taint flags for ``[addr, addr+length)``."""
+        if length <= 0:
+            return []
+        if not self.any_tainted(addr, length):
+            return [False] * length
+        span = self._lin_span(addr, length)
+        if span is None:
+            return self._taint_flags_slow(addr, length)
+        l0, l1 = span
+        b0 = l0 >> 3
+        data = self.memory.read_bytes(b0, (l1 >> 3) - b0 + 1)
+        if self.granularity == GRANULARITY_WORD:
+            phase = addr % 8
+            return [bool(data[(phase + i) >> 3]) for i in range(length)]
+        lin = self._lin(addr)
+        return [bool(data[((lin + i) >> 3) - b0] & (1 << ((lin + i) & 7)))
+                for i in range(length)]
+
+    def _taint_flags_slow(self, addr: int, length: int) -> List[bool]:
         flags: List[bool] = []
         cached_granule = None
         cached_value = False
@@ -99,18 +190,50 @@ class TaintMap:
 
     def any_tainted(self, addr: int, length: int) -> bool:
         """True if any granule in the range is tainted."""
-        step = self.granularity
-        first = addr - (addr % step)
-        last = addr + length - 1
-        granule = first
-        while granule <= last:
-            if self.is_tainted(granule):
+        if length <= 0:
+            return False
+        span = self._lin_span(addr, length)
+        if span is None:
+            step = self.granularity
+            granule = addr - (addr % step)
+            last = addr + length - 1
+            while granule <= last:
+                if self.is_tainted(granule):
+                    return True
+                granule += step
+            return False
+        l0, l1 = span
+        mem = self.memory
+        b0, b1 = l0 >> 3, l1 >> 3
+        if self.granularity == GRANULARITY_BYTE:
+            head_mask = (0xFF << (l0 & 7)) & 0xFF
+            tail_mask = 0xFF >> (7 - (l1 & 7))
+            if b0 == b1:
+                return bool(mem.load(b0, 1) & head_mask & tail_mask)
+            if head_mask != 0xFF:
+                if mem.load(b0, 1) & head_mask:
+                    return True
+                b0 += 1
+            if tail_mask != 0xFF:
+                if mem.load(b1, 1) & tail_mask:
+                    return True
+                b1 -= 1
+        pos = b0
+        while pos <= b1:
+            chunk = min(4096, b1 - pos + 1)
+            if any(mem.read_bytes(pos, chunk)):
                 return True
-            granule += step
+            pos += chunk
         return False
 
     def tainted_spans(self, addr: int, length: int) -> Iterator[Tuple[int, int]]:
-        """Yield ``(offset, span_length)`` runs of tainted bytes."""
+        """Yield ``(offset, span_length)`` runs of tainted bytes.
+
+        Lazy: a fully-clean range yields nothing after one batched
+        ``any_tainted`` probe, without materialising per-byte flags.
+        """
+        if length <= 0 or not self.any_tainted(addr, length):
+            return
         flags = self.taint_flags(addr, length)
         start = None
         for i, tainted in enumerate(flags):
@@ -128,9 +251,8 @@ class TaintMap:
         This is the semantic a *wrap function* for an uninstrumented
         (assembly) routine such as ``memcpy`` applies (paper 4.2).
         """
-        flags = self.taint_flags(src, length)
-        for offset, tainted in enumerate(flags):
-            self.set_taint(dst + offset, tainted)
+        if length > 0:
+            self._copy_tags(dst, src, length)
         if self.provenance is not None:
             self.provenance.copy_range(dst, src, length)
         if self.tracer is not None:
@@ -138,3 +260,48 @@ class TaintMap:
 
             self.tracer.emit(TaintStoreEvent(
                 op="copy", addr=dst, length=length, src=src))
+
+    def _copy_tags(self, dst: int, src: int, length: int) -> None:
+        if not self.any_tainted(src, length):
+            # A clean source clears the destination range outright.
+            self._set_range_tags(dst, length, False)
+            return
+        sspan = self._lin_span(src, length)
+        dspan = self._lin_span(dst, length)
+        if sspan is None or dspan is None or (src & 7) != (dst & 7):
+            # Misaligned (different bit phase within the tag byte):
+            # per-byte reference semantics.
+            flags = self.taint_flags(src, length)
+            for offset, tainted in enumerate(flags):
+                self.set_taint(dst + offset, tainted)
+            return
+        mem = self.memory
+        sb0 = sspan[0] >> 3
+        data = mem.read_bytes(sb0, (sspan[1] >> 3) - sb0 + 1)
+        dl0, dl1 = dspan
+        db0, db1 = dl0 >> 3, dl1 >> 3
+        if self.granularity == GRANULARITY_WORD:
+            # Normalise to the 0/1 encoding set_taint writes.
+            mem.write_bytes(db0, bytes(1 if b else 0 for b in data))
+            return
+        head_mask = (0xFF << (dl0 & 7)) & 0xFF
+        tail_mask = 0xFF >> (7 - (dl1 & 7))
+        if db0 == db1:
+            mask = head_mask & tail_mask
+            old = mem.load(db0, 1)
+            mem.store(db0, 1, (old & ~mask & 0xFF) | (data[0] & mask))
+            return
+        lo = 0
+        hi = len(data)
+        if head_mask != 0xFF:
+            old = mem.load(db0, 1)
+            mem.store(db0, 1, (old & ~head_mask & 0xFF) | (data[0] & head_mask))
+            db0 += 1
+            lo = 1
+        if tail_mask != 0xFF:
+            old = mem.load(db1, 1)
+            mem.store(db1, 1, (old & ~tail_mask & 0xFF) | (data[-1] & tail_mask))
+            db1 -= 1
+            hi -= 1
+        if hi > lo:
+            mem.write_bytes(db0, data[lo:hi])

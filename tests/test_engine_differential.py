@@ -1,0 +1,218 @@
+"""Differential tests: predecoded engine vs the reference step loop.
+
+The predecoded engine (micro-op closures plus fused basic blocks, see
+``repro.cpu.predecode``) must be *observably identical* to the
+reference dispatch loop: same architectural results, bit-identical
+``PerfCounters`` (including the creation order and contents of the
+per-role cost buckets), the same faults at the same pcs, the same
+security alerts, and the same trace-event streams.  Every test here
+runs one workload under both engines and compares.
+"""
+
+import pytest
+
+from repro.apps.spec import BENCHMARKS
+from repro.core.shift import build_machine
+from repro.cpu.faults import NaTConsumptionFault
+from repro.harness.runners import (
+    PERF_OPTIONS,
+    compiled_spec,
+    compiled_webserver,
+    spec_policy,
+    webserver_policy,
+)
+from repro.apps.webserver import make_request, make_site
+from repro.taint.policy import PolicyConfig
+from tests.conftest import BYTE_STRICT
+
+ENGINES = ("reference", "predecoded")
+
+READ = "native int read(int fd, char *buf, int n);\n"
+
+THREAD_DECLS = """
+native int thread_create(int fn, int arg);
+native int thread_join(int tid);
+native void thread_yield();
+"""
+
+
+def assert_counters_identical(ref, pre):
+    """Bit-identical PerfCounters, including RoleCost bucket order."""
+    assert ref.snapshot() == pre.snapshot()
+    assert ref.groups == pre.groups
+    assert ref.branches_taken == pre.branches_taken
+    # Bucket creation order is observable (dict iteration order feeds
+    # the Figure 9 breakdown tables), so compare keys as lists.
+    assert list(ref.pair_costs) == list(pre.pair_costs)
+    for key, a in ref.pair_costs.items():
+        b = pre.pair_costs[key]
+        assert (a.slots, a.issue_cycles, a.stall_cycles) == (
+            b.slots, b.issue_cycles, b.stall_cycles), key
+
+
+def assert_alerts_identical(ref_machine, pre_machine):
+    def strip(alerts):
+        return [(a.policy_id, a.message, a.context, a.pc,
+                 a.instruction_count) for a in alerts]
+    assert strip(ref_machine.alerts) == strip(pre_machine.alerts)
+
+
+def assert_traces_identical(ref_machine, pre_machine):
+    def strip(machine):
+        return [(type(e).__name__, vars(e))
+                for e in machine.obs.tracer.events()]
+    assert strip(ref_machine) == strip(pre_machine)
+
+
+class TestSpecKernels:
+    @pytest.mark.parametrize("config", ["none", "byte", "word-both"])
+    def test_gzip_bit_identical(self, config):
+        bench = BENCHMARKS["gzip"]
+        options = PERF_OPTIONS[config]
+        compiled = compiled_spec(bench, options, "test")
+        data = bench.make_input("test")
+        results = {}
+        for engine in ENGINES:
+            machine = build_machine(
+                compiled, policy_config=spec_policy(False),
+                files={"/data": data}, engine=engine)
+            machine.run()
+            results[engine] = machine
+        ref, pre = results["reference"], results["predecoded"]
+        assert ref.read_global("result") == pre.read_global("result")
+        assert_counters_identical(ref.counters, pre.counters)
+        assert_alerts_identical(ref, pre)
+
+    def test_mcf_bit_identical(self):
+        bench = BENCHMARKS["mcf"]
+        compiled = compiled_spec(bench, PERF_OPTIONS["byte"], "test")
+        data = bench.make_input("test")
+        counters = {}
+        for engine in ENGINES:
+            machine = build_machine(
+                compiled, policy_config=spec_policy(False),
+                files={"/data": data}, engine=engine)
+            machine.run()
+            counters[engine] = machine.counters
+        assert_counters_identical(counters["reference"],
+                                  counters["predecoded"])
+
+
+class TestWebserver:
+    def test_served_and_counters_identical(self):
+        compiled = compiled_webserver(PERF_OPTIONS["byte"])
+        site = make_site((2,))
+        machines = {}
+        for engine in ENGINES:
+            machine = build_machine(
+                compiled, policy_config=webserver_policy(),
+                files=dict(site), engine=engine)
+            for _ in range(5):
+                machine.net.add_request(make_request(2))
+            served = machine.run(max_instructions=100_000_000)
+            assert served == 5
+            machines[engine] = machine
+        assert_counters_identical(machines["reference"].counters,
+                                  machines["predecoded"].counters)
+        assert_alerts_identical(machines["reference"],
+                                machines["predecoded"])
+
+
+ATTACK = READ + """
+char src[16];
+int main() {
+    read(0, src, 8);
+    int *p = (int *)(src[0] * 65536);
+    return *p;
+}
+"""
+
+
+class TestSecurityDetection:
+    def test_alert_records_identical(self):
+        machines = {}
+        faults = {}
+        for engine in ENGINES:
+            machine = build_machine(
+                ATTACK, BYTE_STRICT, policy_config=PolicyConfig(),
+                stdin=b"\x42", engine_mode="record", engine=engine)
+            # Record mode logs the alert; the hardware fault still
+            # terminates the guest on the fault path.
+            with pytest.raises(NaTConsumptionFault) as excinfo:
+                machine.run(max_instructions=5_000_000)
+            machines[engine] = machine
+            faults[engine] = excinfo.value
+        assert faults["reference"].pc == faults["predecoded"].pc
+        assert faults["reference"].kind == faults["predecoded"].kind
+        ref, pre = machines["reference"], machines["predecoded"]
+        assert len(ref.alerts) >= 1
+        assert ref.alerts[0].policy_id == "L1"
+        assert_alerts_identical(ref, pre)
+        assert_counters_identical(ref.counters, pre.counters)
+
+    def test_fault_pc_identical(self):
+        faults = {}
+        for engine in ENGINES:
+            machine = build_machine(
+                ATTACK, BYTE_STRICT, policy_config=PolicyConfig().disable("L1"),
+                stdin=b"\x42", engine=engine)
+            with pytest.raises(NaTConsumptionFault) as excinfo:
+                machine.run(max_instructions=5_000_000)
+            faults[engine] = (excinfo.value, machine)
+        ref_fault, ref_machine = faults["reference"]
+        pre_fault, pre_machine = faults["predecoded"]
+        assert ref_fault.kind == pre_fault.kind
+        assert ref_fault.pc == pre_fault.pc
+        assert str(ref_fault.instr) == str(pre_fault.instr)
+        assert ref_machine.cpu.pc == pre_machine.cpu.pc
+        assert_counters_identical(ref_machine.counters,
+                                  pre_machine.counters)
+
+
+class TestTraceStreams:
+    def test_taint_trace_events_identical(self):
+        source = READ + """
+        char buf[32];
+        int main() {
+            read(0, buf, 16);
+            int acc = 0;
+            for (int i = 0; i < 16; i = i + 1) { acc = acc + buf[i]; }
+            return acc & 255;
+        }
+        """
+        machines = {}
+        for engine in ENGINES:
+            machine = build_machine(
+                source, PERF_OPTIONS["byte"], policy_config=PolicyConfig(),
+                stdin=b"taint-me-please!", tracing=True, engine=engine)
+            machine.exit_code = machine.run(max_instructions=5_000_000)
+            machines[engine] = machine
+        ref, pre = machines["reference"], machines["predecoded"]
+        assert ref.exit_code == pre.exit_code
+        assert len(ref.obs.tracer) > 0
+        assert_traces_identical(ref, pre)
+        assert_counters_identical(ref.counters, pre.counters)
+
+
+class TestThreads:
+    def test_threaded_run_identical(self):
+        source = THREAD_DECLS + """
+        int work(int x) {
+            int acc = 0;
+            for (int i = 0; i < 200; i = i + 1) { acc = acc + x; }
+            return acc;
+        }
+        int main() {
+            int a = thread_create((int)&work, 3);
+            int b = thread_create((int)&work, 5);
+            return thread_join(a) + thread_join(b);
+        }
+        """
+        machines = {}
+        for engine in ENGINES:
+            machine = build_machine(source, thread_quantum=97, engine=engine)
+            machine.exit_code = machine.run(max_instructions=50_000_000)
+            machines[engine] = machine
+        ref, pre = machines["reference"], machines["predecoded"]
+        assert ref.exit_code == pre.exit_code == 1600
+        assert_counters_identical(ref.counters, pre.counters)
