@@ -72,6 +72,106 @@ int main() {
 }
 """
 
+#: A deliberately vulnerable variant for the resilience experiments
+#: (repro.resil): same protocol as WEBSERVER_SOURCE, three planted bugs.
+#:
+#: 1. The URL-copy loop has **no bounds check**, so a ~300-byte URL
+#:    overflows ``path[256]`` into the adjacent ``mime_probe`` global.
+#: 2. ``mime_probe`` (legitimately a pointer to the first chunk byte,
+#:    for content sniffing) is **dereferenced after parsing** — an
+#:    overflowed, attacker-controlled probe address is exactly the
+#:    corrupted-pointer load SHIFT policy L1 detects.
+#: 3. A ``GET Retry-…`` request enters a blocking open-retry loop that
+#:    never terminates — caught by the supervisor's per-request
+#:    instruction-budget watchdog, not by taint tracking.
+#:
+#: Compiled *strict* (byte granularity), every request byte is tainted
+#: network input; clean requests still run alert-free because their
+#: bytes are only compared and copied, never used as addresses.
+RESIL_WEBSERVER_SOURCE = """
+native int accept();
+native int recv(int fd, char *buf, int n);
+native int send(int fd, char *buf, int n);
+native int open(char *path, int flags);
+native int read(int fd, char *buf, int n);
+native int close(int fd);
+
+char req[512];
+char chunk[1100];
+char path[256];
+int mime_probe;
+int served;
+
+int send_str(int fd, char *s) {
+    return send(fd, s, strlen(s));
+}
+
+int serve(int fd) {
+    int n = recv(fd, req, 500);
+    if (n <= 0) {
+        return 0;
+    }
+    req[n] = 0;
+    if (strncmp(req, "GET ", 4) != 0) {
+        send_str(fd, "HTTP/1.0 400 Bad Request\\r\\n\\r\\n");
+        return 0;
+    }
+    // Content-sniffing probe: points at the first body byte by default.
+    mime_probe = (int)&chunk;
+    strcpy(path, "/www");
+    int i = 4;
+    int pi = 4;
+    while (req[i] && req[i] != ' ') {  // BUG 1: no pi bound
+        path[pi] = req[i];
+        pi++;
+        i++;
+    }
+    path[pi] = 0;
+    char *probe = (char *)mime_probe;  // BUG 2: deref after overflow
+    int sniff = *probe;
+    int f = open(path, 0);
+    while (f < 0 && req[5] == 'R') {  // BUG 3: blocking retry loop
+        f = open(path, 0);
+    }
+    if (f < 0) {
+        send_str(fd, "HTTP/1.0 404 Not Found\\r\\n\\r\\n");
+        return 0;
+    }
+    send_str(fd, "HTTP/1.0 200 OK\\r\\nServer: mini-httpd\\r\\n\\r\\n");
+    int got = read(f, chunk, 1024);
+    while (got > 0) {
+        send(fd, chunk, got);
+        got = read(f, chunk, 1024);
+    }
+    close(f);
+    return 1;
+}
+
+int main() {
+    int fd;
+    while ((fd = accept()) >= 0) {
+        served += serve(fd);
+    }
+    return served;
+}
+"""
+
+
+def overflow_request(length: int = 300) -> bytes:
+    """Buffer-overflow attack: URL long enough to smash ``mime_probe``."""
+    return b"GET /" + b"A" * length + b" HTTP/1.0\r\n\r\n"
+
+
+def traversal_request(target: str = "/../etc/secret") -> bytes:
+    """Directory-traversal attack caught by policy H2 at ``open``."""
+    return f"GET {target} HTTP/1.0\r\n\r\n".encode()
+
+
+def runaway_request() -> bytes:
+    """Request that drives the server into its blocking retry loop."""
+    return b"GET /Retry-forever HTTP/1.0\r\n\r\n"
+
+
 #: The request sizes measured in the paper (KB).
 FILE_SIZES_KB = (4, 8, 16, 512)
 

@@ -114,6 +114,10 @@ class ShiftOptions:
     #: pointer's taint to the loaded value — used for the SPEC runs,
     #: where input-indexed tables are ubiquitous.
     pointer_policy: str = "strict"
+    #: Guest heap ceiling in bytes for ``Machine.heap_alloc``; ``None``
+    #: uses the machine's default cap (the guard always exists so a
+    #: runaway guest malloc loop cannot exhaust *host* memory).
+    heap_limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("none", "shift", "lift"):
@@ -124,6 +128,8 @@ class ShiftOptions:
             raise ValueError(f"unknown pointer policy {self.pointer_policy!r}")
         if self.natgen not in ("use", "function", "global"):
             raise ValueError(f"unknown natgen granularity {self.natgen!r}")
+        if self.heap_limit is not None and self.heap_limit <= 0:
+            raise ValueError("heap_limit must be positive when set")
 
     @property
     def label(self) -> str:

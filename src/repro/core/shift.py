@@ -60,6 +60,8 @@ def build_machine(
     trace_path: Optional[str] = None,
     trace_capacity: Optional[int] = None,
     engine: str = "predecoded",
+    recover_watchdog: Optional[int] = None,
+    recover_max_recoveries: int = 1000,
 ) -> Machine:
     """Compile (if needed) and load a guest into a ready Machine."""
     if isinstance(sources, CompiledProgram):
@@ -81,6 +83,8 @@ def build_machine(
         trace_path=trace_path,
         trace_capacity=trace_capacity,
         engine=engine,
+        recover_watchdog=recover_watchdog,
+        recover_max_recoveries=recover_max_recoveries,
     )
 
 

@@ -517,6 +517,9 @@ class CPU:
                 instruction=str(instr),
                 instruction_count=self.counters.instructions,
             ))
+            # Machine.run's incident-report backstop emits a terminal
+            # event for any abort that lacks this marker.
+            fault._obs_traced = True
         if self.fault_hook is not None:
             self.fault_hook(self, fault)
         raise fault

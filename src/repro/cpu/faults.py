@@ -37,6 +37,24 @@ class NaTConsumptionFault(Fault):
         self.kind = kind
 
 
+class GuestOOMFault(Fault):
+    """The guest heap allocator exceeded its configured limit.
+
+    Raised by ``Machine.heap_alloc`` instead of letting a runaway guest
+    ``malloc`` loop exhaust *host* memory.  In ``recover`` mode the
+    supervisor treats it like any other fault: roll back to the last
+    checkpoint and quarantine the offending request.
+    """
+
+    def __init__(self, requested: int, in_use: int, limit: int) -> None:
+        super().__init__(
+            f"guest heap limit exceeded: requested {requested} bytes "
+            f"with {in_use}/{limit} in use")
+        self.requested = requested
+        self.in_use = in_use
+        self.limit = limit
+
+
 class IllegalInstructionFault(Fault):
     """Undefined operation or malformed break immediate."""
 

@@ -1,0 +1,189 @@
+"""Resilience benchmark: fault-injection campaign + attack-mix server.
+
+Two experiments, one report (``BENCH_resil.json``):
+
+1. **Fault-injection campaign** (:mod:`repro.resil.inject`): seeded,
+   deterministic injections — taint-tag flips into a victim kernel,
+   NaT drops into SPEC kernels, transient device errors and truncated
+   reads — with per-kind detection/recovery rates.  Every workload also
+   runs uninjected as a control; a control that alerts is a false
+   positive and fails the gate.
+2. **Attack-mix webserver**: the deliberately vulnerable server
+   (:data:`repro.apps.webserver.RESIL_WEBSERVER_SOURCE`) in ``recover``
+   mode, fed interleaved clean requests and attacks (buffer overflow,
+   directory traversal, and a watchdog-caught infinite retry loop).
+   The server must answer every clean request and quarantine every
+   attack without terminating early.
+
+::
+
+    PYTHONPATH=src python -m repro.harness.resilbench --quick --gate
+
+``--gate`` exits non-zero unless tag-flip and NaT-drop detection are
+both >= 0.95 on armed injections, no trial or control raised a false
+alert, and the attack mix came out exact — the conditions the CI smoke
+job enforces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+from repro.apps.webserver import (
+    RESIL_WEBSERVER_SOURCE,
+    make_request,
+    make_site,
+    overflow_request,
+    runaway_request,
+    traversal_request,
+)
+from repro.compiler.instrument import ShiftOptions
+from repro.core.shift import build_machine
+from repro.harness.runners import webserver_policy
+from repro.resil.inject import run_campaign
+
+#: The vulnerable server must run strict (default pointer policy):
+#: the planted bugs are exactly the corrupted-address loads L1 exists
+#: to catch.
+ATTACK_OPTIONS = ShiftOptions(granularity=1)
+
+#: Per-request instruction budget for the attack mix.  A clean request
+#: completes in well under 100k instructions; the retry-loop attack
+#: never completes at all.
+ATTACK_WATCHDOG = 2_000_000
+
+_resil_web_cache: Dict[str, object] = {}
+
+
+def attack_mix(engine: str = "predecoded", clean_requests: int = 6) -> Dict:
+    """Run the attack-mix server experiment; returns the report entry."""
+    compiled = _resil_web_cache.get("compiled")
+    if compiled is None:
+        from repro.core.shift import compile_protected
+
+        compiled = compile_protected(RESIL_WEBSERVER_SOURCE, ATTACK_OPTIONS)
+        _resil_web_cache["compiled"] = compiled
+    machine = build_machine(
+        compiled,
+        policy_config=webserver_policy(),
+        files=make_site((4,)),
+        engine_mode="recover",
+        recover_watchdog=ATTACK_WATCHDOG,
+        engine=engine,
+    )
+    attacks = (overflow_request(), traversal_request(), runaway_request())
+    expected_reasons = ("alert", "alert", "runaway")
+    # Interleave: clean, attack, clean, attack, ... clean.
+    for i in range(clean_requests):
+        machine.net.add_request(make_request(4))
+        if i < len(attacks):
+            machine.net.add_request(attacks[i])
+    served = machine.run(max_instructions=1_000_000_000)
+
+    sup = machine.resil
+    clean_ok = served == clean_requests and all(
+        bytes(c.outbound).startswith(b"HTTP/1.0 200")
+        for c in machine.net.completed)
+    reasons = tuple(i.reason for i in sup.incidents)
+    exact = (clean_ok
+             and len(machine.net.quarantined) == len(attacks)
+             and reasons == expected_reasons)
+    return {
+        "engine": engine,
+        "clean_requests": clean_requests,
+        "attacks": len(attacks),
+        "served": served,
+        "quarantined": len(machine.net.quarantined),
+        "incidents": [
+            {"request": i.request_index, "reason": i.reason,
+             "policy": i.policy_id}
+            for i in sup.incidents
+        ],
+        "checkpoints": sup.checkpoints_taken,
+        "exact": exact,
+    }
+
+
+def run_suite(quick: bool, seed: int, trials: int, scale: str,
+              engine: str) -> Dict:
+    """Campaign + attack mix; returns the full report dict."""
+    print("resilbench: fault-injection campaign", flush=True)
+    campaign = run_campaign(trials_per_kind=trials, seed=seed,
+                            engine=engine, quick=quick, scale=scale)
+    for kind, summary in campaign["kinds"].items():
+        rate = summary.get("detection_rate")
+        shown = f"detection {rate:.2f}" if rate is not None else "no gate"
+        print(f"  {kind:14s} {summary['trials']} trials, {shown}", flush=True)
+    print("resilbench: attack-mix webserver", flush=True)
+    mix = attack_mix(engine=engine)
+    print(f"  served {mix['served']}/{mix['clean_requests']} clean, "
+          f"quarantined {mix['quarantined']}/{mix['attacks']} attacks, "
+          f"exact={mix['exact']}", flush=True)
+    return {
+        "config": {
+            "seed": seed,
+            "engine": engine,
+            "scale": scale,
+            "quick": quick,
+            "python": sys.version.split()[0],
+        },
+        "campaign": campaign,
+        "attack_mix": mix,
+    }
+
+
+def gate(report: Dict) -> int:
+    """Check the CI gate conditions; returns a process exit code."""
+    failures = []
+    kinds = report["campaign"]["kinds"]
+    for kind in ("tag_flip", "nat_drop"):
+        rate = kinds[kind]["detection_rate"]
+        if rate < 0.95:
+            failures.append(f"{kind} detection {rate:.2f} < 0.95")
+    false_alerts = (
+        sum(c["false_alerts"] for c in report["campaign"]["controls"])
+        + sum(k.get("false_alerts", 0) for k in kinds.values()))
+    if false_alerts:
+        failures.append(f"{false_alerts} false alert(s)")
+    if not report["attack_mix"]["exact"]:
+        failures.append("attack mix was not exact")
+    for failure in failures:
+        print(f"GATE FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.resilbench", description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small campaign (4 trials/kind, gzip only)")
+    parser.add_argument("--seed", type=int, default=12345,
+                        help="campaign seed (default: 12345)")
+    parser.add_argument("--trials", type=int, default=10,
+                        help="trials per injection kind (default: 10)")
+    parser.add_argument("--scale", default="test",
+                        help="SPEC input scale (default: test)")
+    parser.add_argument("--engine", default="predecoded",
+                        choices=("reference", "predecoded"))
+    parser.add_argument("--output", default="BENCH_resil.json",
+                        help="report path (default: BENCH_resil.json)")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit 1 unless the detection gate holds")
+    args = parser.parse_args(argv)
+
+    report = run_suite(args.quick, args.seed, args.trials, args.scale,
+                       args.engine)
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    if args.gate:
+        return gate(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

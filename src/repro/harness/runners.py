@@ -112,6 +112,25 @@ def spec_slowdown(bench: SpecBenchmark, options: ShiftOptions,
 # -- web server (Figure 6) ------------------------------------------------
 
 
+class ServerShortfallError(AssertionError):
+    """The server answered fewer requests than the experiment sent.
+
+    Carries the counts and any recorded security alerts so harnesses can
+    report *why* the server fell short instead of a bare assertion text.
+    """
+
+    def __init__(self, served: int, requested: int, alerts=()) -> None:
+        self.served = served
+        self.requested = requested
+        self.alerts = list(alerts)
+        detail = ""
+        if self.alerts:
+            ids = ", ".join(a.policy_id for a in self.alerts)
+            detail = f" (alerts: {ids})"
+        super().__init__(
+            f"server answered {served}/{requested} requests{detail}")
+
+
 def webserver_policy() -> PolicyConfig:
     """Server policy: network tainted, static files trusted, H2 armed."""
     config = PolicyConfig()
@@ -169,7 +188,7 @@ def run_webserver(options: ShiftOptions, file_kb: int, requests: int = 50,
         machine.net.add_request(make_request(file_kb))
     served = machine.run(max_instructions=1_000_000_000)
     if served != requests:
-        raise AssertionError(f"server answered {served}/{requests} requests")
+        raise ServerShortfallError(served, requests, machine.alerts)
     return WebRun(
         label=options.label,
         file_kb=file_kb,

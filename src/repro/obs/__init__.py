@@ -23,8 +23,12 @@ from typing import Optional
 from repro.obs.events import (
     EVENT_TYPES,
     AlertEvent,
+    CheckpointEvent,
     Event,
     FaultEvent,
+    InjectionEvent,
+    QuarantineEvent,
+    RollbackEvent,
     SyscallEvent,
     TaintSourceEvent,
     TaintStoreEvent,
@@ -66,6 +70,7 @@ class Observability:
 
 __all__ = [
     "AlertEvent",
+    "CheckpointEvent",
     "Counter",
     "DEFAULT_CAPACITY",
     "EVENT_TYPES",
@@ -74,9 +79,12 @@ __all__ = [
     "Gauge",
     "Histogram",
     "IncidentReport",
+    "InjectionEvent",
     "MetricsRegistry",
     "Observability",
     "ProvenanceTracker",
+    "QuarantineEvent",
+    "RollbackEvent",
     "SyscallEvent",
     "TaintOrigin",
     "TaintSourceEvent",

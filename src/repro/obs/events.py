@@ -109,6 +109,54 @@ class ThreadSwitchEvent(Event):
     switches: int = 0  # cumulative context-switch count
 
 
+@dataclass
+class CheckpointEvent(Event):
+    """A machine checkpoint was captured (request boundary or manual)."""
+
+    KIND: ClassVar[str] = "checkpoint"
+
+    reason: str  # 'request_boundary' | 'manual'
+    pages: int  # non-zero memory pages captured
+    pending_requests: int
+    instruction_count: int = 0
+
+
+@dataclass
+class RollbackEvent(Event):
+    """The supervisor rolled the machine back to its last checkpoint."""
+
+    KIND: ClassVar[str] = "rollback"
+
+    reason: str  # 'alert' | 'fault' | 'oom' | 'runaway'
+    detail: str  # alert/fault text
+    pc: int = -1  # pc at the abort point (pre-rollback)
+    instruction_count: int = 0  # at the abort point (pre-rollback)
+    restored_instruction_count: int = 0
+
+
+@dataclass
+class QuarantineEvent(Event):
+    """An offending request was removed from the queue after rollback."""
+
+    KIND: ClassVar[str] = "quarantine"
+
+    request_index: int  # Connection.index, -1 if nothing was pending
+    reason: str  # 'alert' | 'fault' | 'oom' | 'runaway'
+    policy_id: str = ""  # set when the abort was a SecurityAlert
+    instruction_count: int = 0
+
+
+@dataclass
+class InjectionEvent(Event):
+    """The fault-injection campaign perturbed the machine state."""
+
+    KIND: ClassVar[str] = "injection"
+
+    kind: str  # 'tag_flip' | 'nat_drop' | 'read_truncate' | 'transient'
+    detail: str
+    instruction_count: int = 0
+
+
 #: Every event type, for schema documentation and exporters.
 EVENT_TYPES: Tuple[type, ...] = (
     TaintSourceEvent,
@@ -117,4 +165,8 @@ EVENT_TYPES: Tuple[type, ...] = (
     AlertEvent,
     SyscallEvent,
     ThreadSwitchEvent,
+    CheckpointEvent,
+    RollbackEvent,
+    QuarantineEvent,
+    InjectionEvent,
 )

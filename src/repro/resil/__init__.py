@@ -1,0 +1,35 @@
+"""Resilience layer: checkpoint/rollback, recovery, fault injection.
+
+SHIFT's premise (paper 2.3, 5) is that a NaT-consumption detection is a
+*recoverable* deferred exception — the protected process should survive
+an attack, not die with it.  This package supplies the software monitor
+the paper assumes:
+
+* :mod:`repro.resil.checkpoint` — :class:`MachineCheckpoint` snapshots
+  and restores the complete machine state (CPU registers + NaT bits +
+  predicates, sparse-memory pages including the taint bitmap, heap
+  pointer, fd table, provenance side-table, perf counters, caches,
+  threads) with identical semantics under both interpreter engines.
+* :mod:`repro.resil.recovery` — the ``recover`` policy mode: a
+  supervisor that rolls back to the last checkpoint on a
+  ``SecurityAlert``/``Fault``, quarantines the offending request and
+  resumes, with a per-request instruction-budget watchdog.
+* :mod:`repro.resil.transient` — seeded deterministic transient device
+  errors, absorbed by bounded retry-with-backoff in the I/O natives.
+* :mod:`repro.resil.inject` — the fault-injection campaign (taint-tag
+  flips, NaT drops, read truncation, transient errors) used by
+  ``repro.harness.resilbench`` to measure detection/recovery rates.
+"""
+
+from __future__ import annotations
+
+from repro.resil.checkpoint import MachineCheckpoint
+from repro.resil.recovery import QuarantineIncident, ResilienceSupervisor
+from repro.resil.transient import TransientErrorInjector
+
+__all__ = [
+    "MachineCheckpoint",
+    "QuarantineIncident",
+    "ResilienceSupervisor",
+    "TransientErrorInjector",
+]

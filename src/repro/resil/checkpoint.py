@@ -1,0 +1,310 @@
+"""Whole-machine checkpoints for rollback recovery.
+
+A :class:`MachineCheckpoint` captures everything the guest can observe:
+architectural registers (including the NaT bits that *are* the taint
+state of registers), predicates, branch registers, ``ar.unat``, every
+non-zero sparse-memory page (the taint bitmap lives in guest memory, so
+tag state rides along for free), the heap bump pointer, the fd table,
+device queues, the provenance side-table and the performance counters
+and cache state — so a rolled-back run is *bit-identical* to one that
+never executed the discarded segment, under both the reference and the
+predecoded engine.
+
+Restore is strictly **in place**: the predecoded engine's generated
+closures capture the identity of the register lists, the counters, the
+``pair_costs`` dict, the issue-model group list and the store-forward
+window, so the checkpoint must never rebind those objects — it mutates
+their contents (``gr[:] = saved``, ``page[:] = saved``, bucket fields
+assigned) instead.
+
+What is deliberately **not** rolled back (external world / evidence):
+
+* connections that *arrived after* the checkpoint stay queued (they are
+  re-appended behind the restored pending queue);
+* ``SimNetwork._next_index`` keeps counting (arrival numbers are facts);
+* recorded alerts, the trace ring buffer and quarantine lists are
+  append-only evidence of what happened before the rollback;
+* transient-error injectors keep their stream position, otherwise a
+  retried transient would replay forever.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.mem.memory import PAGE_SIZE
+
+_ZERO_PAGE = bytes(PAGE_SIZE)
+
+#: PerfCounters scalar fields captured verbatim.
+_COUNTER_FIELDS = (
+    "instructions", "groups", "issue_cycles", "stall_cycles",
+    "branch_penalty_cycles", "io_cycles", "loads", "stores",
+    "branches_taken",
+)
+
+
+def _capture_context(ctx):
+    """Deep-copy one saved CpuContext (None while running on the core)."""
+    if ctx is None:
+        return None
+    from repro.cpu.core import CpuContext
+
+    return CpuContext(gr=list(ctx.gr), nat=list(ctx.nat), pr=list(ctx.pr),
+                      br=list(ctx.br), unat=ctx.unat, pc=ctx.pc)
+
+
+class MachineCheckpoint:
+    """One restorable snapshot of a :class:`~repro.runtime.machine.Machine`.
+
+    Build with :meth:`capture`; apply with :meth:`restore` on the *same*
+    machine instance.  Capture flushes the open issue group first, which
+    is a no-op at the points checkpoints are taken (native-call and
+    run-slice boundaries always flush before returning control).
+    """
+
+    def __init__(self) -> None:
+        self.instruction_count = 0
+        self.pages: Dict[int, bytes] = {}
+        self.pending_head_index = -1  # Connection.index, -1 when empty
+
+    # -- capture -------------------------------------------------------
+
+    @classmethod
+    def capture(cls, machine) -> "MachineCheckpoint":
+        """Snapshot the machine's complete guest-visible state."""
+        self = cls()
+        cpu = machine.cpu
+        cpu.issue.flush()
+
+        # CPU architectural + micro-architectural state.
+        self._gr = list(cpu.gr)
+        self._nat = list(cpu.nat)
+        self._pr = list(cpu.pr)
+        self._br = list(cpu.br)
+        self._unat = cpu.unat
+        self._pc = cpu.pc
+        self._halted = cpu.halted
+        self._exit_code = cpu.exit_code
+        self._yield_requested = cpu.yield_requested
+        self._fault_pc = cpu._fault_pc
+        self._recent_stores = list(cpu._recent_stores)
+
+        # Performance counters: scalars plus the ordered RoleCost buckets.
+        counters = cpu.counters
+        self._counter_scalars = tuple(
+            getattr(counters, f) for f in _COUNTER_FIELDS)
+        self._pair_costs: List[Tuple[object, Tuple[int, float, float]]] = [
+            (key, (c.slots, c.issue_cycles, c.stall_cycles))
+            for key, c in counters.pair_costs.items()
+        ]
+        self.instruction_count = counters.instructions
+
+        # Cache hierarchy: LRU contents + hit/miss statistics per level.
+        self._caches = []
+        for cache in (cpu.caches.l1, cpu.caches.l2, cpu.caches.l3):
+            sets = {i: tuple(ways) for i, ways in enumerate(cache._sets)
+                    if ways}
+            self._caches.append(
+                (sets, cache.stats.accesses, cache.stats.misses))
+
+        # Memory: every non-zero page (tag bitmap pages included).
+        self.pages = {
+            pno: bytes(page)
+            for pno, page in machine.memory._pages.items()
+            if page != _ZERO_PAGE
+        }
+        self._heap_next = machine._heap_next
+
+        # Guest OS: fd table (connection objects are shared by reference;
+        # their mutable cursors are saved separately below).
+        os = machine.os
+        self._stdin_pos = os._stdin_pos
+        self._next_fd = os._next_fd
+        self._fds = [
+            (fd, h.kind, h.path, h.pos, h.conn,
+             None if h.write_buffer is None else bytes(h.write_buffer))
+            for fd, h in os._fds.items()
+        ]
+        self._io_retries = os.io_retries
+        self._io_failures = os.io_failures
+
+        # Network: queue membership plus per-connection cursors.
+        net = machine.net
+        self._pending = tuple(net.pending)
+        self._completed = tuple(net.completed)
+        self._arrival_watermark = net._next_index
+        self._conn_state = [
+            (conn, conn.read_pos, len(conn.outbound))
+            for conn in (*net.pending, *net.completed)
+        ]
+        if self._pending:
+            self.pending_head_index = self._pending[0].index
+
+        # Filesystem, console, side-effect logs, guest RNG.
+        self._files = dict(machine.fs.files)
+        self._console_out = len(machine.console.out)
+        self._console_err = len(machine.console.err)
+        self._commands = len(machine.executed_commands)
+        self._queries = len(machine.executed_queries)
+        self._rng_state = machine.rng_state
+
+        # Provenance side-table (mirrors the rolled-back tag bitmap).
+        self._provenance = None
+        if machine.obs is not None:
+            prov = machine.obs.provenance
+            self._provenance = (list(prov.origins), dict(prov._table))
+
+        # Threads: scheduler bookkeeping + saved per-thread contexts.
+        threads = machine.threads
+        self._thread_state = [
+            (t.tid, t.status, t.exit_value, list(t.join_waiters),
+             _capture_context(t.context))
+            for t in threads.threads.values()
+        ]
+        self._current_tid = threads.current_tid
+        self._next_tid = threads._next_tid
+        self._mutexes = [
+            (mid, m.holder, list(m.waiters))
+            for mid, m in threads.mutexes.items()
+        ]
+        self._next_mutex = threads._next_mutex
+        self._context_switches = threads.context_switches
+        return self
+
+    # -- restore -------------------------------------------------------
+
+    def restore(self, machine) -> None:
+        """Roll the machine back to this snapshot, strictly in place."""
+        cpu = machine.cpu
+
+        cpu.gr[:] = self._gr
+        cpu.nat[:] = self._nat
+        cpu.pr[:] = self._pr
+        cpu.br[:] = self._br
+        cpu.unat = self._unat
+        cpu.pc = self._pc
+        cpu.halted = self._halted
+        cpu.exit_code = self._exit_code
+        cpu.yield_requested = self._yield_requested
+        cpu._fault_pc = self._fault_pc
+        cpu._recent_stores[:] = self._recent_stores
+
+        # Issue model: the capture point was group-flushed, so the
+        # restored group is empty; clear the live one without closing it
+        # (closing would charge cycles that belong to the discarded run).
+        issue = cpu.issue
+        issue._group.clear()
+        issue._group_writes = 0
+        issue._group_pr_writes = 0
+        issue._group_mem = 0
+        issue._group_slots = 0
+
+        counters = cpu.counters
+        for field, value in zip(_COUNTER_FIELDS, self._counter_scalars):
+            setattr(counters, field, value)
+        # Saved keys are an order-preserving prefix of the live dict
+        # (buckets are created lazily and never removed), so deleting
+        # the post-checkpoint extras restores the exact creation order.
+        saved_keys = {key for key, _ in self._pair_costs}
+        for key in [k for k in counters.pair_costs if k not in saved_keys]:
+            del counters.pair_costs[key]
+        for key, (slots, issue_cycles, stall_cycles) in self._pair_costs:
+            bucket = counters.pair_costs[key]
+            bucket.slots = slots
+            bucket.issue_cycles = issue_cycles
+            bucket.stall_cycles = stall_cycles
+
+        for cache, (sets, accesses, misses) in zip(
+                (cpu.caches.l1, cpu.caches.l2, cpu.caches.l3), self._caches):
+            for i, ways in enumerate(cache._sets):
+                saved = sets.get(i)
+                if saved is not None:
+                    ways[:] = saved
+                elif ways:
+                    ways.clear()
+            cache.stats.accesses = accesses
+            cache.stats.misses = misses
+
+        # Memory: pages allocated after the checkpoint are zero-filled in
+        # place (content-equivalent to never-allocated, and it keeps the
+        # one-entry page cache valid).  Pages are never freed, so every
+        # saved page still exists.
+        for pno, page in machine.memory._pages.items():
+            saved = self.pages.get(pno)
+            if saved is not None:
+                page[:] = saved
+            else:
+                page[:] = _ZERO_PAGE
+        machine._heap_next = self._heap_next
+
+        from repro.runtime.guest_os import FileHandle
+
+        os = machine.os
+        os._stdin_pos = self._stdin_pos
+        os._next_fd = self._next_fd
+        os._fds.clear()
+        for fd, kind, path, pos, conn, write_buffer in self._fds:
+            os._fds[fd] = FileHandle(
+                kind=kind, path=path, pos=pos, conn=conn,
+                write_buffer=(None if write_buffer is None
+                              else bytearray(write_buffer)))
+        os.io_retries = self._io_retries
+        os.io_failures = self._io_failures
+
+        net = machine.net
+        for conn, read_pos, outbound_len in self._conn_state:
+            conn.read_pos = read_pos
+            del conn.outbound[outbound_len:]
+        # Connections that arrived after the checkpoint are external
+        # facts: keep them queued behind the restored pending set.
+        new_arrivals = [c for c in net.pending
+                        if c.index >= self._arrival_watermark]
+        net.pending.clear()
+        net.pending.extend(self._pending)
+        net.pending.extend(new_arrivals)
+        net.completed[:] = self._completed
+
+        machine.fs.files.clear()
+        machine.fs.files.update(self._files)
+        del machine.console.out[self._console_out:]
+        del machine.console.err[self._console_err:]
+        del machine.executed_commands[self._commands:]
+        del machine.executed_queries[self._queries:]
+        machine.rng_state = self._rng_state
+
+        if self._provenance is not None and machine.obs is not None:
+            prov = machine.obs.provenance
+            origins, table = self._provenance
+            prov.origins[:] = origins
+            prov._table.clear()
+            prov._table.update(table)
+
+        from repro.runtime.threads import GuestThread, Mutex
+
+        threads = machine.threads
+        threads.threads.clear()
+        for tid, status, exit_value, join_waiters, ctx in self._thread_state:
+            threads.threads[tid] = GuestThread(
+                tid=tid, context=_capture_context(ctx), status=status,
+                exit_value=exit_value, join_waiters=list(join_waiters))
+        threads.current_tid = self._current_tid
+        threads._next_tid = self._next_tid
+        threads.mutexes.clear()
+        for mid, holder, waiters in self._mutexes:
+            threads.mutexes[mid] = Mutex(holder=holder,
+                                         waiters=list(waiters))
+        threads._next_mutex = self._next_mutex
+        threads.context_switches = self._context_switches
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        """Number of non-zero memory pages captured."""
+        return len(self.pages)
+
+    @property
+    def pending_requests(self) -> int:
+        """Pending connections at capture time."""
+        return len(self._pending)

@@ -1,0 +1,183 @@
+"""The ``recover`` policy mode: rollback + quarantine + resume.
+
+The paper (2.3) argues a detected NaT consumption is a *deferred,
+recoverable* exception; Raksha's security monitor makes the same point.
+This module is that monitor.  A :class:`ResilienceSupervisor` drives
+the CPU in bounded slices; the guest-OS ``accept`` native captures a
+:class:`~repro.resil.checkpoint.MachineCheckpoint` at every request
+boundary (before the connection is dequeued), so when a request
+triggers a :class:`~repro.taint.engine.SecurityAlert`, a
+:class:`~repro.cpu.faults.Fault` (including ``GuestOOMFault``) or blows
+its per-request instruction-budget watchdog, the supervisor
+
+1. rolls the machine back to the last checkpoint (the offending
+   request is back at the head of the pending queue),
+2. quarantines that connection (pops it into ``net.quarantined`` and
+   records a :class:`QuarantineIncident`), and
+3. resumes — the guest re-executes ``accept`` and serves the next
+   request as if the attack had never run.
+
+Because every recovery removes exactly one pending request, progress is
+guaranteed; ``max_recoveries`` is only a backstop.  A fault that occurs
+with *no* request pending at the checkpoint would recur
+deterministically after rollback, so it is re-raised instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cpu.faults import Fault, GuestOOMFault, RunawayError
+from repro.resil.checkpoint import MachineCheckpoint
+from repro.taint.engine import SecurityAlert
+
+
+@dataclass
+class QuarantineIncident:
+    """One recovered abort: what happened, and what it cost."""
+
+    request_index: int  # Connection.index of the quarantined request
+    reason: str  # 'alert' | 'fault' | 'oom' | 'runaway'
+    policy_id: str  # SHIFT policy id for alerts, else ""
+    message: str
+    pc: int  # pc at the abort point
+    instruction_count: int  # instruction count at the abort point
+    rolled_back_to: int  # instruction count restored by the rollback
+
+
+class ResilienceSupervisor:
+    """Checkpoint/rollback recovery loop around one machine."""
+
+    def __init__(self, machine, *, watchdog: Optional[int] = None,
+                 max_recoveries: int = 1000) -> None:
+        self.machine = machine
+        #: Per-request instruction budget; None disables the watchdog.
+        self.watchdog = watchdog
+        self.max_recoveries = max_recoveries
+        self.incidents: List[QuarantineIncident] = []
+        self.recoveries = 0
+        self.checkpoints_taken = 0
+        self._checkpoint: Optional[MachineCheckpoint] = None
+        self._checkpoint_instr = 0
+
+    # -- checkpointing -------------------------------------------------
+
+    def on_request_boundary(self) -> None:
+        """Capture a checkpoint (called by the accept native, pre-pop)."""
+        self._checkpoint = MachineCheckpoint.capture(self.machine)
+        self._checkpoint_instr = self._checkpoint.instruction_count
+        self.checkpoints_taken += 1
+        obs = self.machine.obs
+        if obs is not None:
+            from repro.obs.events import CheckpointEvent
+
+            obs.tracer.emit(CheckpointEvent(
+                reason="request_boundary",
+                pages=self._checkpoint.page_count,
+                pending_requests=self._checkpoint.pending_requests,
+                instruction_count=self._checkpoint_instr))
+
+    # -- the supervised run loop ---------------------------------------
+
+    def run_supervised(self, max_instructions: int = 200_000_000) -> int:
+        """Run the guest to completion, recovering aborts; exit code."""
+        machine = self.machine
+        cpu = machine.cpu
+        if "thread_create" in machine.program.natives:
+            return self._run_threaded(max_instructions)
+        start = cpu.counters.instructions
+        while True:
+            if cpu.halted:
+                return cpu.exit_code
+            remaining = max_instructions - (cpu.counters.instructions - start)
+            if remaining <= 0:
+                raise RunawayError("instruction budget exhausted (supervised)")
+            slice_budget = remaining
+            if self.watchdog is not None and self._checkpoint is not None:
+                elapsed = cpu.counters.instructions - self._checkpoint_instr
+                wd_remaining = self.watchdog - elapsed
+                if wd_remaining <= 0:
+                    self._recover("runaway", RunawayError(
+                        f"request exceeded its {self.watchdog}-instruction "
+                        "watchdog"))
+                    continue
+                slice_budget = min(slice_budget, wd_remaining)
+            try:
+                executed = cpu.run_slice(slice_budget)
+            except SecurityAlert as exc:
+                self._recover("alert", exc)
+                continue
+            except Fault as exc:
+                self._recover("oom" if isinstance(exc, GuestOOMFault)
+                              else "fault", exc)
+                continue
+            if executed == 0 and not cpu.halted:
+                raise RunawayError("supervised guest made no progress")
+
+    def _run_threaded(self, max_instructions: int) -> int:
+        """Coarse recovery around the thread scheduler (no watchdog)."""
+        from repro.runtime.threads import DeadlockError
+
+        machine = self.machine
+        while True:
+            try:
+                return machine.threads.run_all(
+                    max_instructions=max_instructions)
+            except SecurityAlert as exc:
+                self._recover("alert", exc)
+            except DeadlockError as exc:
+                self._recover("fault", exc)
+            except RunawayError:
+                raise
+            except Fault as exc:
+                self._recover("oom" if isinstance(exc, GuestOOMFault)
+                              else "fault", exc)
+
+    # -- rollback ------------------------------------------------------
+
+    def _recover(self, reason: str, exc: BaseException) -> None:
+        """Roll back to the last checkpoint and quarantine the offender.
+
+        Re-raises ``exc`` when recovery cannot help: no checkpoint yet,
+        no request was pending at the checkpoint (the abort would recur
+        deterministically), or the recovery backstop is exhausted.
+        """
+        cp = self._checkpoint
+        if (cp is None or cp.pending_head_index < 0
+                or self.recoveries >= self.max_recoveries):
+            raise exc
+        machine = self.machine
+        abort_pc = getattr(exc, "pc", -1)
+        if abort_pc is None or abort_pc < 0:
+            abort_pc = machine.cpu.pc
+        abort_instr = machine.cpu.counters.instructions
+        policy_id = getattr(exc, "policy_id", "") or ""
+
+        cp.restore(machine)
+        offender = machine.net.pending.popleft()
+        machine.net.quarantined.append(offender)
+        self.recoveries += 1
+
+        incident = QuarantineIncident(
+            request_index=offender.index,
+            reason=reason,
+            policy_id=policy_id,
+            message=str(exc),
+            pc=abort_pc,
+            instruction_count=abort_instr,
+            rolled_back_to=cp.instruction_count)
+        self.incidents.append(incident)
+
+        obs = machine.obs
+        if obs is not None:
+            from repro.obs.events import QuarantineEvent, RollbackEvent
+
+            obs.tracer.emit(RollbackEvent(
+                reason=reason, detail=str(exc), pc=abort_pc,
+                instruction_count=abort_instr,
+                restored_instruction_count=cp.instruction_count))
+            obs.tracer.emit(QuarantineEvent(
+                request_index=offender.index, reason=reason,
+                policy_id=policy_id,
+                instruction_count=cp.instruction_count))

@@ -28,6 +28,13 @@ class DeviceCosts:
     console_byte: float = 1.0
     native_base: float = 60.0  # trap + dispatch for a native call
     native_byte: float = 1.0  # per byte processed by a wrap function
+    #: Transient-I/O retry policy (resilience layer): a recv/send/read
+    #: that hits an injected transient device error is retried up to
+    #: ``io_retry_limit`` times, each attempt charging an exponentially
+    #: growing backoff in cycles.
+    io_retry_limit: int = 3
+    retry_backoff_base: float = 2_000.0
+    retry_backoff_factor: float = 2.0
 
 
 class SimFileSystem:
@@ -35,6 +42,9 @@ class SimFileSystem:
 
     def __init__(self, files: Optional[Dict[str, bytes]] = None) -> None:
         self.files: Dict[str, bytes] = dict(files or {})
+        #: Optional :class:`repro.resil.transient.TransientErrorInjector`;
+        #: None (the default) keeps the I/O natives on their zero-cost path.
+        self.faults = None
 
     def exists(self, path: str) -> bool:
         """True if a file exists at the path."""
@@ -80,7 +90,12 @@ class SimNetwork:
     def __init__(self) -> None:
         self.pending: Deque[Connection] = deque()
         self.completed: List[Connection] = []
+        #: Connections removed by the recovery supervisor after a rollback.
+        self.quarantined: List[Connection] = []
         self._next_index = 1
+        #: Optional :class:`repro.resil.transient.TransientErrorInjector`;
+        #: None (the default) keeps the I/O natives on their zero-cost path.
+        self.faults = None
 
     def add_request(self, data: bytes) -> Connection:
         """Queue an inbound connection carrying the given bytes."""

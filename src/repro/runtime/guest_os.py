@@ -58,6 +58,11 @@ class GuestOS:
         self._stdin_pos = 0
         self._fds: Dict[int, FileHandle] = {}
         self._next_fd = _FD_FIRST_DYNAMIC
+        #: Transient-I/O bookkeeping (resilience layer): retries absorbed
+        #: by the backoff loop, and operations that gave up after
+        #: exhausting ``DeviceCosts.io_retry_limit``.
+        self.io_retries = 0
+        self.io_failures = 0
         self._natives: Dict[str, Callable[[CPU], None]] = {}
         self._register_natives()
 
@@ -105,6 +110,27 @@ class GuestOS:
         self._next_fd += 1
         self._fds[fd] = handle
         return fd
+
+    def _retry_io(self, cpu: CPU, faults, op: str) -> bool:
+        """Absorb injected transient device errors with bounded backoff.
+
+        Returns True when the operation may proceed (immediately, or
+        after one or more retries — each charged an exponentially
+        growing cycle cost), False when the retry budget is exhausted
+        and the native should fail with -1, as a real driver would
+        surface EIO after its reset attempts.
+        """
+        if faults is None or not faults.transient(op):
+            return True
+        backoff = self.costs.retry_backoff_base
+        for _ in range(self.costs.io_retry_limit):
+            self.io_retries += 1
+            self._charge(cpu, backoff)
+            backoff *= self.costs.retry_backoff_factor
+            if not faults.transient(op):
+                return True
+        self.io_failures += 1
+        return False
 
     # -- syscalls ---------------------------------------------------------
 
@@ -211,9 +237,17 @@ class GuestOS:
             if handle is None or handle.kind != "file-r":
                 self._ret(cpu, -1)
                 return
+            if not self._retry_io(cpu, self.fs.faults, "read"):
+                self._ret(cpu, -1)
+                return
             data = self.fs.read(handle.path) or b""
             stream_offset = handle.pos
             chunk = data[handle.pos:handle.pos + length]
+            if chunk and self.fs.faults is not None:
+                # A truncated transfer delivers a short count, exactly
+                # like a real short read; the guest's loop retries.
+                chunk = chunk[:self.fs.faults.truncated_length(
+                    "read", len(chunk))]
             handle.pos += len(chunk)
             source, label, stream_index = "file", handle.path, fd
         self.machine.memory.write_bytes(buf, chunk)
@@ -247,6 +281,12 @@ class GuestOS:
         self._ret(cpu, 0)
 
     def _native_accept(self, cpu: CPU) -> None:
+        # Request boundary: the recovery supervisor checkpoints *before*
+        # the pending connection is dequeued, so a rollback re-executes
+        # this accept with the offender back at the head of the queue.
+        resil = getattr(self.machine, "resil", None)
+        if resil is not None:
+            resil.on_request_boundary()
         conn = self.net.accept()
         self._charge(cpu, self.costs.accept_cost)
         if conn is None:
@@ -258,6 +298,9 @@ class GuestOS:
         fd, buf, length = (self._arg(cpu, i) for i in range(3))
         handle = self._fds.get(fd)
         if handle is None or handle.kind != "conn":
+            self._ret(cpu, -1)
+            return
+        if not self._retry_io(cpu, self.net.faults, "recv"):
             self._ret(cpu, -1)
             return
         stream_offset = handle.conn.read_pos
@@ -274,6 +317,9 @@ class GuestOS:
         fd, buf, length = (self._arg(cpu, i) for i in range(3))
         handle = self._fds.get(fd)
         if handle is None or handle.kind != "conn":
+            self._ret(cpu, -1)
+            return
+        if not self._retry_io(cpu, self.net.faults, "send"):
             self._ret(cpu, -1)
             return
         data = self.machine.memory.read_bytes(buf, length)

@@ -32,6 +32,10 @@ from repro.taint.policy import PolicyConfig
 DATA_BASE = make_address(REGION_DATA, 0x10000)
 #: Heap follows static data at this offset within the data region.
 HEAP_GAP = 0x100000
+#: Guest heap ceiling when ShiftOptions.heap_limit is unset: generous
+#: for every real workload, but a runaway malloc loop hits it long
+#: before it can exhaust *host* memory.
+DEFAULT_HEAP_LIMIT = 256 * 1024 * 1024
 
 
 class LoaderError(Exception):
@@ -58,6 +62,8 @@ class Machine:
         trace_path: Optional[str] = None,
         trace_capacity: Optional[int] = None,
         engine: str = "predecoded",
+        recover_watchdog: Optional[int] = None,
+        recover_max_recoveries: int = 1000,
     ) -> None:
         self.compiled = compiled
         self.program: Program = compiled.program
@@ -125,6 +131,15 @@ class Machine:
         self.threads = ThreadManager(self, quantum=thread_quantum,
                                      serialize_bitmap=serialize_bitmap)
 
+        #: Recovery supervisor (repro.resil), built for 'recover' mode.
+        self.resil = None
+        if engine_mode == "recover":
+            from repro.resil.recovery import ResilienceSupervisor
+
+            self.resil = ResilienceSupervisor(
+                self, watchdog=recover_watchdog,
+                max_recoveries=recover_max_recoveries)
+
     # -- loading --------------------------------------------------------
 
     def _load_data(self) -> None:
@@ -137,6 +152,7 @@ class Machine:
                 self.memory.write_bytes(addr, item.init)
             addr += max(item.size, 1)
         self._heap_next = (addr + HEAP_GAP + 15) // 16 * 16
+        self._heap_base = self._heap_next
 
     def _relocate(self) -> None:
         for instr in self.program.code:
@@ -153,9 +169,23 @@ class Machine:
                 instr.imm = self.symbols[instr.sym]
 
     def heap_alloc(self, size: int) -> int:
-        """Bump-allocate guest heap memory (malloc backend)."""
+        """Bump-allocate guest heap memory (malloc backend).
+
+        Raises :class:`~repro.cpu.faults.GuestOOMFault` when the guest
+        exceeds its heap ceiling (``ShiftOptions.heap_limit``, or
+        :data:`DEFAULT_HEAP_LIMIT`) — recoverable in ``recover`` mode.
+        """
         addr = self._heap_next
-        self._heap_next += (max(size, 1) + 15) // 16 * 16
+        rounded = (max(size, 1) + 15) // 16 * 16
+        limit = getattr(self.compiled.options, "heap_limit", None)
+        if limit is None:
+            limit = DEFAULT_HEAP_LIMIT
+        in_use = addr - self._heap_base
+        if in_use + rounded > limit:
+            from repro.cpu.faults import GuestOOMFault
+
+            raise GuestOOMFault(requested=size, in_use=in_use, limit=limit)
+        self._heap_next = addr + rounded
         return addr
 
     # -- execution ---------------------------------------------------------
@@ -169,13 +199,56 @@ class Machine:
         the caller when the policy engine runs in ``raise`` mode.
         """
         try:
+            if self.resil is not None:
+                return self.resil.run_supervised(
+                    max_instructions=max_instructions)
             if "thread_create" in self.program.natives:
                 return self.threads.run_all(max_instructions=max_instructions)
             self.cpu.run(max_instructions=max_instructions)
             return self.cpu.exit_code
+        except BaseException as exc:
+            # Aborts that never went through the fault/alert tracing
+            # paths (RunawayError, DeadlockError, host errors) would
+            # otherwise leave the exported incident report without its
+            # terminal event.
+            self._record_terminal_event(exc)
+            raise
         finally:
             if self.obs is not None:
                 self.obs.export()
+
+    def _record_terminal_event(self, exc: BaseException) -> None:
+        """Trace the in-flight abort unless it was already emitted."""
+        if self.obs is None or getattr(exc, "_obs_traced", False):
+            return
+        from repro.obs.events import FaultEvent
+
+        pc = getattr(exc, "pc", -1)
+        if pc is None or pc < 0:
+            pc = self.cpu.pc
+        instr = ""
+        if 0 <= pc < len(self.program.code):
+            instr = str(self.program.code[pc])
+        self.obs.tracer.emit(FaultEvent(
+            fault=type(exc).__name__,
+            detail=str(exc),
+            pc=pc,
+            instruction=instr,
+            instruction_count=self.cpu.counters.instructions,
+        ))
+        exc._obs_traced = True
+
+    # -- resilience ----------------------------------------------------------
+
+    def checkpoint(self):
+        """Capture a restorable snapshot of the full machine state."""
+        from repro.resil.checkpoint import MachineCheckpoint
+
+        return MachineCheckpoint.capture(self)
+
+    def restore(self, snapshot) -> None:
+        """Roll this machine back to a previously captured checkpoint."""
+        snapshot.restore(self)
 
     # -- convenience accessors -----------------------------------------------
 

@@ -72,7 +72,10 @@ class PolicyEngine:
     taint_map: TaintMap
     #: 'raise' aborts the guest on the first alert (the paper's default
     #: handling); 'record' logs alerts and lets execution continue, which
-    #: the experiment harness uses to count detections.
+    #: the experiment harness uses to count detections; 'recover' raises
+    #: like 'raise' but the machine's resilience supervisor catches the
+    #: alert, rolls back to the last checkpoint and quarantines the
+    #: offending request (see :mod:`repro.resil.recovery`).
     mode: str = "raise"
     alerts: List[AlertRecord] = field(default_factory=list)
     #: Optional observability hooks, wired by the Machine when tracing
@@ -106,8 +109,12 @@ class PolicyEngine:
                 instruction_count=record.instruction_count,
                 origin_ids=tuple(o.origin_id for o in record.origins),
             ))
-        if self.mode == "raise":
-            raise SecurityAlert(violation, context)
+        if self.mode in ("raise", "recover"):
+            alert = SecurityAlert(violation, context)
+            # The terminal trace event for this abort was just emitted;
+            # Machine.run's incident-report backstop checks this marker.
+            alert._obs_traced = self.tracer is not None
+            raise alert
 
     # -- Low-level policies (hardware fault path) -----------------------
 

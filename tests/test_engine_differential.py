@@ -13,7 +13,10 @@ import pytest
 
 from repro.apps.spec import BENCHMARKS
 from repro.core.shift import build_machine
-from repro.cpu.faults import NaTConsumptionFault
+from repro.cpu import CPU
+from repro.cpu.faults import NaTConsumptionFault, RunawayError
+from repro.isa import assemble
+from repro.mem import REGION_DATA, SparseMemory, make_address
 from repro.harness.runners import (
     PERF_OPTIONS,
     compiled_spec,
@@ -192,6 +195,145 @@ class TestTraceStreams:
         assert len(ref.obs.tracer) > 0
         assert_traces_identical(ref, pre)
         assert_counters_identical(ref.counters, pre.counters)
+
+
+EXIT = "break 0x100000"
+_STORE_ADDR = make_address(REGION_DATA, 0x100)
+
+#: One minimal trigger per NaTConsumptionFault kind (paper Table 1's
+#: L1-L3 detection paths), asserted identical across both engines.
+FAULT_PROGRAMS = {
+    "load_addr": f"""
+    func main:
+        movl r14 = {_STORE_ADDR}
+        settag r14
+        ld8 r15 = [r14]
+        {EXIT}
+    endfunc
+    """,
+    "store_addr": f"""
+    func main:
+        movl r14 = {_STORE_ADDR}
+        settag r14
+        st8 [r14] = r0
+        {EXIT}
+    endfunc
+    """,
+    "store_value": f"""
+    func main:
+        movl r13 = {_STORE_ADDR}
+        movl r14 = 7
+        settag r14
+        st8 [r13] = r14
+        {EXIT}
+    endfunc
+    """,
+    "branch_move": f"""
+    func main:
+        movl r14 = 16
+        settag r14
+        mov b6 = r14
+        {EXIT}
+    endfunc
+    """,
+    "ar_move": f"""
+    func main:
+        movl r14 = 255
+        settag r14
+        mov ar.unat = r14
+        {EXIT}
+    endfunc
+    """,
+}
+
+
+def _exit_syscall(cpu):
+    cpu.halted = True
+    cpu.exit_code = cpu.read_gr(32)
+
+
+def _asm_cpu(text, engine):
+    return CPU(assemble(text), SparseMemory(),
+               syscall_handler=_exit_syscall, engine=engine)
+
+
+class TestFaultKindsDifferential:
+    @pytest.mark.parametrize("kind", NaTConsumptionFault.KINDS)
+    def test_every_kind_identical(self, kind):
+        outcomes = {}
+        for engine in ENGINES:
+            cpu = _asm_cpu(FAULT_PROGRAMS[kind], engine)
+            with pytest.raises(NaTConsumptionFault) as excinfo:
+                cpu.run(max_instructions=1_000)
+            fault = excinfo.value
+            assert fault.kind == kind
+            # Fault.at() attached the faulting pc and instruction.
+            assert fault.pc >= 0
+            assert fault.instr is not None
+            outcomes[engine] = (fault.pc, str(fault.instr),
+                                cpu.counters.snapshot())
+        assert outcomes["reference"] == outcomes["predecoded"]
+
+    def test_runaway_identical(self):
+        text = f"""
+        func main:
+            movl r14 = 0
+        loop:
+            add r14 = r14, r14
+            br loop
+            {EXIT}
+        endfunc
+        """
+        outcomes = {}
+        for engine in ENGINES:
+            cpu = _asm_cpu(text, engine)
+            with pytest.raises(RunawayError):
+                cpu.run(max_instructions=1_000)
+            outcomes[engine] = cpu.counters.snapshot()
+        assert outcomes["reference"] == outcomes["predecoded"]
+
+
+class TestCheckpointDifferential:
+    def test_rollback_resume_identical_across_engines(self):
+        """checkpoint -> attack -> rollback -> resume, pinned across
+        engines: registers, memory, taint pages and PerfCounters."""
+        from repro.apps.webserver import (
+            RESIL_WEBSERVER_SOURCE, make_request, make_site,
+            overflow_request)
+        from repro.core.shift import compile_protected
+        from repro.taint.engine import SecurityAlert
+
+        compiled = compile_protected(RESIL_WEBSERVER_SOURCE, BYTE_STRICT)
+        site = make_site((2,))
+        finals = {}
+        for engine in ENGINES:
+            machine = build_machine(
+                compiled, policy_config=webserver_policy(),
+                files=dict(site), engine=engine)
+            machine.net.add_request(make_request(2))
+            # Checkpoint mid-way through the clean request, then let a
+            # late-arriving attack abort the run, roll back, drop the
+            # attack, and drain the queue.
+            machine.cpu.run_slice(1_000)
+            assert not machine.cpu.halted
+            snapshot = machine.checkpoint()
+            machine.net.add_request(overflow_request())
+            with pytest.raises(SecurityAlert):
+                machine.cpu.run_slice(50_000_000)
+            machine.restore(snapshot)
+            machine.net.pending.clear()
+            machine.cpu.run_slice(50_000_000)
+            assert machine.cpu.halted
+            pages = {pno: bytes(pg)
+                     for pno, pg in machine.memory._pages.items()
+                     if any(pg)}
+            finals[engine] = (
+                list(machine.cpu.gr), list(machine.cpu.nat),
+                list(machine.cpu.pr), machine.cpu.pc,
+                machine.counters.snapshot(),
+                list(machine.counters.pair_costs), pages)
+            assert machine.alerts and machine.alerts[0].policy_id == "L1"
+        assert finals["reference"] == finals["predecoded"]
 
 
 class TestThreads:
