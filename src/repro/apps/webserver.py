@@ -157,6 +157,50 @@ int main() {
 """
 
 
+#: Tier-1 fleet frontend (repro.fleet): a reverse proxy that accepts a
+#: connection, validates the request line, and forwards the bytes
+#: upstream by sending them back out on the connection.  It never opens
+#: a file, so no fopen-point policy can fire here — the point of the
+#: two-tier experiment is that the *backend* catches a traversal whose
+#: taint arrived purely via the wire-transported tag bits.  The fleet
+#: layer runs its connections with ``capture_taint=True``, so the
+#: forwarded bytes leave this machine with their taint attached.
+FLEET_PROXY_SOURCE = """
+native int accept();
+native int recv(int fd, char *buf, int n);
+native int send(int fd, char *buf, int n);
+
+char req[600];
+int forwarded;
+
+int send_str(int fd, char *s) {
+    return send(fd, s, strlen(s));
+}
+
+int forward(int fd) {
+    int n = recv(fd, req, 580);
+    if (n <= 0) {
+        return 0;
+    }
+    req[n] = 0;
+    if (strncmp(req, "GET ", 4) != 0) {
+        send_str(fd, "HTTP/1.0 400 Bad Request\\r\\n\\r\\n");
+        return 0;
+    }
+    send(fd, req, n);
+    return 1;
+}
+
+int main() {
+    int fd;
+    while ((fd = accept()) >= 0) {
+        forwarded += forward(fd);
+    }
+    return forwarded;
+}
+"""
+
+
 def overflow_request(length: int = 300) -> bytes:
     """Buffer-overflow attack: URL long enough to smash ``mime_probe``."""
     return b"GET /" + b"A" * length + b" HTTP/1.0\r\n\r\n"

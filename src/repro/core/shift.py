@@ -62,6 +62,8 @@ def build_machine(
     engine: str = "predecoded",
     recover_watchdog: Optional[int] = None,
     recover_max_recoveries: int = 1000,
+    machine_id: Optional[str] = None,
+    net_capacity: Optional[int] = None,
 ) -> Machine:
     """Compile (if needed) and load a guest into a ready Machine."""
     if isinstance(sources, CompiledProgram):
@@ -85,6 +87,8 @@ def build_machine(
         engine=engine,
         recover_watchdog=recover_watchdog,
         recover_max_recoveries=recover_max_recoveries,
+        machine_id=machine_id,
+        net_capacity=net_capacity,
     )
 
 

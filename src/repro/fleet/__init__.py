@@ -1,0 +1,47 @@
+"""repro.fleet: sharded multi-machine serving with taint on the wire.
+
+The paper protects one machine; production serving is a *fleet*.  This
+package scales the simulated SHIFT machine out: a deterministic load
+balancer shards requests across N worker Machines
+(:mod:`repro.fleet.frontend`), a driver executes the workers in-process
+or across OS processes (:mod:`repro.fleet.driver`), and the
+:class:`TaggedMessage` wire format (:mod:`repro.fleet.wire`) carries
+payload bytes *and their taint tags* between machines so that policies
+on an interior tier still see taint that entered the system tiers away
+(:mod:`repro.fleet.tiers`).  Fleet-level metrics merging and incident
+reporting live in :mod:`repro.fleet.observe`.
+"""
+
+from repro.fleet.driver import (
+    FleetConfig,
+    FleetDriver,
+    FleetResult,
+    run_worker,
+)
+from repro.fleet.frontend import ROUTING_POLICIES, FleetFrontend, WorkerSlot
+from repro.fleet.observe import (
+    incident_report,
+    merge_metric_dicts,
+    merge_worker_metrics,
+    render_incidents,
+)
+from repro.fleet.tiers import run_two_tier, two_tier_experiment
+from repro.fleet.wire import TaggedMessage, WireFormatError
+
+__all__ = [
+    "FleetConfig",
+    "FleetDriver",
+    "FleetFrontend",
+    "FleetResult",
+    "ROUTING_POLICIES",
+    "TaggedMessage",
+    "WireFormatError",
+    "WorkerSlot",
+    "incident_report",
+    "merge_metric_dicts",
+    "merge_worker_metrics",
+    "render_incidents",
+    "run_two_tier",
+    "run_worker",
+    "two_tier_experiment",
+]

@@ -1,0 +1,192 @@
+"""The fleet frontend: sharding requests across worker machines.
+
+A :class:`FleetFrontend` is the load balancer in front of N worker
+Machines.  It is host-side (the workers' guests never see it), fully
+deterministic for a fixed seed, and enforces *backpressure*: each
+worker has a bounded queue, a request that finds its chosen worker full
+spills to the next healthy worker in deterministic order, and a request
+that finds every queue full is dropped and counted — never buffered
+unboundedly.
+
+Routing policies
+----------------
+``round_robin``
+    Requests take workers in arrival order modulo fleet size.
+``least_loaded``
+    Each request goes to the worker with the shortest queue (ties break
+    by fewest queued bytes, then worker order).
+``hash``
+    Consistent hashing: workers are placed on a ring at positions
+    derived from ``sha256(seed, worker, replica)``; a request maps to
+    the first worker clockwise of ``sha256(seed, payload)``.  Ejecting
+    a worker only remaps the requests that hashed to it.
+
+Health ejection: :meth:`eject` removes a worker from rotation (after it
+alerted or faulted in a mode that could not recover) and hands back its
+queued requests so the driver can re-route them to the survivors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.fleet.wire import TaggedMessage
+
+ROUTING_POLICIES = ("round_robin", "least_loaded", "hash")
+
+#: Ring positions per worker for the consistent-hash policy.
+HASH_REPLICAS = 64
+
+Request = Union[bytes, TaggedMessage]
+
+
+def _payload_of(request: Request) -> bytes:
+    return request.payload if isinstance(request, TaggedMessage) else request
+
+
+def _hash64(*parts: bytes) -> int:
+    digest = hashlib.sha256(b"\x00".join(parts)).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass
+class WorkerSlot:
+    """Frontend-side view of one worker: its queue and health."""
+
+    worker_id: str
+    capacity: Optional[int] = None
+    queue: List[Request] = field(default_factory=list)
+    healthy: bool = True
+    #: Requests routed here (including ones later handed back on eject).
+    assigned: int = 0
+    ejected_reason: str = ""
+
+    @property
+    def queued_bytes(self) -> int:
+        """Total payload bytes waiting in the queue."""
+        return sum(len(_payload_of(r)) for r in self.queue)
+
+    @property
+    def has_room(self) -> bool:
+        """True while the bounded queue can take another request."""
+        return self.capacity is None or len(self.queue) < self.capacity
+
+
+class FleetFrontend:
+    """Deterministic request router over a set of worker slots."""
+
+    def __init__(self, worker_ids: Sequence[str], *,
+                 policy: str = "round_robin", seed: int = 0,
+                 queue_capacity: Optional[int] = None) -> None:
+        if policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {policy!r}; "
+                f"choose from {ROUTING_POLICIES}")
+        if not worker_ids:
+            raise ValueError("a fleet needs at least one worker")
+        if len(set(worker_ids)) != len(worker_ids):
+            raise ValueError("worker ids must be unique")
+        self.policy = policy
+        self.seed = seed
+        self.slots: Dict[str, WorkerSlot] = {
+            wid: WorkerSlot(wid, capacity=queue_capacity)
+            for wid in worker_ids
+        }
+        self.order: List[str] = list(worker_ids)
+        #: Requests refused because every healthy queue was full.
+        self.dropped = 0
+        #: Requests that spilled past their first-choice worker.
+        self.spilled = 0
+        self._rr_next = 0
+        self._ring = self._build_ring(worker_ids, seed)
+
+    @staticmethod
+    def _build_ring(worker_ids: Sequence[str], seed: int):
+        ring = []
+        for wid in worker_ids:
+            for replica in range(HASH_REPLICAS):
+                pos = _hash64(str(seed).encode(), wid.encode(),
+                              str(replica).encode())
+                ring.append((pos, wid))
+        ring.sort()
+        return ring
+
+    # -- candidate ordering ---------------------------------------------
+
+    def _healthy(self) -> List[str]:
+        return [wid for wid in self.order if self.slots[wid].healthy]
+
+    def _candidates(self, request: Request) -> List[str]:
+        """Worker ids in routing-preference order for one request."""
+        healthy = self._healthy()
+        if not healthy:
+            return []
+        if self.policy == "round_robin":
+            start = self._rr_next % len(healthy)
+            self._rr_next += 1
+            return healthy[start:] + healthy[:start]
+        if self.policy == "least_loaded":
+            return sorted(
+                healthy,
+                key=lambda wid: (len(self.slots[wid].queue),
+                                 self.slots[wid].queued_bytes,
+                                 self.order.index(wid)))
+        # Consistent hash: walk the ring clockwise from the payload's
+        # position, skipping unhealthy/duplicate workers.
+        point = _hash64(str(self.seed).encode(), _payload_of(request))
+        ordered: List[str] = []
+        start = 0
+        for i, (pos, _wid) in enumerate(self._ring):
+            if pos >= point:
+                start = i
+                break
+        for i in range(len(self._ring)):
+            wid = self._ring[(start + i) % len(self._ring)][1]
+            if wid not in ordered and self.slots[wid].healthy:
+                ordered.append(wid)
+                if len(ordered) == len(healthy):
+                    break
+        return ordered
+
+    # -- routing ---------------------------------------------------------
+
+    def submit(self, request: Request) -> Optional[str]:
+        """Route one request; returns the worker id, or None if dropped.
+
+        The first candidate with queue room takes it; candidates past
+        the first count as spill (backpressure at the preferred worker).
+        """
+        for rank, wid in enumerate(self._candidates(request)):
+            slot = self.slots[wid]
+            if slot.has_room:
+                slot.queue.append(request)
+                slot.assigned += 1
+                if rank > 0:
+                    self.spilled += 1
+                return wid
+        self.dropped += 1
+        return None
+
+    def submit_all(self, requests: Sequence[Request]) -> Dict[str, int]:
+        """Route a batch; returns per-worker routed counts."""
+        for request in requests:
+            self.submit(request)
+        return {wid: len(slot.queue) for wid, slot in self.slots.items()}
+
+    # -- health ----------------------------------------------------------
+
+    def eject(self, worker_id: str, reason: str = "") -> List[Request]:
+        """Remove a worker from rotation; hand back its queued requests."""
+        slot = self.slots[worker_id]
+        slot.healthy = False
+        slot.ejected_reason = reason or "ejected"
+        orphans = list(slot.queue)
+        slot.queue.clear()
+        return orphans
+
+    @property
+    def healthy_count(self) -> int:
+        """Workers still in rotation."""
+        return len(self._healthy())

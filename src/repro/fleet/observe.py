@@ -1,0 +1,151 @@
+"""Fleet-level observability: merged metrics and incident reports.
+
+Each worker Machine already produces a full metrics registry
+(:func:`repro.obs.metrics.collect_machine`) and, in ``recover`` mode, a
+list of quarantine incidents.  This module folds those per-worker views
+into one fleet view:
+
+* :func:`merge_metric_dicts` — sum worker metric snapshots, with the
+  non-additive keys handled honestly (cache miss rates are recomputed
+  from the summed accesses/misses, granularity and capacity are
+  configuration, min/max histogram bounds take min/max).
+* :func:`merge_worker_metrics` — the merged snapshot plus ``fleet.*``
+  instruments (worker counts, routing spill/drop, simulated cycles) in
+  a renderable :class:`~repro.obs.metrics.MetricsRegistry`.
+* :func:`incident_report` / :func:`render_incidents` — every quarantine
+  and ejection across the fleet, each naming the worker, the request
+  index, the tripped policy and the taint-origin chain that fed it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+Number = Union[int, float]
+
+#: Metric keys that are fleet-wide configuration, not per-worker load:
+#: merging takes the max instead of summing.
+CONFIG_KEYS = frozenset({"taint.granularity", "net.capacity"})
+
+
+def merge_metric_dicts(snapshots: List[Dict[str, Number]]) -> Dict[str, Number]:
+    """Fold per-worker ``metrics().to_dict()`` snapshots into one.
+
+    Counters and load gauges sum across workers; derived and
+    configuration values are recomputed or carried instead of summed.
+    """
+    merged: Dict[str, Number] = {}
+    for snap in snapshots:
+        for key, value in snap.items():
+            if key.endswith(".min"):
+                merged[key] = min(merged.get(key, value), value)
+            elif key in CONFIG_KEYS or key.endswith(".max"):
+                merged[key] = max(merged.get(key, value), value)
+            elif key.endswith(".miss_rate") or key.endswith(".mean"):
+                # Recomputed below from their summed inputs.
+                merged.setdefault(key, 0.0)
+            else:
+                merged[key] = merged.get(key, 0) + value
+    # Recompute ratios from the summed raw counts.
+    for key in [k for k in merged if k.endswith(".miss_rate")]:
+        prefix = key[:-len(".miss_rate")]
+        accesses = merged.get(f"{prefix}.accesses", 0)
+        misses = merged.get(f"{prefix}.misses", 0)
+        merged[key] = round(misses / accesses, 6) if accesses else 0.0
+    for key in [k for k in merged if k.endswith(".mean")]:
+        prefix = key[:-len(".mean")]
+        count = merged.get(f"{prefix}.count", 0)
+        total = merged.get(f"{prefix}.sum", 0.0)
+        merged[key] = total / count if count else 0.0
+    return merged
+
+
+#: Merged keys that stay gauges in the fleet registry (point-in-time or
+#: configuration); everything else is a counter.
+_GAUGE_KEYS = ("net.pending", "net.capacity", "mem.pages_touched",
+               "taint.bitmap_population", "taint.granularity",
+               "threads.count", "trace.origins")
+
+
+def merge_worker_metrics(result):
+    """Build the fleet :class:`MetricsRegistry` for one FleetResult."""
+    from repro.obs.metrics import MetricsRegistry
+
+    reg = MetricsRegistry()
+    merged = merge_metric_dicts([w["metrics"] for w in result.workers])
+    for key in sorted(merged):
+        if key in _GAUGE_KEYS or key.endswith(".miss_rate"):
+            reg.gauge(key).set(merged[key])
+        else:
+            reg.counter(key).value = merged[key]
+    reg.gauge("fleet.workers", "workers started").set(len(result.workers))
+    reg.gauge("fleet.workers_ejected", "workers removed from rotation").set(
+        len(result.ejected))
+    reg.counter("fleet.requests", "requests submitted").value = result.requests
+    reg.counter("fleet.served", "clean requests answered").value = result.served
+    reg.counter("fleet.quarantined",
+                "requests quarantined by rollback").value = result.quarantined
+    reg.counter("fleet.spilled",
+                "requests past their first-choice worker").value = result.spilled
+    reg.counter("fleet.dropped_frontend",
+                "requests refused by the frontend").value = result.dropped
+    reg.counter("fleet.rerouted",
+                "requests re-routed after ejection").value = result.rerouted
+    reg.counter("fleet.unserved",
+                "requests orphaned with no survivor").value = result.unserved
+    reg.gauge("fleet.sim_cycles",
+              "slowest worker's simulated cycles").set(result.sim_cycles)
+    reg.gauge("fleet.sim_throughput",
+              "served requests per 1e9 simulated cycles").set(
+        round(result.sim_throughput, 6))
+    return reg
+
+
+def incident_report(result) -> Dict:
+    """Structured fleet incident report for one FleetResult.
+
+    ``incidents`` lists every quarantine with the worker that rolled
+    back, the request it quarantined, the policy that fired and the
+    taint-origin chain behind it; ``ejections`` lists workers removed
+    from rotation and why.
+    """
+    return {
+        "incidents": result.incidents(),
+        "ejections": [
+            {"worker": w["worker_id"],
+             "error": w["error"],
+             "unserved_requests": len(w["unserved"])}
+            for w in result.workers if not w["completed"]
+        ],
+        "alerts": [a for w in result.workers for a in w["alerts"]],
+        "summary": {
+            "workers": len(result.workers),
+            "ejected": result.ejected,
+            "requests": result.requests,
+            "served": result.served,
+            "quarantined": result.quarantined,
+            "rerouted": result.rerouted,
+            "unserved": result.unserved,
+        },
+    }
+
+
+def render_incidents(result) -> str:
+    """Human-readable fleet incident log, one line per event."""
+    report = incident_report(result)
+    lines: List[str] = []
+    for inc in report["incidents"]:
+        origin = "; ".join(inc["origins"]) or "no recorded origin"
+        policy = f" [{inc['policy_id']}]" if inc["policy_id"] else ""
+        lines.append(
+            f"{inc['worker']}: quarantined request #{inc['request_index']} "
+            f"({inc['reason']}{policy}) <- {origin}")
+    for ej in report["ejections"]:
+        err = ej["error"] or {}
+        lines.append(
+            f"{ej['worker']}: EJECTED ({err.get('type', '?')}: "
+            f"{err.get('message', '')}), "
+            f"{ej['unserved_requests']} request(s) orphaned")
+    if not lines:
+        lines.append("fleet healthy: no incidents")
+    return "\n".join(lines)

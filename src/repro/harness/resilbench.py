@@ -33,16 +33,13 @@ import sys
 from typing import Dict
 
 from repro.apps.webserver import (
-    RESIL_WEBSERVER_SOURCE,
     make_request,
-    make_site,
     overflow_request,
     runaway_request,
     traversal_request,
 )
 from repro.compiler.instrument import ShiftOptions
-from repro.core.shift import build_machine
-from repro.harness.runners import webserver_policy
+from repro.harness.runners import build_web_machine
 from repro.resil.inject import run_campaign
 
 #: The vulnerable server must run strict (default pointer policy):
@@ -55,21 +52,11 @@ ATTACK_OPTIONS = ShiftOptions(granularity=1)
 #: never completes at all.
 ATTACK_WATCHDOG = 2_000_000
 
-_resil_web_cache: Dict[str, object] = {}
-
 
 def attack_mix(engine: str = "predecoded", clean_requests: int = 6) -> Dict:
     """Run the attack-mix server experiment; returns the report entry."""
-    compiled = _resil_web_cache.get("compiled")
-    if compiled is None:
-        from repro.core.shift import compile_protected
-
-        compiled = compile_protected(RESIL_WEBSERVER_SOURCE, ATTACK_OPTIONS)
-        _resil_web_cache["compiled"] = compiled
-    machine = build_machine(
-        compiled,
-        policy_config=webserver_policy(),
-        files=make_site((4,)),
+    machine = build_web_machine(
+        "resil", ATTACK_OPTIONS,
         engine_mode="recover",
         recover_watchdog=ATTACK_WATCHDOG,
         engine=engine,

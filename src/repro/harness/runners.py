@@ -3,14 +3,21 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.apps.spec import BENCHMARKS, SpecBenchmark
-from repro.apps.webserver import WEBSERVER_SOURCE, make_request, make_site
+from repro.apps.webserver import (
+    FLEET_PROXY_SOURCE,
+    RESIL_WEBSERVER_SOURCE,
+    WEBSERVER_SOURCE,
+    make_request,
+    make_site,
+)
 from repro.compiler.instrument import ShiftOptions
 from repro.compiler.pipeline import CompiledProgram
 from repro.core.shift import build_machine, compile_protected
 from repro.cpu.perf import PerfCounters
+from repro.runtime.machine import Machine
 from repro.taint.policy import PolicyConfig
 
 #: Instrumentation configurations used throughout the evaluation.
@@ -140,16 +147,82 @@ def webserver_policy() -> PolicyConfig:
     return config
 
 
-_web_cache: Dict[ShiftOptions, CompiledProgram] = {}
+def backend_policy() -> PolicyConfig:
+    """Interior-tier policy: the frontend terminates the trust boundary.
+
+    A backend behind a fleet frontend treats its own network ingress as
+    *trusted* — taint arrives only via the wire-transported tag bits of
+    :class:`~repro.fleet.wire.TaggedMessage` — while H2 still guards the
+    document root.  This is what makes the two-tier experiment a proof:
+    strip the tags and the same traversal bytes sail through.
+    """
+    config = PolicyConfig()
+    config.tainted_sources["network"] = False
+    config.tainted_sources["file"] = False
+    config.enable("H2")
+    return config
 
 
-def compiled_webserver(options: ShiftOptions) -> CompiledProgram:
-    """Compile the web server once per configuration."""
-    compiled = _web_cache.get(options)
+#: The web applications the harnesses can build, by variant name.
+WEB_VARIANTS: Dict[str, str] = {
+    "standard": WEBSERVER_SOURCE,
+    "resil": RESIL_WEBSERVER_SOURCE,
+    "proxy": FLEET_PROXY_SOURCE,
+}
+
+_web_cache: Dict[Tuple[str, ShiftOptions], CompiledProgram] = {}
+
+
+def compiled_webserver(options: ShiftOptions,
+                       variant: str = "standard") -> CompiledProgram:
+    """Compile a web-app variant once per (variant, configuration)."""
+    if variant not in WEB_VARIANTS:
+        raise ValueError(f"unknown web variant {variant!r}")
+    key = (variant, options)
+    compiled = _web_cache.get(key)
     if compiled is None:
-        compiled = compile_protected(WEBSERVER_SOURCE, options)
-        _web_cache[options] = compiled
+        compiled = compile_protected(WEB_VARIANTS[variant], options)
+        _web_cache[key] = compiled
     return compiled
+
+
+def build_web_machine(
+    variant: str = "standard",
+    options: Optional[ShiftOptions] = None,
+    *,
+    policy_config: Optional[PolicyConfig] = None,
+    sizes: Sequence[int] = (4,),
+    files: Optional[Dict[str, bytes]] = None,
+    engine: str = "predecoded",
+    engine_mode: str = "raise",
+    recover_watchdog: Optional[int] = None,
+    machine_id: Optional[str] = None,
+    net_capacity: Optional[int] = None,
+    tracing: bool = False,
+    trace_path: Optional[str] = None,
+) -> Machine:
+    """The single parameterized build path for every web-serving guest.
+
+    Used by the Figure-6 runner, resilbench's attack mix and the fleet
+    driver/fleetbench alike, so machine setup lives in exactly one
+    place.  ``files`` overrides the default document root built from
+    ``sizes``; ``policy_config`` defaults to :func:`webserver_policy`.
+    """
+    compiled = compiled_webserver(
+        options if options is not None else PERF_OPTIONS["byte"], variant)
+    return build_machine(
+        compiled,
+        policy_config=(policy_config if policy_config is not None
+                       else webserver_policy()),
+        files=files if files is not None else make_site(tuple(sizes)),
+        engine=engine,
+        engine_mode=engine_mode,
+        recover_watchdog=recover_watchdog,
+        machine_id=machine_id,
+        net_capacity=net_capacity,
+        tracing=tracing,
+        trace_path=trace_path,
+    )
 
 
 @dataclass
@@ -177,13 +250,8 @@ class WebRun:
 def run_webserver(options: ShiftOptions, file_kb: int, requests: int = 50,
                   engine: str = "predecoded") -> WebRun:
     """Serve ``requests`` identical requests for one file size."""
-    compiled = compiled_webserver(options)
-    machine = build_machine(
-        compiled,
-        policy_config=webserver_policy(),
-        files=make_site((file_kb,)),
-        engine=engine,
-    )
+    machine = build_web_machine(
+        "standard", options, sizes=(file_kb,), engine=engine)
     for _ in range(requests):
         machine.net.add_request(make_request(file_kb))
     served = machine.run(max_instructions=1_000_000_000)

@@ -187,6 +187,20 @@ def collect_machine(machine, registry: Optional[MetricsRegistry] = None) -> Metr
               "granules currently marked tainted").set(_bitmap_population(machine))
     reg.gauge("taint.granularity").set(machine.taint_map.granularity)
 
+    net = machine.net
+    reg.gauge("net.pending", "connections still queued").set(len(net.pending))
+    reg.counter("net.completed", "connections accepted").value = len(net.completed)
+    reg.counter("net.quarantined", "connections quarantined by recovery").value = \
+        len(net.quarantined)
+    reg.counter("net.dropped",
+                "requests refused at the bounded accept queue").value = net.dropped
+    if net.capacity is not None:
+        reg.gauge("net.capacity", "pending-queue bound").set(net.capacity)
+    reg.counter("os.io_retries", "transient I/O errors absorbed").value = \
+        machine.os.io_retries
+    reg.counter("os.io_failures", "I/O ops that exhausted retries").value = \
+        machine.os.io_failures
+
     reg.counter("alerts.total", "security alerts recorded").value = len(machine.alerts)
     for alert in machine.alerts:
         reg.counter(f"alerts.by_policy.{alert.policy_id}").inc()

@@ -135,7 +135,8 @@ class MachineCheckpoint:
         self._completed = tuple(net.completed)
         self._arrival_watermark = net._next_index
         self._conn_state = [
-            (conn, conn.read_pos, len(conn.outbound))
+            (conn, conn.read_pos, len(conn.outbound),
+             None if conn.outbound_tags is None else len(conn.outbound_tags))
             for conn in (*net.pending, *net.completed)
         ]
         if self._pending:
@@ -253,9 +254,13 @@ class MachineCheckpoint:
         os.io_failures = self._io_failures
 
         net = machine.net
-        for conn, read_pos, outbound_len in self._conn_state:
+        for conn, read_pos, outbound_len, tags_len in self._conn_state:
             conn.read_pos = read_pos
             del conn.outbound[outbound_len:]
+            if tags_len is None:
+                conn.outbound_tags = None
+            elif conn.outbound_tags is not None:
+                del conn.outbound_tags[tags_len:]
         # Connections that arrived after the checkpoint are external
         # facts: keep them queued behind the restored pending set.
         new_arrivals = [c for c in net.pending

@@ -325,13 +325,11 @@ def read_truncate_trial(bench_name: str, seed: int, scale: str = "test",
 def transient_trial(seed: int, engine: str = "predecoded",
                     requests: int = 4) -> TrialResult:
     """Transient net/file errors under the webserver's retry path."""
-    from repro.apps.webserver import make_request, make_site
-    from repro.harness.runners import (
-        PERF_OPTIONS, compiled_webserver, webserver_policy)
+    from repro.apps.webserver import make_request
+    from repro.harness.runners import PERF_OPTIONS, build_web_machine
 
-    compiled = compiled_webserver(PERF_OPTIONS["byte"])
-    machine = build_machine(compiled, policy_config=webserver_policy(),
-                            files=dict(make_site((2,))), engine=engine)
+    machine = build_web_machine(
+        "standard", PERF_OPTIONS["byte"], sizes=(2,), engine=engine)
     machine.net.faults = TransientErrorInjector(seed, fail_rate=0.25)
     machine.fs.faults = TransientErrorInjector(seed ^ 0x9E3779B9,
                                                fail_rate=0.25)

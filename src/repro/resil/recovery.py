@@ -44,14 +44,18 @@ class QuarantineIncident:
     pc: int  # pc at the abort point
     instruction_count: int  # instruction count at the abort point
     rolled_back_to: int  # instruction count restored by the rollback
+    worker: str = ""  # machine id of the recovering machine (fleet)
 
 
 class ResilienceSupervisor:
     """Checkpoint/rollback recovery loop around one machine."""
 
     def __init__(self, machine, *, watchdog: Optional[int] = None,
-                 max_recoveries: int = 1000) -> None:
+                 max_recoveries: int = 1000, label: str = "") -> None:
         self.machine = machine
+        #: Machine identity stamped on incidents — in a fleet this names
+        #: the worker that rolled back ("w3 quarantined request 5").
+        self.label = label
         #: Per-request instruction budget; None disables the watchdog.
         self.watchdog = watchdog
         self.max_recoveries = max_recoveries
@@ -166,7 +170,8 @@ class ResilienceSupervisor:
             message=str(exc),
             pc=abort_pc,
             instruction_count=abort_instr,
-            rolled_back_to=cp.instruction_count)
+            rolled_back_to=cp.instruction_count,
+            worker=self.label)
         self.incidents.append(incident)
 
         obs = machine.obs

@@ -72,6 +72,19 @@ class Connection:
     read_pos: int = 0
     #: 1-based arrival number, used by taint provenance ("request #2").
     index: int = 0
+    #: Wire-transported taint (repro.fleet): packed per-byte tag bits
+    #: covering ``inbound``.  When set, the ``recv`` native re-applies
+    #: exactly these tags on ingress instead of blanket-tainting the
+    #: buffer from the policy's source configuration — the tags are the
+    #: upstream tier's authoritative view of the data.
+    taint_mask: Optional[bytes] = None
+    #: When True, each ``send`` records the per-byte taint of the sent
+    #: buffer so the response (or a proxied request) can leave the
+    #: machine as a :class:`~repro.fleet.wire.TaggedMessage`.  Off by
+    #: default: ordinary connections pay nothing on the send path.
+    capture_taint: bool = False
+    #: Per-byte taint flags of ``outbound`` (only when ``capture_taint``).
+    outbound_tags: Optional[List[bool]] = None
 
     def recv(self, n: int) -> bytes:
         """Consume up to n inbound bytes."""
@@ -83,23 +96,51 @@ class Connection:
         """Append outbound bytes."""
         self.outbound.extend(data)
 
+    def record_outbound_tags(self, flags: List[bool]) -> None:
+        """Append per-byte taint flags for bytes just sent (egress hook)."""
+        if self.outbound_tags is None:
+            self.outbound_tags = []
+        self.outbound_tags.extend(flags)
+
 
 class SimNetwork:
-    """Pending connections for a server guest (accept/recv/send)."""
+    """Pending connections for a server guest (accept/recv/send).
 
-    def __init__(self) -> None:
+    ``capacity`` bounds the pending-request queue (None = unbounded,
+    the historical behaviour): once full, further ``add_request`` calls
+    are *dropped* — counted in ``dropped`` and surfaced through
+    ``machine.metrics()`` — instead of growing an unbounded backlog.
+    The fleet frontend uses this as its per-worker backpressure signal.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("network queue capacity must be positive")
+        self.capacity = capacity
         self.pending: Deque[Connection] = deque()
         self.completed: List[Connection] = []
         #: Connections removed by the recovery supervisor after a rollback.
         self.quarantined: List[Connection] = []
+        #: Requests refused because the pending queue was at capacity.
+        self.dropped = 0
         self._next_index = 1
         #: Optional :class:`repro.resil.transient.TransientErrorInjector`;
         #: None (the default) keeps the I/O natives on their zero-cost path.
         self.faults = None
 
-    def add_request(self, data: bytes) -> Connection:
-        """Queue an inbound connection carrying the given bytes."""
-        conn = Connection(inbound=data, index=self._next_index)
+    def add_request(self, data: bytes, *, taint_mask: Optional[bytes] = None,
+                    capture_taint: bool = False) -> Optional[Connection]:
+        """Queue an inbound connection carrying the given bytes.
+
+        Returns None (and counts a drop) when the bounded queue is full.
+        ``taint_mask`` attaches wire-transported tags the recv path will
+        re-apply; ``capture_taint`` records outbound taint for egress.
+        """
+        if self.capacity is not None and len(self.pending) >= self.capacity:
+            self.dropped += 1
+            return None
+        conn = Connection(inbound=data, index=self._next_index,
+                          taint_mask=taint_mask, capture_taint=capture_taint)
         self._next_index += 1
         self.pending.append(conn)
         return conn

@@ -306,12 +306,43 @@ class GuestOS:
         stream_offset = handle.conn.read_pos
         chunk = handle.conn.recv(length)
         self.machine.memory.write_bytes(buf, chunk)
-        self._taint_input("network", buf, len(chunk),
-                          label=f"request#{handle.conn.index}",
-                          index=handle.conn.index,
-                          stream_offset=stream_offset)
+        if handle.conn.taint_mask is not None:
+            self._apply_wire_tags(handle.conn, buf, len(chunk), stream_offset)
+        else:
+            self._taint_input("network", buf, len(chunk),
+                              label=f"request#{handle.conn.index}",
+                              index=handle.conn.index,
+                              stream_offset=stream_offset)
         self._charge(cpu, self.costs.net_base + self.costs.net_byte * len(chunk))
         self._ret(cpu, len(chunk))
+
+    def _apply_wire_tags(self, conn: Connection, addr: int, length: int,
+                         stream_offset: int) -> None:
+        """Ingress for wire-transported taint (repro.fleet).
+
+        The connection carries its upstream tier's packed tag bits, so
+        instead of asking the policy whether "network" is a tainted
+        source, the exact bits are re-applied to the recv buffer: a
+        request tainted at the frontend stays tainted here, and bytes
+        the upstream considered clean stay clean.
+        """
+        if length <= 0:
+            return
+        from repro.taint.bitmap import slice_packed, unpack_flags
+
+        packed = slice_packed(conn.taint_mask, stream_offset, length)
+        self.machine.taint_map.import_range(addr, length, packed)
+        if self.machine.obs is not None:
+            flags = unpack_flags(packed, length)
+            start = None
+            for i, tainted in enumerate([*flags, False]):
+                if tainted and start is None:
+                    start = i
+                elif not tainted and start is not None:
+                    self._record_origin(
+                        "wire", f"request#{conn.index}", conn.index,
+                        addr + start, i - start, stream_offset + start)
+                    start = None
 
     def _native_send(self, cpu: CPU) -> None:
         fd, buf, length = (self._arg(cpu, i) for i in range(3))
@@ -325,6 +356,12 @@ class GuestOS:
         data = self.machine.memory.read_bytes(buf, length)
         # Cross-site-scripting policy H5 checks outbound HTML here.
         self.machine.engine.check_use_point("html_output", buf, data, context="send")
+        if handle.conn.capture_taint:
+            # Egress tagging (repro.fleet): remember the per-byte taint
+            # of what was sent so the bytes can leave the machine as a
+            # TaggedMessage with their tags still attached.
+            handle.conn.record_outbound_tags(
+                self.machine.taint_map.taint_flags(buf, length))
         handle.conn.send(data)
         self._charge(cpu, self.costs.net_base + self.costs.net_byte * length)
         self._ret(cpu, length)

@@ -12,6 +12,9 @@ SHIFT-protected (or baseline) guests::
 
 from __future__ import annotations
 
+import itertools
+import os as _os
+import weakref
 from typing import Dict, List, Optional
 
 from repro.compiler.instrument import GRANULARITY_BYTE
@@ -42,6 +45,41 @@ class LoaderError(Exception):
     """Raised when the program cannot be loaded (e.g. unknown symbol)."""
 
 
+#: Process-wide machine ordinal for auto-assigned machine ids.
+_MACHINE_ORDINAL = itertools.count()
+#: trace_path -> weakref of the live machine that claimed it.  Used to
+#: detect two live machines sharing one trace path (which used to end
+#: with the second export silently clobbering the first).
+_TRACE_CLAIMS: Dict[str, "weakref.ref"] = {}
+
+
+def _suffixed_path(path: str, machine_id: str) -> str:
+    """Insert a machine-id suffix before the path's extension."""
+    root, ext = _os.path.splitext(path)
+    return f"{root}.{machine_id}{ext}"
+
+
+def resolve_trace_path(path: str, machine, *,
+                       explicit_id: bool) -> str:
+    """Pick the effective trace path for one machine.
+
+    A machine constructed with an explicit ``machine_id`` always gets a
+    deterministic per-machine filename (fleet workers share one
+    configured path and must not clobber each other).  Without an
+    explicit id the plain path is kept — unless another *live* machine
+    already claimed it, in which case this machine's auto id is
+    suffixed instead of silently overwriting the first machine's trace.
+    """
+    if explicit_id:
+        return _suffixed_path(path, machine.machine_id)
+    claim = _TRACE_CLAIMS.get(path)
+    owner = claim() if claim is not None else None
+    if owner is not None and owner is not machine:
+        return _suffixed_path(path, machine.machine_id)
+    _TRACE_CLAIMS[path] = weakref.ref(machine)
+    return path
+
+
 class Machine:
     """A loaded guest program ready to run."""
 
@@ -64,7 +102,13 @@ class Machine:
         engine: str = "predecoded",
         recover_watchdog: Optional[int] = None,
         recover_max_recoveries: int = 1000,
+        machine_id: Optional[str] = None,
+        net_capacity: Optional[int] = None,
     ) -> None:
+        #: Stable identity used for per-machine trace filenames and
+        #: fleet incident attribution ("worker w3 quarantined request 5").
+        self.machine_id = machine_id if machine_id is not None \
+            else f"m{next(_MACHINE_ORDINAL)}"
         self.compiled = compiled
         self.program: Program = compiled.program
         self.memory = SparseMemory()
@@ -82,14 +126,20 @@ class Machine:
         #: Observability bundle (tracer + provenance), or None when
         #: tracing is off — the zero-overhead default.
         self.obs = None
+        #: Effective trace-export path (per-machine unique; see
+        #: :func:`resolve_trace_path`), or None when not exporting.
+        self.trace_path: Optional[str] = None
         if tracing or trace_path is not None:
             from repro.obs import DEFAULT_CAPACITY, Observability
 
+            if trace_path is not None:
+                self.trace_path = resolve_trace_path(
+                    trace_path, self, explicit_id=machine_id is not None)
             self.obs = Observability(
                 granularity=granularity,
                 capacity=(DEFAULT_CAPACITY if trace_capacity is None
                           else trace_capacity),
-                trace_path=trace_path,
+                trace_path=self.trace_path,
             )
             self.taint_map.provenance = self.obs.provenance
             self.taint_map.tracer = self.obs.tracer
@@ -100,7 +150,7 @@ class Machine:
 
         self.costs = costs or DeviceCosts()
         self.fs = SimFileSystem(files)
-        self.net = SimNetwork()
+        self.net = SimNetwork(capacity=net_capacity)
         self.console = Console()
         self.executed_commands: List[str] = []
         self.executed_queries: List[str] = []
@@ -138,7 +188,8 @@ class Machine:
 
             self.resil = ResilienceSupervisor(
                 self, watchdog=recover_watchdog,
-                max_recoveries=recover_max_recoveries)
+                max_recoveries=recover_max_recoveries,
+                label=self.machine_id)
 
     # -- loading --------------------------------------------------------
 

@@ -31,6 +31,46 @@ GRANULARITY_BYTE = 1
 GRANULARITY_WORD = 8  # a "word" is 8 bytes throughout the paper
 
 
+def pack_flags(flags) -> bytes:
+    """Pack per-byte taint flags into a bit vector (LSB-first).
+
+    This is the encoding :class:`repro.fleet.wire.TaggedMessage` puts on
+    the wire: bit ``i & 7`` of packed byte ``i >> 3`` is the taint of
+    payload byte ``i`` — the same layout as the in-memory bitmap at byte
+    granularity, so a tag slice costs 1/8th of its payload.
+    """
+    packed = bytearray((len(flags) + 7) >> 3)
+    for i, flag in enumerate(flags):
+        if flag:
+            packed[i >> 3] |= 1 << (i & 7)
+    return bytes(packed)
+
+
+def unpack_flags(packed: bytes, length: int) -> List[bool]:
+    """Inverse of :func:`pack_flags` for a payload of ``length`` bytes."""
+    if (len(packed) << 3) < length:
+        raise ValueError(
+            f"packed tag vector covers {len(packed) << 3} bytes, "
+            f"payload needs {length}")
+    return [bool(packed[i >> 3] & (1 << (i & 7))) for i in range(length)]
+
+
+def slice_packed(packed: bytes, start: int, length: int) -> bytes:
+    """Packed bits for positions ``[start, start+length)`` of a vector.
+
+    Used by the ingress path when a guest ``recv``s a tagged request in
+    chunks: each chunk re-applies its own slice of the message's tags.
+    """
+    if length <= 0:
+        return b""
+    if (start & 7) == 0:  # byte-aligned: plain slice + canonical tail
+        out = bytearray(packed[start >> 3:(start + length + 7) >> 3])
+        if length & 7:
+            out[-1] &= (1 << (length & 7)) - 1
+        return bytes(out)
+    return pack_flags(unpack_flags(packed, start + length)[start:])
+
+
 class TaintMap:
     """Read/write the taint bitmap for a given tracking granularity."""
 
@@ -244,6 +284,50 @@ class TaintMap:
                 start = None
         if start is not None:
             yield (start, length - start)
+
+    # -- wire export/import (repro.fleet) ----------------------------------
+
+    def export_range(self, addr: int, length: int) -> bytes:
+        """Packed per-byte taint bits for ``[addr, addr+length)``.
+
+        Always byte-granular regardless of tracking granularity (word
+        tags expand to eight identical bits), so the exported vector is
+        a superset a consumer at either granularity can re-apply.
+        """
+        if length <= 0:
+            return b""
+        return pack_flags(self.taint_flags(addr, length))
+
+    def import_range(self, addr: int, length: int, packed: bytes) -> None:
+        """Authoritatively apply packed per-byte tags to a range.
+
+        Granules whose bit is clear are *cleared* (the sender's view of
+        the data replaces any stale local tags), and provenance for the
+        range is forgotten — re-attribution is the ingress path's job,
+        exactly as with :meth:`set_range`.  At word granularity a word
+        containing any tainted byte coarsens to fully tainted, the same
+        over-approximation every word-level store makes.
+        """
+        if length <= 0:
+            return
+        flags = unpack_flags(packed, length)
+        self._set_range_tags(addr, length, False)
+        if self.provenance is not None:
+            self.provenance.clear_range(addr, length)
+        start = None
+        for i, tainted in enumerate(flags):
+            if tainted and start is None:
+                start = i
+            elif not tainted and start is not None:
+                self._set_range_tags(addr + start, i - start, True)
+                start = None
+        if start is not None:
+            self._set_range_tags(addr + start, length - start, True)
+        if self.tracer is not None:
+            from repro.obs.events import TaintStoreEvent
+
+            self.tracer.emit(TaintStoreEvent(
+                op="import", addr=addr, length=length))
 
     def copy_taint(self, dst: int, src: int, length: int) -> None:
         """Propagate taint from ``src`` to ``dst`` byte ranges.

@@ -56,3 +56,9 @@ class TestExamples:
         out = run_example("struct_corruption", capsys)
         assert "DETECTED -> L2" in out
         assert "delivered ok" in out
+
+    def test_fleet_demo(self, capsys):
+        out = run_example("fleet_demo", capsys)
+        assert "quarantined request" in out
+        assert "bit-identical!" in out
+        assert "the wire transport is load-bearing" in out

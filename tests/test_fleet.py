@@ -1,0 +1,258 @@
+"""Fleet subsystem: routing, backpressure, drivers, and the two tiers."""
+
+import pytest
+
+from repro.apps.webserver import make_request, traversal_request
+from repro.fleet import (
+    FleetConfig,
+    FleetDriver,
+    FleetFrontend,
+    TaggedMessage,
+    incident_report,
+    render_incidents,
+    two_tier_experiment,
+)
+from repro.harness.runners import build_web_machine
+from repro.runtime.devices import SimNetwork
+
+
+class TestFrontendRouting:
+    def test_round_robin_rotates(self):
+        fe = FleetFrontend(["a", "b", "c"])
+        placed = [fe.submit(bytes([i])) for i in range(6)]
+        assert placed == ["a", "b", "c", "a", "b", "c"]
+
+    def test_least_loaded_prefers_short_queue(self):
+        fe = FleetFrontend(["a", "b"], policy="least_loaded")
+        fe.slots["a"].queue.extend([b"x", b"y"])
+        assert fe.submit(b"r1") == "b"
+        assert fe.submit(b"r2") == "b"  # still shorter (1 vs 2)
+        assert fe.submit(b"r3") == "a"  # tie broken by worker order
+
+    def test_hash_is_sticky_per_payload(self):
+        fe = FleetFrontend(["a", "b", "c", "d"], policy="hash", seed=3)
+        targets = {fe.submit(b"GET /same HTTP/1.0\r\n\r\n")
+                   for _ in range(5)}
+        assert len(targets) == 1
+
+    def test_hash_eject_only_remaps_victims(self):
+        requests = [f"GET /{i} HTTP/1.0\r\n\r\n".encode() for i in range(40)]
+        fe = FleetFrontend(["a", "b", "c"], policy="hash", seed=1)
+        before = {bytes(r): fe.submit(r) for r in requests}
+        victim = before[bytes(requests[0])]
+        fe2 = FleetFrontend(["a", "b", "c"], policy="hash", seed=1)
+        fe2.eject(victim)
+        for r in requests:
+            after = fe2.submit(r)
+            if before[bytes(r)] != victim:
+                assert after == before[bytes(r)]
+            else:
+                assert after != victim
+
+    def test_seed_changes_hash_placement(self):
+        requests = [f"GET /{i} HTTP/1.0\r\n\r\n".encode() for i in range(30)]
+        place = lambda seed: [
+            FleetFrontend(["a", "b", "c"], policy="hash",
+                          seed=seed).submit(r) for r in requests]
+        assert place(1) == place(1)
+        assert place(1) != place(2)
+
+    def test_bounded_queues_spill_then_drop(self):
+        fe = FleetFrontend(["a", "b"], queue_capacity=1)
+        assert fe.submit(b"r1") == "a"
+        assert fe.submit(b"r2") == "b"  # round-robin lands it on b anyway
+        assert fe.submit(b"r3") is None  # both full
+        assert fe.dropped == 1
+        fe2 = FleetFrontend(["a", "b"], policy="least_loaded",
+                            queue_capacity=2)
+        fe2.slots["a"].queue.extend([b"x", b"y"])  # a is full
+        fe2.slots["b"].queue.append(b"z")
+        assert fe2.submit(b"r") == "b"
+        assert fe2.spilled == 0  # b was first choice (shorter queue)
+
+    def test_spill_counts_non_first_choice(self):
+        fe = FleetFrontend(["a", "b"], queue_capacity=1)
+        fe.slots["a"].queue.append(b"x")
+        assert fe.submit(b"r") == "b"  # round-robin wanted a
+        assert fe.spilled == 1
+
+    def test_eject_returns_orphans(self):
+        fe = FleetFrontend(["a", "b"])
+        fe.submit(b"r1")
+        fe.submit(b"r2")
+        orphans = fe.eject("a", "it died")
+        assert orphans == [b"r1"]
+        assert fe.healthy_count == 1
+        assert all(fe.submit(b"x") == "b" for _ in range(3))
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            FleetFrontend(["a"], policy="random")
+        with pytest.raises(ValueError):
+            FleetFrontend([])
+        with pytest.raises(ValueError):
+            FleetFrontend(["a", "a"])
+
+
+class TestBoundedSimNetwork:
+    def test_capacity_refuses_and_counts(self):
+        net = SimNetwork(capacity=2)
+        assert net.add_request(b"a") is not None
+        assert net.add_request(b"b") is not None
+        assert net.add_request(b"c") is None
+        assert net.dropped == 1
+        assert len(net.pending) == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SimNetwork(capacity=0)
+
+    def test_drops_surface_in_machine_metrics(self):
+        machine = build_web_machine(net_capacity=1)
+        machine.net.add_request(make_request(4))
+        assert machine.net.add_request(make_request(4)) is None
+        flat = machine.metrics().to_dict()
+        assert flat["net.dropped"] == 1
+        assert flat["net.capacity"] == 1
+        assert flat["net.pending"] == 1
+
+
+class TestTracePathUniquing:
+    def test_explicit_ids_get_distinct_files(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        a = build_web_machine(machine_id="w0", tracing=True, trace_path=path)
+        b = build_web_machine(machine_id="w1", tracing=True, trace_path=path)
+        assert a.trace_path == str(tmp_path / "trace.w0.jsonl")
+        assert b.trace_path == str(tmp_path / "trace.w1.jsonl")
+
+    def test_second_live_machine_cannot_clobber(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        a = build_web_machine(tracing=True, trace_path=path)
+        b = build_web_machine(tracing=True, trace_path=path)
+        assert a.trace_path == path
+        assert b.trace_path != path
+        assert b.trace_path.endswith(".jsonl")
+
+    def test_traces_actually_land_in_their_own_files(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        machines = [
+            build_web_machine(machine_id=f"w{i}", tracing=True,
+                              trace_path=path)
+            for i in range(2)
+        ]
+        for m in machines:
+            m.net.add_request(make_request(4))
+            m.run(max_instructions=100_000_000)
+            m.obs.export()
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == ["trace.w0.jsonl", "trace.w1.jsonl"]
+        for p in tmp_path.iterdir():
+            assert p.read_text().strip()
+
+
+class TestFleetDriver:
+    def test_round_robin_fleet_serves_everything(self):
+        driver = FleetDriver(FleetConfig(), workers=2, seed=0)
+        result = driver.run([make_request(4) for _ in range(6)])
+        assert result.routed == {"w0": 3, "w1": 3}
+        assert result.served == 6
+        assert result.quarantined == 0
+        assert not result.ejected
+        assert result.sim_cycles == max(w["cycles"] for w in result.workers)
+
+    def test_fixed_seed_is_bit_reproducible(self):
+        driver = FleetDriver(FleetConfig(), workers=2, routing="hash", seed=5)
+        batch = [f"GET /file4k.bin HTTP/1.0\r\nX: {i}\r\n\r\n".encode()
+                 for i in range(6)]
+        assert driver.run(batch).digest() == driver.run(batch).digest()
+
+    def test_recover_fleet_quarantines_attacks(self):
+        driver = FleetDriver(FleetConfig(), workers=2, seed=0)
+        batch = [make_request(4) for _ in range(6)]
+        batch.insert(1, traversal_request())
+        batch.insert(4, traversal_request())
+        result = driver.run(batch)
+        assert result.served == 6
+        assert result.quarantined == 2
+        assert not result.ejected
+        incidents = result.incidents()
+        assert {i["worker"] for i in incidents} <= {"w0", "w1"}
+        assert all(i["policy_id"] == "H2" for i in incidents)
+
+    def test_raise_fleet_ejects_and_reroutes(self):
+        config = FleetConfig(engine_mode="raise", recover_watchdog=None)
+        batch = [make_request(4) for _ in range(6)]
+        batch.insert(1, traversal_request())
+        result = FleetDriver(config, workers=3, seed=0).run(batch)
+        assert result.ejected == ["w1"]
+        assert result.served == 6  # every clean request still answered
+        assert result.rerouted >= 1
+        assert result.unserved == 0
+
+    def test_merged_metrics_and_incident_report(self):
+        driver = FleetDriver(FleetConfig(), workers=2, seed=0)
+        batch = [make_request(4) for _ in range(4)]
+        batch.insert(2, traversal_request())
+        result = driver.run(batch)
+        flat = result.metrics().to_dict()
+        assert flat["fleet.workers"] == 2
+        assert flat["fleet.served"] == 4
+        assert flat["fleet.quarantined"] == 1
+        assert flat["net.completed"] == 4
+        assert flat["cpu.instructions"] == sum(
+            w["instructions"] for w in result.workers)
+        report = incident_report(result)
+        assert len(report["incidents"]) == 1
+        assert report["incidents"][0]["policy_id"] == "H2"
+        text = render_incidents(result)
+        assert "quarantined request" in text and "H2" in text
+
+    def test_incident_names_worker_request_and_origin(self):
+        driver = FleetDriver(FleetConfig(tracing=True), workers=2, seed=0)
+        batch = [make_request(4) for _ in range(2)]
+        batch.insert(1, traversal_request())
+        result = driver.run(batch)
+        (incident,) = result.incidents()
+        assert incident["worker"] in ("w0", "w1")
+        assert incident["request_index"] == 1
+        assert incident["origins"], "tracing fleets must record origins"
+        assert "network" in incident["origins"][0]
+
+    def test_tagged_messages_route_like_bytes(self):
+        driver = FleetDriver(FleetConfig(), workers=2, seed=0)
+        batch = [
+            TaggedMessage.from_flags(make_request(4),
+                                     [True] * len(make_request(4)))
+            for _ in range(4)
+        ]
+        result = driver.run(batch)
+        assert result.served == 4
+
+
+class TestMultiprocessing:
+    def test_process_driver_matches_inline_digest(self):
+        driver = FleetDriver(FleetConfig(), workers=2, seed=0)
+        batch = [make_request(4) for _ in range(4)]
+        inline = driver.run(batch)
+        forked = driver.run(batch, processes=True)
+        assert forked.served == 4
+        assert forked.digest() == inline.digest()
+
+
+class TestTwoTier:
+    def test_transported_tags_are_load_bearing(self):
+        exp = two_tier_experiment(clean=2, attacks=1, proxy_workers=1,
+                                  seed=0)
+        tagged, control = exp["tagged"], exp["control"]
+        # With tags: the backend catches the traversal it could not
+        # otherwise see (its own ingress is trusted).
+        assert tagged["tier2"]["detected_h2"] == 1
+        assert tagged["tier2"]["quarantined"] == 1
+        assert tagged["tier2"]["served"] == 2
+        assert not tagged["tier2"]["secret_leaked"]
+        # Without tags: same bytes sail through and the secret leaks.
+        assert control["tier2"]["detected_h2"] == 0
+        assert control["tier2"]["served"] == 3
+        assert control["tier2"]["secret_leaked"]
+        assert control["tier2"]["alerts"] == []
+        assert exp["proof"] is True

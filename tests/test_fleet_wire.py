@@ -1,0 +1,186 @@
+"""TaggedMessage wire-format properties: round-trips and corruption."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet.wire import (
+    MAGIC,
+    TaggedMessage,
+    WireFormatError,
+)
+from repro.mem.address import make_address
+from repro.mem.memory import SparseMemory
+from repro.taint.bitmap import (
+    GRANULARITY_BYTE,
+    GRANULARITY_WORD,
+    TaintMap,
+    pack_flags,
+    slice_packed,
+    unpack_flags,
+)
+
+
+def addr(offset=0):
+    return make_address(2, 0x4000 + offset)
+
+
+payloads = st.binary(min_size=0, max_size=96)
+origins = st.text(max_size=24)
+request_ids = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def tagged_messages():
+    return payloads.flatmap(
+        lambda payload: st.builds(
+            TaggedMessage.from_flags,
+            st.just(payload),
+            st.lists(st.booleans(), min_size=len(payload),
+                     max_size=len(payload)),
+            granularity=st.sampled_from([GRANULARITY_BYTE, GRANULARITY_WORD]),
+            request_id=request_ids,
+            origin=origins,
+        ))
+
+
+class TestFrameRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(tagged_messages())
+    def test_round_trip_preserves_everything(self, msg):
+        decoded = TaggedMessage.from_bytes(msg.to_bytes())
+        assert decoded.payload == msg.payload
+        assert decoded.tags == msg.tags
+        assert decoded.flags() == msg.flags()
+        assert decoded.granularity == msg.granularity
+        assert decoded.request_id == msg.request_id
+        assert decoded.origin == msg.origin
+
+    def test_empty_payload(self):
+        msg = TaggedMessage(payload=b"")
+        decoded = TaggedMessage.from_bytes(msg.to_bytes())
+        assert decoded.payload == b""
+        assert decoded.tags == b""
+        assert not decoded.any_tainted
+
+    def test_all_tainted(self):
+        payload = bytes(range(33))
+        msg = TaggedMessage.from_flags(payload, [True] * len(payload))
+        decoded = TaggedMessage.from_bytes(msg.to_bytes())
+        assert decoded.tainted_count == len(payload)
+        assert all(decoded.flags())
+
+    @pytest.mark.parametrize("length", [1, 7, 8, 9, 15, 16, 17, 63, 64, 65])
+    def test_boundary_straddling_lengths(self, length):
+        # Taint exactly one byte either side of every tag-byte boundary.
+        payload = bytes(length)
+        flags = [i in (0, 7, 8, length - 1) for i in range(length)]
+        msg = TaggedMessage.from_flags(payload, flags)
+        assert len(msg.tags) == (length + 7) // 8
+        decoded = TaggedMessage.from_bytes(msg.to_bytes())
+        assert decoded.flags() == flags
+
+    def test_defaults_to_clean_tags(self):
+        msg = TaggedMessage(payload=b"hello")
+        assert msg.tags == b"\x00"
+        assert not msg.any_tainted
+
+
+class TestFrameCorruption:
+    def _frame(self):
+        return TaggedMessage.from_flags(b"GET /x", [True] * 6,
+                                        origin="t").to_bytes()
+
+    def test_truncation_rejected(self):
+        frame = self._frame()
+        for cut in (0, 4, len(frame) // 2, len(frame) - 1):
+            with pytest.raises(WireFormatError):
+                TaggedMessage.from_bytes(frame[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(WireFormatError):
+            TaggedMessage.from_bytes(self._frame() + b"x")
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(self._frame())
+        frame[0] ^= 0xFF
+        with pytest.raises(WireFormatError, match="magic"):
+            TaggedMessage.from_bytes(bytes(frame))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_any_single_bitflip_is_caught(self, data):
+        # The CRC (or a stricter structural check) must reject every
+        # single-bit corruption of a valid frame.
+        frame = bytearray(self._frame())
+        pos = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        frame[pos] ^= 1 << bit
+        with pytest.raises(WireFormatError):
+            TaggedMessage.from_bytes(bytes(frame))
+
+    def test_tag_vector_must_cover_payload(self):
+        with pytest.raises(WireFormatError):
+            TaggedMessage(payload=b"12345678x", tags=b"\x01")
+
+    def test_bad_granularity_rejected(self):
+        with pytest.raises(WireFormatError):
+            TaggedMessage(payload=b"", granularity=4)
+        assert MAGIC == b"STM1"
+
+
+class TestPackedHelpers:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.booleans(), max_size=80))
+    def test_pack_unpack_round_trip(self, flags):
+        assert unpack_flags(pack_flags(flags), len(flags)) == flags
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.booleans(), max_size=80), st.data())
+    def test_slice_packed_matches_list_slice(self, flags, data):
+        start = data.draw(st.integers(min_value=0, max_value=len(flags)))
+        length = data.draw(st.integers(min_value=0,
+                                       max_value=len(flags) - start))
+        packed = pack_flags(flags)
+        window = slice_packed(packed, start, length)
+        assert unpack_flags(window, length) == flags[start:start + length]
+        # Canonical: no stale bits beyond the window length.
+        assert window == pack_flags(flags[start:start + length])
+
+    def test_unpack_rejects_short_vector(self):
+        with pytest.raises(ValueError):
+            unpack_flags(b"\x01", 9)
+
+
+@pytest.fixture(params=[GRANULARITY_BYTE, GRANULARITY_WORD],
+                ids=["byte", "word"])
+def tmap(request):
+    return TaintMap(SparseMemory(), request.param)
+
+
+class TestBitmapExportImport:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=64))
+    def test_export_import_round_trip(self, flags):
+        tmap = TaintMap(SparseMemory(), GRANULARITY_BYTE)
+        for i, flag in enumerate(flags):
+            tmap.set_taint(addr(i), flag)
+        packed = tmap.export_range(addr(0), len(flags))
+        assert unpack_flags(packed, len(flags)) == flags
+
+        other = TaintMap(SparseMemory(), GRANULARITY_BYTE)
+        other.set_range(addr(0), len(flags), True)  # must be overwritten
+        other.import_range(addr(0), len(flags), packed)
+        assert other.taint_flags(addr(0), len(flags)) == flags
+
+    def test_import_is_authoritative(self, tmap):
+        tmap.set_range(addr(0), 16, True)
+        tmap.import_range(addr(0), 16, bytes(2))
+        assert not tmap.any_tainted(addr(0), 16)
+
+    def test_word_granularity_widens_to_words(self):
+        tmap = TaintMap(SparseMemory(), GRANULARITY_WORD)
+        tmap.import_range(addr(0), 16, pack_flags(
+            [i == 3 for i in range(16)]))
+        # Word tracking cannot represent a lone byte: the whole word
+        # containing it reports taint, the neighbouring word stays clean.
+        assert all(tmap.taint_flags(addr(0), 8))
+        assert not tmap.any_tainted(addr(8), 8)
