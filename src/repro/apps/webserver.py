@@ -201,6 +201,109 @@ int main() {
 """
 
 
+#: Dynamic-content backend for the adaptive experiments (repro.adaptive).
+#: Unlike the static-file server (whose cycles are device time, hiding
+#: instrumentation cost), this app *computes*: every request hashes the
+#: whole file body byte-by-byte before answering, so instrumented loads
+#: and stores dominate and always-on SHIFT pays full freight.  It also
+#: scrubs its request-derived buffers (``memset`` clears tag bits along
+#: with the data) once the URL is resolved, so a machine that went
+#: tainted on one request provably re-quiesces before the next accept —
+#: the behaviour on-demand tracking converts into cycles saved.
+BACKEND_SOURCE = """
+native int accept();
+native int recv(int fd, char *buf, int n);
+native int send(int fd, char *buf, int n);
+native int open(char *path, int flags);
+native int read(int fd, char *buf, int n);
+native int close(int fd);
+
+char req[512];
+char path[256];
+char chunk[1100];
+char digest[16];
+int served;
+
+int send_str(int fd, char *s) {
+    return send(fd, s, strlen(s));
+}
+
+int serve(int fd) {
+    int n = recv(fd, req, 500);
+    if (n <= 0) {
+        return 0;
+    }
+    req[n] = 0;
+    if (strncmp(req, "GET ", 4) != 0) {
+        send_str(fd, "HTTP/1.0 400 Bad Request\\r\\n\\r\\n");
+        memset(req, 0, 512);
+        return 0;
+    }
+    strcpy(path, "/www");
+    int i = 4;
+    int pi = 4;
+    while (req[i] && req[i] != ' ' && pi < 250) {
+        path[pi] = req[i];
+        pi++;
+        i++;
+    }
+    path[pi] = 0;
+    int f = open(path, 0);
+    // The URL is resolved; scrub every request-derived byte so the
+    // worker is taint-free before the compute phase starts.
+    memset(req, 0, 512);
+    memset(path, 0, 256);
+    if (f < 0) {
+        send_str(fd, "HTTP/1.0 404 Not Found\\r\\n\\r\\n");
+        return 0;
+    }
+    // Dynamic content: FNV-style digest over the entire file body,
+    // then an in-place scramble pass re-read by a second checksum —
+    // loads *and* stores on every byte, the access pattern SHIFT's
+    // per-access instrumentation prices at full rate.
+    int h = 2166136261;
+    int got = read(f, chunk, 1024);
+    while (got > 0) {
+        int j = 0;
+        while (j < got) {
+            h = (h ^ chunk[j]) * 16777619;
+            chunk[j] = h & 127;
+            j++;
+        }
+        j = 0;
+        while (j < got) {
+            h = (h + chunk[j]) * 33;
+            j++;
+        }
+        got = read(f, chunk, 1024);
+    }
+    close(f);
+    send_str(fd, "HTTP/1.0 200 OK\\r\\nServer: mini-backend\\r\\n\\r\\n");
+    int d = 0;
+    while (d < 8) {
+        int v = (h >> ((7 - d) * 4)) & 15;
+        if (v < 10) {
+            digest[d] = '0' + v;
+        } else {
+            digest[d] = 'a' + (v - 10);
+        }
+        d++;
+    }
+    digest[8] = 10;
+    send(fd, digest, 9);
+    return 1;
+}
+
+int main() {
+    int fd;
+    while ((fd = accept()) >= 0) {
+        served += serve(fd);
+    }
+    return served;
+}
+"""
+
+
 def overflow_request(length: int = 300) -> bytes:
     """Buffer-overflow attack: URL long enough to smash ``mime_probe``."""
     return b"GET /" + b"A" * length + b" HTTP/1.0\r\n\r\n"

@@ -62,8 +62,15 @@ class FunctionCodegen:
         self.b0_offset = offset
         if self.makes_calls:
             offset += 8
+        # Any function that executes st8.spill (callee saves or body
+        # spill slots) must preserve ar.unat: otherwise a spilled NaT's
+        # unat bit would outlive the frame it belongs to, and a stale
+        # bit for a dead slot is indistinguishable from a live tainted
+        # spill (it would pin repro.adaptive in track mode forever).
+        self.preserves_unat = bool(self.allocation.callee_saved_used
+                                   or self.allocation.spill_slot_count)
         self.unat_offset = offset
-        if self.allocation.callee_saved_used:
+        if self.preserves_unat:
             offset += 8
         self.callee_save_offsets: Dict[int, int] = {}
         for reg in self.allocation.callee_saved_used:
@@ -147,8 +154,9 @@ class FunctionCodegen:
         for reg, offset in self.callee_save_offsets.items():
             self._frame_addr(SCRATCH_ADDR, offset)
             self.emit("st8.spill", ins=(SCRATCH_ADDR, GR(reg)))
-        if self.allocation.callee_saved_used:
-            # ar.unat is callee-saved so callers' spill bits survive us.
+        if self.preserves_unat:
+            # ar.unat is callee-saved so callers' spill bits survive us
+            # (and our own dead spill bits die with this frame).
             self.emit("mov.fromar", outs=(SCRATCH_A,), ins=(AR_UNAT,))
             self._frame_addr(SCRATCH_ADDR, self.unat_offset)
             self.emit("st8", ins=(SCRATCH_ADDR, SCRATCH_A))
@@ -167,7 +175,7 @@ class FunctionCodegen:
 
     def _epilogue(self) -> None:
         self.label(self._ret_label())
-        if self.allocation.callee_saved_used:
+        if self.preserves_unat:
             self._frame_addr(SCRATCH_ADDR, self.unat_offset)
             self.emit("ld8", outs=(SCRATCH_A,), ins=(SCRATCH_ADDR,))
             self.emit("mov.toar", outs=(AR_UNAT,), ins=(SCRATCH_A,))

@@ -160,6 +160,14 @@ class ShiftInstrumenter:
     def __init__(self, options: ShiftOptions) -> None:
         self.options = options
         self._label_count = 0
+        #: After :meth:`instrument`: for each original instruction (in
+        #: stream order, labels skipped) the instruction offset within
+        #: the instrumented output at which its expansion begins.  Every
+        #: expansion is self-contained (it recomputes its own scratch
+        #: predicates/registers), so these offsets are the safe resume
+        #: points the adaptive mode controller maps between the clean
+        #: and the instrumented copy of a function.
+        self.anchors: List[int] = []
 
     def instrument(self, func: FunctionCode) -> FunctionCode:
         """Apply the SHIFT pass to one function's instruction stream."""
@@ -176,11 +184,17 @@ class ShiftInstrumenter:
         out: List[Item] = []
         if self.options.natgen == "function" and not self.options.enh_set_clear:
             self._emit_natgen(out)
+        self.anchors = []
+        emitted = sum(1 for it in out if isinstance(it, Instruction))
         for index, item in enumerate(func.items):
             if isinstance(item, Label):
                 out.append(item)
                 continue
+            before = len(out)
             self._rewrite(item, out, index)
+            self.anchors.append(emitted)
+            emitted += sum(1 for it in out[before:]
+                           if isinstance(it, Instruction))
         # Pointer-laundering fix blocks go out of line, after the
         # epilogue's br.ret, so the fast path takes no branches.
         out.extend(self._outofline)
@@ -361,6 +375,11 @@ class ShiftInstrumenter:
                               role=ROLE_RELAX, origin=origin))
         fx.append(Instruction("ld8", outs=(addr,), ins=(T_LIN,),
                               role=ROLE_RELAX, origin=origin))
+        # Re-spill r0 (never NaT) so the laundering spill leaves no
+        # stale ar.unat bit: the slot is dead once reloaded, and a
+        # lingering bit would pin repro.adaptive in track mode.
+        fx.append(Instruction("st8.spill", ins=(T_LIN, R0),
+                              role=ROLE_RELAX, origin=origin))
         fx.append(Instruction("br", target=back, role=ROLE_RELAX, origin=origin))
         return True
 
@@ -409,6 +428,8 @@ class ShiftInstrumenter:
             emit("adds", role=ROLE_TAINT_SET, outs=(T_LIN,), ins=(SP,), imm=RELAX_SLOT_A)
             emit("st8.spill", role=ROLE_TAINT_SET, ins=(T_LIN, value))
             emit("ld8", role=ROLE_TAINT_SET, outs=(T_MASK,), ins=(T_LIN,))
+            # Clear the laundering spill's ar.unat bit (see _address_guard).
+            emit("st8.spill", role=ROLE_TAINT_SET, ins=(T_LIN, R0))
             out.append(replace(instr, ins=(addr, T_MASK),
                                role=ROLE_TAINT_SET, origin="store"))
             out.append(Label(join))
@@ -478,11 +499,14 @@ class ShiftInstrumenter:
         emit("adds", outs=(T_LIN,), ins=(SP,), imm=RELAX_SLOT_A)
         emit("st8.spill", ins=(T_LIN, gr_ins[0]))
         emit("ld8", outs=(T_BITS,), ins=(T_LIN,))
+        # Clear the laundering spill's ar.unat bit (see _address_guard).
+        emit("st8.spill", ins=(T_LIN, R0))
         replacements[gr_ins[0]] = T_BITS
         if len(gr_ins) > 1:
             emit("adds", outs=(T_LIN,), ins=(SP,), imm=RELAX_SLOT_B)
             emit("st8.spill", ins=(T_LIN, gr_ins[1]))
             emit("ld8", outs=(T_OFF,), ins=(T_LIN,))
+            emit("st8.spill", ins=(T_LIN, R0))
             replacements[gr_ins[1]] = T_OFF
         relaxed_ins = tuple(replacements.get(r, r) for r in instr.ins)
         out.append(replace(instr, ins=relaxed_ins, role=ROLE_RELAX, origin="cmp"))

@@ -9,15 +9,21 @@ dispatcher.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Union
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.compiler.codegen import lower_function
-from repro.compiler.instrument import INVALID_ADDR, ShiftOptions, UNINSTRUMENTED, instrument_function
+from repro.compiler.codegen import FunctionCode, lower_function
+from repro.compiler.instrument import (
+    INVALID_ADDR,
+    ShiftInstrumenter,
+    ShiftOptions,
+    UNINSTRUMENTED,
+    instrument_function,
+)
 from repro.compiler.irgen import IRGenerator, ModuleIR
 from repro.compiler.parser import parse
 from repro.cpu.core import BREAK_NATIVE_BASE, BREAK_SYSCALL
-from repro.isa.instruction import Instruction
+from repro.isa.instruction import Instruction, Label
 from repro.isa.operands import BR, GR, GR_FIRST_ARG, GR_NAT_SOURCE, GR_RET, GR_SYSNUM, SP
 from repro.isa.program import Program, ProgramBuilder
 from repro.mem.address import REGION_STACK, make_address
@@ -30,6 +36,33 @@ SYS_EXIT = 0
 SYS_THREAD_EXIT = 1
 
 
+#: Label suffix for the clean (uninstrumented) copy of a dual-version
+#: function.  "$" cannot appear in MiniC identifiers, so the suffixed
+#: names can never collide with user symbols.
+FAST_SUFFIX = "$fast"
+
+
+@dataclass
+class AdaptiveLayout:
+    """Where the two copies of each function live and how they pair up.
+
+    For function ``f`` the instrumented ("track") copy sits at its
+    canonical label ``f`` — at exactly the code indices an always-on
+    build would place it — and the clean ("fast") copy at ``f$fast``.
+    ``anchors[f][k]`` is the instruction offset, within the track copy,
+    of the expansion of the k-th original instruction; the same original
+    sits at offset ``k`` in the fast copy.  The adaptive controller
+    turns these into bidirectional pc translation maps.
+    """
+
+    #: function name -> per-original-instruction track offsets.
+    anchors: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+
+    @staticmethod
+    def fast_name(name: str) -> str:
+        return name + FAST_SUFFIX
+
+
 @dataclass
 class CompiledProgram:
     """A linked guest program plus compile-time metadata."""
@@ -40,6 +73,8 @@ class CompiledProgram:
     #: function -> instruction count (excluding natives/_start), used by
     #: the Table 3 code-size accounting.
     function_sizes: Dict[str, int] = field(default_factory=dict)
+    #: Dual-version pairing metadata, or None for single-version builds.
+    adaptive: Optional[AdaptiveLayout] = None
 
     @property
     def total_instructions(self) -> int:
@@ -51,10 +86,23 @@ def compile_program(
     sources: Union[str, Iterable[str]],
     options: ShiftOptions = UNINSTRUMENTED,
     entry: str = "_start",
+    adaptive: bool = False,
 ) -> CompiledProgram:
-    """Compile one or more MiniC source texts into a linked program."""
+    """Compile one or more MiniC source texts into a linked program.
+
+    With ``adaptive=True`` (requires ``options.mode == "shift"``) every
+    function is emitted twice: the instrumented copy at its canonical
+    label — in the same order, and therefore at the same code indices,
+    as an always-on build — and a clean copy under ``f$fast`` appended
+    after ``_start``.  Direct calls inside fast copies target other fast
+    copies; ``&f`` function-pointer immediates keep resolving to the
+    instrumented entry, so any pointer the controller never translated
+    still lands on tracked code (the sound direction).
+    """
     if isinstance(sources, str):
         sources = [sources]
+    if adaptive and options.mode != "shift":
+        raise ValueError("adaptive builds require options.mode == 'shift'")
     gen = IRGenerator()
     for source in sources:
         gen.add_unit(parse(source))
@@ -69,25 +117,65 @@ def compile_program(
         builder.declare_native(native)
 
     sizes: Dict[str, int] = {}
+    layout = AdaptiveLayout() if adaptive else None
+    fast_copies: List[FunctionCode] = []
+    user_names = {f.name for f in module.functions}
     for irf in module.functions:
         code = lower_function(irf)
         if options.mode == "lift":
             from repro.baselines.lift import lift_instrument_function
 
-            code = lift_instrument_function(code)
+            icode = lift_instrument_function(code)
+        elif adaptive:
+            inst = ShiftInstrumenter(options)
+            icode = inst.instrument(code)
+            layout.anchors[irf.name] = tuple(inst.anchors)
+            fast_copies.append(_clone_fast(code, user_names))
         else:
-            code = instrument_function(code, options)
+            icode = instrument_function(code, options)
         builder.begin_function(irf.name)
-        builder.extend(code.items)
+        builder.extend(icode.items)
         builder.end_function()
-        sizes[irf.name] = sum(1 for i in code.items if isinstance(i, Instruction))
+        sizes[irf.name] = sum(1 for i in icode.items if isinstance(i, Instruction))
 
     _emit_native_stubs(builder, module.natives)
     _emit_thread_exit(builder)
     _emit_start(builder, options)
+    # Fast copies go after everything the always-on layout contains, so
+    # the track half of the dual build is index-identical to it.
+    for fast in fast_copies:
+        builder.begin_function(fast.name)
+        builder.extend(fast.items)
+        builder.end_function()
     program = builder.build(entry="_start")
     return CompiledProgram(program=program, options=options, module=module,
-                           function_sizes=sizes)
+                           function_sizes=sizes, adaptive=layout)
+
+
+def _clone_fast(code: FunctionCode, user_names) -> FunctionCode:
+    """Clean copy of a function renamed into the ``$fast`` namespace.
+
+    Local labels are suffixed (they would otherwise collide with the
+    track copy's), and direct branch targets are retargeted when they
+    name either a local label or another dual-version function.  Native
+    stubs and ``__thread_exit`` stay shared — they are version-neutral.
+    """
+    local = {item.name for item in code.items if isinstance(item, Label)}
+    items: List[Union[Label, Instruction]] = []
+    for item in code.items:
+        if isinstance(item, Label):
+            items.append(Label(item.name + FAST_SUFFIX))
+            continue
+        target = item.target
+        if target is not None and (target in local or target in user_names):
+            item = replace(item, target=target + FAST_SUFFIX)
+        items.append(item)
+    return FunctionCode(
+        name=code.name + FAST_SUFFIX,
+        items=items,
+        frame_size=code.frame_size,
+        makes_calls=code.makes_calls,
+    )
 
 
 def _emit_native_stubs(builder: ProgramBuilder, natives: List[str]) -> None:

@@ -34,12 +34,17 @@ def compile_protected(
     sources: Union[str, Iterable[str]],
     options: ShiftOptions = UNINSTRUMENTED,
     include_libc: bool = True,
+    adaptive: bool = False,
 ) -> CompiledProgram:
-    """Compile MiniC sources (plus the instrumentable libc) with SHIFT."""
+    """Compile MiniC sources (plus the instrumentable libc) with SHIFT.
+
+    ``adaptive=True`` emits the dual-version (track + fast) layout used
+    by :mod:`repro.adaptive` for on-demand tracking.
+    """
     if isinstance(sources, str):
         sources = [sources]
     all_sources = ([LIBC_SOURCE] if include_libc else []) + list(sources)
-    return compile_program(all_sources, options)
+    return compile_program(all_sources, options, adaptive=adaptive)
 
 
 def build_machine(
@@ -64,12 +69,21 @@ def build_machine(
     recover_max_recoveries: int = 1000,
     machine_id: Optional[str] = None,
     net_capacity: Optional[int] = None,
+    adaptive: bool = False,
+    adaptive_switching: bool = True,
 ) -> Machine:
-    """Compile (if needed) and load a guest into a ready Machine."""
+    """Compile (if needed) and load a guest into a ready Machine.
+
+    ``adaptive=True`` compiles a dual-version program; pre-compiled
+    programs carrying an adaptive layout get a controller regardless.
+    ``adaptive_switching=False`` loads a dual-version program but pins
+    it in track mode (the differential baseline for testing).
+    """
     if isinstance(sources, CompiledProgram):
         compiled = sources
     else:
-        compiled = compile_protected(sources, options, include_libc=include_libc)
+        compiled = compile_protected(sources, options, include_libc=include_libc,
+                                     adaptive=adaptive)
     return Machine(
         compiled,
         policy_config=policy_config,
@@ -89,6 +103,7 @@ def build_machine(
         recover_max_recoveries=recover_max_recoveries,
         machine_id=machine_id,
         net_capacity=net_capacity,
+        adaptive=adaptive_switching,
     )
 
 

@@ -164,6 +164,15 @@ class CPU:
         #: Optional obs tracer; only consulted on the fault path, so the
         #: per-instruction execute loop is identical with tracing off.
         self.tracer = None
+        #: Optional tag-space store watch (Machine wires it to
+        #: ``TaintMap.on_guest_tag_store``): called with (addr, size,
+        #: value) before any store whose address is below ``tag_limit``,
+        #: i.e. any store into the region-0 tag space.  Keeps the
+        #: taint map's live-granule counter exact against instrumented
+        #: bitmap updates.  None (the default) costs nothing: the
+        #: predecoder only generates the check when a watch is set.
+        self.tag_watch = None
+        self.tag_limit = 0
 
         self.gr: List[int] = [0] * NUM_GR
         self.nat: List[bool] = [False] * NUM_GR
@@ -660,6 +669,8 @@ class CPU:
                 self.unat &= ~(1 << bit)
         elif self.read_nat(value_reg):
             raise NaTConsumptionFault("store_value")
+        if self.tag_watch is not None and addr < self.tag_limit:
+            self.tag_watch(addr, size, self.read_gr(value_reg))
         try:
             self.memory.store(addr, size, self.read_gr(value_reg))
         except MemoryError_ as exc:

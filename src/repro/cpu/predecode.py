@@ -77,7 +77,8 @@ _FACTORY_CACHE: dict = {}
 _PARAMS = ("gr, nats, pr, br, im, counters, close, pair_costs, RoleCost, "
            "mem_load, mem_store, cache_access, fwd, recent, cpu, to_signed, "
            "is_implemented, NaTConsumptionFault, Fault, "
-           "IllegalInstructionFault, MemoryError_, group, fn, handler, fns")
+           "IllegalInstructionFault, MemoryError_, tag_watch, "
+           "group, fn, handler, fns")
 
 
 def _render(lines: List[str], cells=("cost",)) -> str:
@@ -363,7 +364,7 @@ def _shared_args(cpu: CPU, fwd) -> tuple:
             counters.pair_costs, RoleCost, cpu.memory.load, cpu.memory.store,
             cpu.caches.access, fwd, cpu._recent_stores, cpu, to_signed,
             is_implemented, NaTConsumptionFault, Fault,
-            IllegalInstructionFault, MemoryError_, im._group)
+            IllegalInstructionFault, MemoryError_, cpu.tag_watch, im._group)
 
 
 def _make_fallback(cpu: CPU, instr: Instruction) -> Uop:
@@ -517,6 +518,9 @@ def predecode(cpu: CPU) -> List[Uop]:
             elif iv:
                 body += [f"if nats[{iv}]:",
                          "    raise NaTConsumptionFault(\"store_value\")"]
+            if cpu.tag_watch is not None:
+                body += [f"if addr < {cpu.tag_limit}:",
+                         f"    tag_watch(addr, {size}, {_s(_gr_src(iv))})"]
             body += [
                 "try:",
                 f"    mem_store(addr, {size}, {_s(_gr_src(iv))})",
@@ -943,6 +947,10 @@ def predecode_fused(cpu: CPU) -> List[Optional[Uop]]:
                     sem += [f"if nats[{iv}]:",
                             "    raise NaTConsumptionFault"
                             "(\"store_value\")"]
+                if cpu.tag_watch is not None:
+                    sem += [f"if addr < {cpu.tag_limit}:",
+                            f"    tag_watch(addr, {size}, "
+                            f"{_s(_gr_src(iv))})"]
                 sem += ["try:",
                         f"    mem_store(addr, {size}, {_s(_gr_src(iv))})",
                         "except MemoryError_ as exc:",

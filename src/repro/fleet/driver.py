@@ -56,6 +56,9 @@ class FleetConfig:
     tracing: bool = False
     #: Shared trace path; each worker's machine id derives its own file.
     trace_path: Optional[str] = None
+    #: Per-worker on-demand tracking (repro.adaptive): "none", "on" or
+    #: "track" — see :data:`repro.harness.runners.ADAPTIVE_MODES`.
+    adaptive: str = "none"
     max_instructions: int = MAX_INSTRUCTIONS
 
 
@@ -85,6 +88,7 @@ def build_worker(config: FleetConfig, worker_id: str):
         net_capacity=config.net_capacity,
         tracing=config.tracing,
         trace_path=config.trace_path,
+        adaptive=config.adaptive,
     )
 
 

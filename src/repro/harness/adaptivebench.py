@@ -1,0 +1,331 @@
+"""On-demand tracking benchmark: speedup, soundness and detection.
+
+Four experiments, one report (``BENCH_adaptive.json``):
+
+1. **Clean-heavy server mix** — the compute-bound dynamic-content
+   backend (:data:`repro.apps.webserver.BACKEND_SOURCE`) behind a fleet
+   frontend (``backend_policy``: own ingress trusted, taint arrives via
+   wire tags), fed mostly-clean wire-tagged requests with occasional
+   tainted ones.  Three arms over identical traffic: ``adaptive`` (dual
+   build, mode controller on), ``always_on`` (dual build pinned in
+   track mode) and ``uninstrumented`` (mode="none" floor).  The CI gate
+   lives here: >= 1.5x cycle speedup over always-on, responses and
+   alerts bit-identical.
+2. **Taint-heavy mix** — same server, every request tainted; reported
+   (not gated) to show the adaptive overhead degrades to ~always-on
+   instead of falling off a cliff.
+3. **SPEC kernels** — gzip/gcc/mcf dual-built, run once with safe
+   (untainted) input — the whole run should execute in fast mode at
+   uninstrumented speed — and once with tainted input (tracked
+   throughout, same checksum).
+4. **Attack detection** — resilbench's attack mix (overflow, traversal,
+   runaway) on an *adaptive* vulnerable server: every attack must be
+   quarantined with the same reasons as the always-on run, plus a
+   wire-taint traversal against the adaptive backend must raise H2.
+
+::
+
+    PYTHONPATH=src python -m repro.harness.adaptivebench --quick --gate
+
+``--gate`` exits non-zero unless the clean-heavy speedup is >= 1.5x,
+every attack was detected, and no arm raised a false alert on clean
+traffic.  A registry render (switch counts included) is written next to
+the report as ``metrics.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Sequence, Tuple
+
+from repro.apps.spec import BENCHMARKS
+from repro.apps.webserver import make_request, traversal_request
+from repro.compiler.instrument import ShiftOptions
+from repro.harness.resilbench import attack_mix
+from repro.harness.runners import (
+    backend_policy,
+    build_web_machine,
+    run_spec,
+)
+from repro.taint.bitmap import pack_flags
+
+#: The backend runs strict byte-granularity — the adaptive claim is
+#: "full-strength tracking when it matters, zero cost when quiescent",
+#: so the track half carries the strongest configuration.
+BACKEND_OPTIONS = ShiftOptions(granularity=1)
+
+#: CI gate: minimum clean-heavy speedup of adaptive over always-on.
+SPEEDUP_GATE = 1.5
+
+#: Request stream: (payload, per-byte tainted?) pairs.
+Request = Tuple[bytes, bool]
+
+
+def clean_heavy_mix(clean: int, tainted: int, size_kb: int = 8) -> List[Request]:
+    """Mostly-clean traffic with tainted traversal probes interleaved."""
+    reqs: List[Request] = [(make_request(size_kb), False)] * clean
+    stride = max(1, clean // max(tainted, 1))
+    for i in range(tainted):
+        reqs.insert((i + 1) * stride + i, (traversal_request(), True))
+    return reqs
+
+
+def taint_heavy_mix(count: int, size_kb: int = 8) -> List[Request]:
+    """Every request wire-tainted (worst case for on-demand tracking)."""
+    return [(make_request(size_kb), True)] * count
+
+
+def _run_backend(adaptive: str, requests: Sequence[Request],
+                 engine: str) -> Dict:
+    """One backend arm over one request stream; returns raw observables."""
+    machine = build_web_machine(
+        "backend",
+        BACKEND_OPTIONS if adaptive != "uninstrumented"
+        else ShiftOptions(mode="none"),
+        policy_config=backend_policy(),
+        sizes=(4, 8),
+        engine=engine,
+        engine_mode="alert",
+        adaptive=adaptive if adaptive != "uninstrumented" else "none",
+    )
+    for payload, is_tainted in requests:
+        machine.net.add_request(
+            payload, taint_mask=pack_flags([is_tainted] * len(payload)))
+    served = machine.run(max_instructions=2_000_000_000)
+    responses = [bytes(c.outbound) for c in machine.net.completed]
+    arm = {
+        "served": served,
+        "cycles": machine.counters.cycles,
+        "io_cycles": machine.counters.io_cycles,
+        "instructions": machine.counters.instructions,
+        "alerts": [(a.policy_id, a.pc, a.message) for a in machine.alerts],
+        "responses": responses,
+        "live_bytes_final": machine.taint_map.live_bytes,
+        "machine": machine,
+    }
+    if machine.adaptive is not None:
+        arm["switches_to_fast"] = machine.adaptive.switches_to_fast
+        arm["switches_to_track"] = machine.adaptive.switches_to_track
+        arm["final_mode"] = machine.adaptive.mode
+    return arm
+
+
+def _public(arm: Dict) -> Dict:
+    """Strip non-serialisable internals from an arm record."""
+    out = {k: v for k, v in arm.items() if k not in ("machine", "responses")}
+    out["alerts"] = [list(a) for a in arm["alerts"]]
+    return out
+
+
+def server_experiment(name: str, requests: Sequence[Request],
+                      engine: str,
+                      expected_alerts: int = None) -> Dict:
+    """Run adaptive / always-on / uninstrumented arms over one stream.
+
+    ``expected_alerts`` defaults to the tainted-request count (right for
+    the clean-heavy mix, whose tainted requests are traversal probes);
+    the taint-heavy mix passes 0 — its tainted requests are benign.
+    """
+    adaptive = _run_backend("on", requests, engine)
+    always_on = _run_backend("track", requests, engine)
+    floor = _run_backend("uninstrumented", requests, engine)
+    tainted_count = sum(1 for _, t in requests if t)
+    if expected_alerts is None:
+        expected_alerts = tainted_count
+    identical = (adaptive["responses"] == always_on["responses"]
+                 and adaptive["alerts"] == always_on["alerts"]
+                 and adaptive["served"] == always_on["served"])
+    entry = {
+        "name": name,
+        "engine": engine,
+        "requests": len(requests),
+        "tainted_requests": tainted_count,
+        "adaptive": _public(adaptive),
+        "always_on": _public(always_on),
+        "uninstrumented": _public(floor),
+        "speedup": always_on["cycles"] / adaptive["cycles"],
+        "overhead_vs_floor": adaptive["cycles"] / floor["cycles"],
+        "identical_to_always_on": identical,
+        # Every expected attack must alert; clean traffic must not.
+        "attacks_detected": len(adaptive["alerts"]),
+        "attacks_expected": expected_alerts,
+    }
+    entry["_machine"] = adaptive["machine"]
+    return entry
+
+
+def spec_experiment(benchmarks: Sequence[str], scale: str,
+                    engine: str) -> List[Dict]:
+    """Dual-built SPEC kernels, safe vs tainted input, vs always-on."""
+    rows = []
+    for name in benchmarks:
+        bench = BENCHMARKS[name]
+        for safe in (True, False):
+            on = run_spec(bench, BACKEND_OPTIONS, scale, safe_input=safe,
+                          engine=engine, adaptive="on")
+            track = run_spec(bench, BACKEND_OPTIONS, scale, safe_input=safe,
+                             engine=engine, adaptive="track")
+            rows.append({
+                "benchmark": name,
+                "safe_input": safe,
+                "adaptive_cycles": on.cycles,
+                "always_on_cycles": track.cycles,
+                "speedup": track.cycles / on.cycles,
+                "checksum_match": on.checksum == track.checksum,
+            })
+    return rows
+
+
+def wire_taint_detection(engine: str) -> Dict:
+    """A traversal whose taint arrives purely via wire tags must alert.
+
+    Control arm: the identical bytes with their tags stripped sail
+    through (the backend trusts its own ingress), proving the detection
+    is carried by the transported tags, not by the byte pattern.
+    """
+    def probe(tainted: bool) -> List:
+        machine = build_web_machine(
+            "backend", BACKEND_OPTIONS,
+            policy_config=backend_policy(),
+            sizes=(4,), engine=engine, engine_mode="alert", adaptive="on",
+        )
+        payload = traversal_request("/../etc/secret")
+        machine.net.add_request(
+            payload, taint_mask=pack_flags([tainted] * len(payload)))
+        machine.run(max_instructions=100_000_000)
+        return [a.policy_id for a in machine.alerts]
+
+    armed, control = probe(True), probe(False)
+    return {
+        "engine": engine,
+        "tagged_alerts": armed,
+        "untagged_alerts": control,
+        "detected": armed == ["H2"] and control == [],
+    }
+
+
+def run_suite(quick: bool, engine: str, scale: str) -> Tuple[Dict, str]:
+    """All four experiments; returns (report, rendered metrics text)."""
+    clean, tainted = (20, 1) if quick else (60, 3)
+    print("adaptivebench: clean-heavy server mix", flush=True)
+    clean_entry = server_experiment(
+        "clean_heavy", clean_heavy_mix(clean, tainted), engine)
+    machine = clean_entry.pop("_machine")
+    print(f"  speedup {clean_entry['speedup']:.2f}x over always-on, "
+          f"identical={clean_entry['identical_to_always_on']}, "
+          f"alerts {clean_entry['attacks_detected']}"
+          f"/{clean_entry['attacks_expected']}", flush=True)
+
+    print("adaptivebench: taint-heavy server mix", flush=True)
+    heavy_entry = server_experiment(
+        "taint_heavy", taint_heavy_mix(6 if quick else 20), engine,
+        expected_alerts=0)
+    heavy_entry.pop("_machine")
+    print(f"  overhead vs floor {heavy_entry['overhead_vs_floor']:.2f}x "
+          f"(always-on {heavy_entry['always_on']['cycles'] / heavy_entry['uninstrumented']['cycles']:.2f}x)",
+          flush=True)
+
+    print("adaptivebench: SPEC kernels", flush=True)
+    spec_rows = spec_experiment(
+        ["gzip"] if quick else ["gzip", "gcc", "mcf"], scale, engine)
+    for row in spec_rows:
+        print(f"  {row['benchmark']:6s} safe={row['safe_input']!s:5s} "
+              f"speedup {row['speedup']:.2f}x "
+              f"checksum_match={row['checksum_match']}", flush=True)
+
+    print("adaptivebench: attack detection (adaptive resil server)", flush=True)
+    mix = attack_mix(engine=engine, adaptive="on")
+    wire = wire_taint_detection(engine)
+    print(f"  attack mix exact={mix['exact']}, "
+          f"wire-taint traversal detected={wire['detected']}", flush=True)
+
+    from repro.obs.metrics import collect_machine
+
+    metrics_text = collect_machine(machine).render(
+        "adaptivebench metrics — clean-heavy mix, adaptive arm")
+    report = {
+        "config": {
+            "engine": engine,
+            "scale": scale,
+            "quick": quick,
+            "speedup_gate": SPEEDUP_GATE,
+            "python": sys.version.split()[0],
+        },
+        "clean_heavy": clean_entry,
+        "taint_heavy": heavy_entry,
+        "spec": spec_rows,
+        "detection": {"attack_mix": mix, "wire_taint": wire},
+    }
+    return report, metrics_text
+
+
+def gate(report: Dict) -> int:
+    """Check the CI gate conditions; returns a process exit code."""
+    failures = []
+    clean = report["clean_heavy"]
+    if clean["speedup"] < SPEEDUP_GATE:
+        failures.append(
+            f"clean-heavy speedup {clean['speedup']:.2f} < {SPEEDUP_GATE}")
+    if not clean["identical_to_always_on"]:
+        failures.append("adaptive run diverged from always-on")
+    if clean["attacks_detected"] != clean["attacks_expected"]:
+        failures.append(
+            f"detected {clean['attacks_detected']}"
+            f"/{clean['attacks_expected']} tainted traversals")
+    if clean["uninstrumented"]["alerts"]:
+        failures.append("uninstrumented arm alerted (traffic bug)")
+    heavy = report["taint_heavy"]
+    if not heavy["identical_to_always_on"]:
+        failures.append("taint-heavy adaptive run diverged from always-on")
+    if heavy["attacks_detected"] != heavy["attacks_expected"]:
+        failures.append(
+            f"taint-heavy mix raised {heavy['attacks_detected']} alert(s) "
+            f"on benign tainted traffic")
+    for row in report["spec"]:
+        if not row["checksum_match"]:
+            failures.append(
+                f"{row['benchmark']} checksum diverged "
+                f"(safe={row['safe_input']})")
+    if not report["detection"]["attack_mix"]["exact"]:
+        failures.append("adaptive attack mix was not exact")
+    if not report["detection"]["wire_taint"]["detected"]:
+        failures.append("wire-taint traversal not detected")
+    for failure in failures:
+        print(f"GATE FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.adaptivebench",
+        description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small mixes, gzip only")
+    parser.add_argument("--engine", default="predecoded",
+                        choices=("reference", "predecoded"))
+    parser.add_argument("--scale", default="test",
+                        help="SPEC input scale (default: test)")
+    parser.add_argument("--output", default="BENCH_adaptive.json",
+                        help="report path (default: BENCH_adaptive.json)")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit 1 unless the speedup/detection gate holds")
+    args = parser.parse_args(argv)
+
+    report, metrics_text = run_suite(args.quick, args.engine, args.scale)
+    out_path = pathlib.Path(args.output)
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    metrics_path = out_path.parent / "metrics.txt"
+    metrics_path.write_text(metrics_text + "\n")
+    print(f"wrote {out_path} and {metrics_path}")
+    if args.gate:
+        return gate(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,13 +53,20 @@ ATTACK_OPTIONS = ShiftOptions(granularity=1)
 ATTACK_WATCHDOG = 2_000_000
 
 
-def attack_mix(engine: str = "predecoded", clean_requests: int = 6) -> Dict:
-    """Run the attack-mix server experiment; returns the report entry."""
+def attack_mix(engine: str = "predecoded", clean_requests: int = 6,
+               adaptive: str = "none") -> Dict:
+    """Run the attack-mix server experiment; returns the report entry.
+
+    ``adaptive`` builds the same vulnerable server dual-version (see
+    :mod:`repro.adaptive`); adaptivebench uses it to prove on-demand
+    tracking quarantines the identical attack set.
+    """
     machine = build_web_machine(
         "resil", ATTACK_OPTIONS,
         engine_mode="recover",
         recover_watchdog=ATTACK_WATCHDOG,
         engine=engine,
+        adaptive=adaptive,
     )
     attacks = (overflow_request(), traversal_request(), runaway_request())
     expected_reasons = ("alert", "alert", "runaway")
@@ -78,8 +85,17 @@ def attack_mix(engine: str = "predecoded", clean_requests: int = 6) -> Dict:
     exact = (clean_ok
              and len(machine.net.quarantined) == len(attacks)
              and reasons == expected_reasons)
+    adaptive_stats = None
+    if machine.adaptive is not None:
+        adaptive_stats = {
+            "switches_to_fast": machine.adaptive.switches_to_fast,
+            "switches_to_track": machine.adaptive.switches_to_track,
+            "final_mode": machine.adaptive.mode,
+        }
     return {
         "engine": engine,
+        "adaptive": adaptive,
+        "adaptive_stats": adaptive_stats,
         "clean_requests": clean_requests,
         "attacks": len(attacks),
         "served": served,

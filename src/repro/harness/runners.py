@@ -7,6 +7,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.apps.spec import BENCHMARKS, SpecBenchmark
 from repro.apps.webserver import (
+    BACKEND_SOURCE,
     FLEET_PROXY_SOURCE,
     RESIL_WEBSERVER_SOURCE,
     WEBSERVER_SOURCE,
@@ -38,16 +39,18 @@ PERF_OPTIONS: Dict[str, ShiftOptions] = {
     "lift": ShiftOptions(mode="lift"),
 }
 
-_compile_cache: Dict[Tuple[str, str, ShiftOptions], CompiledProgram] = {}
+_compile_cache: Dict[Tuple[str, str, ShiftOptions, bool], CompiledProgram] = {}
 
 
 def compiled_spec(bench: SpecBenchmark, options: ShiftOptions,
-                  scale: str = "ref") -> CompiledProgram:
+                  scale: str = "ref",
+                  adaptive: bool = False) -> CompiledProgram:
     """Compile a kernel once per (benchmark, options, scale)."""
-    key = (bench.name, scale, options)
+    key = (bench.name, scale, options, adaptive)
     compiled = _compile_cache.get(key)
     if compiled is None:
-        compiled = compile_protected(bench.source(scale), options)
+        compiled = compile_protected(bench.source(scale), options,
+                                     adaptive=adaptive)
         _compile_cache[key] = compiled
     return compiled
 
@@ -80,14 +83,23 @@ def run_spec(
     safe_input: bool = False,
     label: str = "",
     engine: str = "predecoded",
+    adaptive: str = "none",
 ) -> MeasuredRun:
-    """Run one SPEC kernel under one configuration."""
-    compiled = compiled_spec(bench, options, scale)
+    """Run one SPEC kernel under one configuration.
+
+    ``adaptive`` is one of :data:`ADAPTIVE_MODES` (dual-version builds
+    for the on-demand tracking experiments).
+    """
+    if adaptive not in ADAPTIVE_MODES:
+        raise ValueError(f"unknown adaptive mode {adaptive!r}")
+    compiled = compiled_spec(bench, options, scale,
+                             adaptive=adaptive != "none")
     machine = build_machine(
         compiled,
         policy_config=spec_policy(safe_input),
         files={"/data": bench.make_input(scale)},
         engine=engine,
+        adaptive_switching=adaptive == "on",
     )
     exit_code = machine.run()
     counters = machine.counters
@@ -168,20 +180,29 @@ WEB_VARIANTS: Dict[str, str] = {
     "standard": WEBSERVER_SOURCE,
     "resil": RESIL_WEBSERVER_SOURCE,
     "proxy": FLEET_PROXY_SOURCE,
+    "backend": BACKEND_SOURCE,
 }
 
-_web_cache: Dict[Tuple[str, ShiftOptions], CompiledProgram] = {}
+#: ``adaptive=`` values accepted by the web build path: ``"none"`` is a
+#: plain single-version build, ``"on"`` a dual-version build with the
+#: mode controller switching, ``"track"`` a dual-version build pinned in
+#: track mode (the differential baseline — same code layout as "on").
+ADAPTIVE_MODES = ("none", "on", "track")
+
+_web_cache: Dict[Tuple[str, ShiftOptions, bool], CompiledProgram] = {}
 
 
 def compiled_webserver(options: ShiftOptions,
-                       variant: str = "standard") -> CompiledProgram:
+                       variant: str = "standard",
+                       adaptive: bool = False) -> CompiledProgram:
     """Compile a web-app variant once per (variant, configuration)."""
     if variant not in WEB_VARIANTS:
         raise ValueError(f"unknown web variant {variant!r}")
-    key = (variant, options)
+    key = (variant, options, adaptive)
     compiled = _web_cache.get(key)
     if compiled is None:
-        compiled = compile_protected(WEB_VARIANTS[variant], options)
+        compiled = compile_protected(WEB_VARIANTS[variant], options,
+                                     adaptive=adaptive)
         _web_cache[key] = compiled
     return compiled
 
@@ -200,16 +221,22 @@ def build_web_machine(
     net_capacity: Optional[int] = None,
     tracing: bool = False,
     trace_path: Optional[str] = None,
+    adaptive: str = "none",
 ) -> Machine:
     """The single parameterized build path for every web-serving guest.
 
-    Used by the Figure-6 runner, resilbench's attack mix and the fleet
-    driver/fleetbench alike, so machine setup lives in exactly one
-    place.  ``files`` overrides the default document root built from
-    ``sizes``; ``policy_config`` defaults to :func:`webserver_policy`.
+    Used by the Figure-6 runner, resilbench's attack mix, the fleet
+    driver/fleetbench and adaptivebench alike, so machine setup lives in
+    exactly one place.  ``files`` overrides the default document root
+    built from ``sizes``; ``policy_config`` defaults to
+    :func:`webserver_policy`; ``adaptive`` is one of
+    :data:`ADAPTIVE_MODES`.
     """
+    if adaptive not in ADAPTIVE_MODES:
+        raise ValueError(f"unknown adaptive mode {adaptive!r}")
     compiled = compiled_webserver(
-        options if options is not None else PERF_OPTIONS["byte"], variant)
+        options if options is not None else PERF_OPTIONS["byte"], variant,
+        adaptive=adaptive != "none")
     return build_machine(
         compiled,
         policy_config=(policy_config if policy_config is not None
@@ -222,6 +249,7 @@ def build_web_machine(
         net_capacity=net_capacity,
         tracing=tracing,
         trace_path=trace_path,
+        adaptive_switching=adaptive == "on",
     )
 
 

@@ -22,6 +22,7 @@ from typing import Optional
 
 from repro.obs.events import (
     EVENT_TYPES,
+    AdaptiveSwitchEvent,
     AlertEvent,
     CheckpointEvent,
     Event,
@@ -69,6 +70,7 @@ class Observability:
 
 
 __all__ = [
+    "AdaptiveSwitchEvent",
     "AlertEvent",
     "CheckpointEvent",
     "Counter",

@@ -157,6 +157,18 @@ class InjectionEvent(Event):
     instruction_count: int = 0
 
 
+@dataclass
+class AdaptiveSwitchEvent(Event):
+    """The adaptive controller switched tracking mode (repro.adaptive)."""
+
+    KIND: ClassVar[str] = "adaptive_switch"
+
+    direction: str  # 'adaptive.enter_track' | 'adaptive.enter_fast'
+    trigger_pc: int  # pc at the boundary where the switch fired
+    live_bytes: int  # tainted bytes at switch time (0 for enter_fast)
+    instruction_count: int = 0
+
+
 #: Every event type, for schema documentation and exporters.
 EVENT_TYPES: Tuple[type, ...] = (
     TaintSourceEvent,
@@ -169,4 +181,5 @@ EVENT_TYPES: Tuple[type, ...] = (
     RollbackEvent,
     QuarantineEvent,
     InjectionEvent,
+    AdaptiveSwitchEvent,
 )

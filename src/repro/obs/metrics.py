@@ -133,7 +133,13 @@ def _bitmap_population(machine) -> int:
     from repro.mem.address import region_of, tag_space_limit
     from repro.mem.memory import PAGE_BITS
 
-    granularity = machine.taint_map.granularity
+    taint_map = machine.taint_map
+    if taint_map.counter_authoritative:
+        # Every tag write is funneled through the incremental counter
+        # (host summaries and guest stores alike), so the O(n) page
+        # scan below is only a fallback for bare taint maps.
+        return taint_map.live_granules
+    granularity = taint_map.granularity
     limit = tag_space_limit(granularity)
     population = 0
     for page_no, page in machine.memory.iter_pages():
@@ -185,7 +191,18 @@ def collect_machine(machine, registry: Optional[MetricsRegistry] = None) -> Metr
         machine.memory.pages_touched())
     reg.gauge("taint.bitmap_population",
               "granules currently marked tainted").set(_bitmap_population(machine))
+    reg.gauge("taint.live_bytes", "tainted bytes (incremental counter)").set(
+        machine.taint_map.live_bytes)
     reg.gauge("taint.granularity").set(machine.taint_map.granularity)
+
+    adaptive = getattr(machine, "adaptive", None)
+    if adaptive is not None:
+        reg.gauge("adaptive.mode", "1 = instrumented (track), 0 = fast").set(
+            1 if adaptive.mode == "track" else 0)
+        reg.counter("adaptive.switches_to_fast",
+                    "track -> fast mode switches").value = adaptive.switches_to_fast
+        reg.counter("adaptive.switches_to_track",
+                    "fast -> track mode switches").value = adaptive.switches_to_track
 
     net = machine.net
     reg.gauge("net.pending", "connections still queued").set(len(net.pending))

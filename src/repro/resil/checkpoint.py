@@ -115,6 +115,15 @@ class MachineCheckpoint:
             if page != _ZERO_PAGE
         }
         self._heap_next = machine._heap_next
+        self._heap_sizes = dict(machine._heap_sizes)
+
+        # Taint live-byte counter and adaptive mode (repro.adaptive):
+        # the bitmap pages above already carry the tag *bits*; the
+        # counter and the controller's mode must stay consistent with
+        # them or a restored machine could enter fast mode non-quiescent.
+        self._live_granules = machine.taint_map.live_granules
+        adaptive = getattr(machine, "adaptive", None)
+        self._adaptive = None if adaptive is None else adaptive.capture()
 
         # Guest OS: fd table (connection objects are shared by reference;
         # their mutable cursors are saved separately below).
@@ -238,6 +247,12 @@ class MachineCheckpoint:
             else:
                 page[:] = _ZERO_PAGE
         machine._heap_next = self._heap_next
+        machine._heap_sizes.clear()
+        machine._heap_sizes.update(self._heap_sizes)
+        machine.taint_map.live_granules = self._live_granules
+        adaptive = getattr(machine, "adaptive", None)
+        if adaptive is not None and self._adaptive is not None:
+            adaptive.restore(self._adaptive)
 
         from repro.runtime.guest_os import FileHandle
 

@@ -155,6 +155,9 @@ class GuestOS:
             return
         if number == SYS_THREAD_EXIT:
             self.machine.threads.exit_current(cpu.read_gr(GR_FIRST_ARG))
+            adaptive = getattr(self.machine, "adaptive", None)
+            if adaptive is not None:
+                adaptive.on_boundary(cpu)
             return
         raise IllegalInstructionFault(f"unknown syscall {number}")
 
@@ -172,6 +175,13 @@ class GuestOS:
             self._trace_call(names[index])
         self._charge(cpu, self.costs.native_base)
         handler(cpu)
+        # Adaptive mode-switch point: the pc sits in the shared native
+        # stub here, so no code-address translation of the pc itself is
+        # needed and taint sources (read/recv/wire ingress) have just
+        # run — the earliest moment new taint can exist.
+        adaptive = getattr(self.machine, "adaptive", None)
+        if adaptive is not None:
+            adaptive.on_boundary(cpu)
 
     def _register_natives(self) -> None:
         n = self._natives
@@ -373,7 +383,14 @@ class GuestOS:
         self._ret(cpu, self.machine.heap_alloc(size))
 
     def _native_free(self, cpu: CPU) -> None:
-        self._ret(cpu, 0)  # bump allocator: free is a no-op
+        # Bump allocator: the storage is never reused, but the block's
+        # taint dies with it (freed data is not a live flow), which is
+        # what lets an adaptive machine re-quiesce after a request.
+        addr = self._arg(cpu, 0)
+        size = self.machine._heap_sizes.pop(addr, 0)
+        if size:
+            self.machine.taint_map.set_range(addr, size, False)
+        self._ret(cpu, 0)
 
     def _native_memcpy(self, cpu: CPU) -> None:
         dst, src, n = (self._arg(cpu, i) for i in range(3))

@@ -104,6 +104,7 @@ class Machine:
         recover_max_recoveries: int = 1000,
         machine_id: Optional[str] = None,
         net_capacity: Optional[int] = None,
+        adaptive: bool = True,
     ) -> None:
         #: Stable identity used for per-machine trace filenames and
         #: fleet incident attribution ("worker w3 quarantined request 5").
@@ -176,6 +177,27 @@ class Machine:
         self.engine.cpu = self.cpu
         if self.obs is not None:
             self.cpu.tracer = self.obs.tracer
+        # Tag-store watch: every guest store into the region-0 tag space
+        # is accounted before it commits, which keeps the taint map's
+        # live-granule counter exact (O(1) quiescence checks, and the
+        # taint.live_bytes metric) without bitmap scans.
+        from repro.mem.address import tag_space_limit
+
+        self.cpu.tag_watch = self.taint_map.on_guest_tag_store
+        self.cpu.tag_limit = tag_space_limit(granularity)
+        self.taint_map.counter_authoritative = True
+        #: malloc'd block sizes by address, so free() can drop the
+        #: block's taint (heap taint drains when the guest releases it).
+        self._heap_sizes: Dict[int, int] = {}
+        #: Adaptive mode controller (repro.adaptive), present only for
+        #: dual-version builds with switching enabled.  ``adaptive=False``
+        #: on a dual build forces always-track: execution never leaves
+        #: the instrumented copies (the differential baseline).
+        self.adaptive = None
+        if adaptive and compiled.adaptive is not None:
+            from repro.adaptive import AdaptiveController
+
+            self.adaptive = AdaptiveController(self)
         from repro.runtime.threads import ThreadManager
 
         self.threads = ThreadManager(self, quantum=thread_quantum,
@@ -237,6 +259,7 @@ class Machine:
 
             raise GuestOOMFault(requested=size, in_use=in_use, limit=limit)
         self._heap_next = addr + rounded
+        self._heap_sizes[addr] = rounded
         return addr
 
     # -- execution ---------------------------------------------------------

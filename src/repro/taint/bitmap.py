@@ -89,6 +89,23 @@ class TaintMap:
         #: add no cost until a Machine wires them with ``tracing=True``.
         self.provenance: Optional["ProvenanceTracker"] = None
         self.tracer: Optional["Tracer"] = None
+        #: Incrementally-maintained count of tainted granules.  Every
+        #: host-side bitmap write funnels through :meth:`_store_tag_byte`
+        #: / :meth:`_write_tag_bytes`, which keep it exact; guest-side
+        #: tag stores are accounted by the CPU's ``tag_watch`` hook
+        #: (:meth:`on_guest_tag_store`).  Quiescence checks and metrics
+        #: read this in O(1) instead of scanning the bitmap.
+        self.live_granules = 0
+        #: True once a Machine has wired the CPU tag-store watch, i.e.
+        #: *every* bitmap write path is counted.  Only then may
+        #: ``live_granules == 0`` short-circuit :meth:`any_tainted`
+        #: (a bare TaintMap over a hand-driven CPU stays conservative).
+        self.counter_authoritative = False
+
+    @property
+    def live_bytes(self) -> int:
+        """Tainted data bytes implied by the live-granule count."""
+        return self.live_granules * self.granularity
 
     # -- tag-space geometry ------------------------------------------------
 
@@ -128,25 +145,52 @@ class TaintMap:
         """Set/clear the tag of the granule containing ``addr``."""
         tag = tag_address(addr, self.granularity, self.flat)
         if tag.bit is None:
-            self.memory.store(tag.byte_addr, 1, 1 if tainted else 0)
+            self._store_tag_byte(tag.byte_addr, 1 if tainted else 0)
             return
         byte = self.memory.load(tag.byte_addr, 1)
         byte = (byte | tag.mask) if tainted else (byte & ~tag.mask)
-        self.memory.store(tag.byte_addr, 1, byte)
+        self._store_tag_byte(tag.byte_addr, byte)
+
+    # -- counted write primitives ------------------------------------------
+
+    def _popcount(self, data: bytes) -> int:
+        """Tainted granules encoded by a run of tag bytes."""
+        if self.granularity == GRANULARITY_WORD:
+            return len(data) - data.count(0)
+        return int.from_bytes(data, "little").bit_count()
+
+    def _store_tag_byte(self, byte_addr: int, new: int) -> None:
+        old = self.memory.load(byte_addr, 1)
+        if old == new:
+            return
+        if self.granularity == GRANULARITY_WORD:
+            self.live_granules += (1 if new else 0) - (1 if old else 0)
+        else:
+            self.live_granules += new.bit_count() - old.bit_count()
+        self.memory.store(byte_addr, 1, new)
+
+    def _write_tag_bytes(self, byte_addr: int, data: bytes,
+                         old: Optional[bytes] = None) -> None:
+        if old is None:
+            old = bytes(self.memory.read_bytes(byte_addr, len(data)))
+        if old == data:
+            return
+        self.live_granules += self._popcount(data) - self._popcount(old)
+        self.memory.write_bytes(byte_addr, data)
 
     # -- batched internals -------------------------------------------------
 
     def _rmw_tag_byte(self, byte_addr: int, mask: int, tainted: bool) -> None:
         byte = self.memory.load(byte_addr, 1)
         byte = (byte | mask) if tainted else (byte & ~mask & 0xFF)
-        self.memory.store(byte_addr, 1, byte)
+        self._store_tag_byte(byte_addr, byte)
 
     def _fill_tags(self, l0: int, l1: int, tainted: bool) -> None:
         """Set/clear every granule with linearised position in [l0, l1]."""
-        mem = self.memory
         if self.granularity == GRANULARITY_WORD:
             b0, b1 = l0 >> 3, l1 >> 3
-            mem.write_bytes(b0, (b"\x01" if tainted else b"\x00") * (b1 - b0 + 1))
+            self._write_tag_bytes(
+                b0, (b"\x01" if tainted else b"\x00") * (b1 - b0 + 1))
             return
         b0, b1 = l0 >> 3, l1 >> 3
         head_mask = (0xFF << (l0 & 7)) & 0xFF
@@ -161,7 +205,8 @@ class TaintMap:
             self._rmw_tag_byte(b1, tail_mask, tainted)
             b1 -= 1
         if b1 >= b0:
-            mem.write_bytes(b0, (b"\xff" if tainted else b"\x00") * (b1 - b0 + 1))
+            self._write_tag_bytes(
+                b0, (b"\xff" if tainted else b"\x00") * (b1 - b0 + 1))
 
     def _set_range_tags(self, addr: int, length: int, tainted: bool) -> None:
         """Range set/clear without the provenance/tracer side effects."""
@@ -231,6 +276,8 @@ class TaintMap:
     def any_tainted(self, addr: int, length: int) -> bool:
         """True if any granule in the range is tainted."""
         if length <= 0:
+            return False
+        if self.counter_authoritative and self.live_granules == 0:
             return False
         span = self._lin_span(addr, length)
         if span is None:
@@ -311,18 +358,49 @@ class TaintMap:
         if length <= 0:
             return
         flags = unpack_flags(packed, length)
-        self._set_range_tags(addr, length, False)
+        span = self._lin_span(addr, length)
+        if span is None:
+            # Region-crossing fallback: one authoritative write per
+            # granule (never clear-then-set, so no transient state).
+            step = self.granularity
+            last = addr + length - 1
+            granule = addr - (addr % step)
+            while granule <= last:
+                lo = max(granule, addr) - addr
+                hi = min(granule + step - 1, last) - addr
+                self.set_taint(granule, any(flags[lo:hi + 1]))
+                granule += step
+        else:
+            # Single pass: build the final tag bytes for the whole span
+            # (preserving uncovered bits of the edge bytes) and commit
+            # them with one counted write.  A metrics snapshot taken
+            # concurrently therefore sees either the old tags or the new
+            # — never the half-applied all-clear state the old
+            # clear-then-set implementation exposed.
+            l0, l1 = span
+            b0, b1 = l0 >> 3, l1 >> 3
+            old = bytes(self.memory.read_bytes(b0, b1 - b0 + 1))
+            new = bytearray(old)
+            if self.granularity == GRANULARITY_WORD:
+                first = addr - (addr % 8)
+                last = addr + length - 1
+                for w in range(b1 - b0 + 1):
+                    lo = max(first + 8 * w, addr) - addr
+                    hi = min(first + 8 * w + 7, last) - addr
+                    new[w] = 1 if any(flags[lo:hi + 1]) else 0
+            else:
+                lin0 = self._lin(addr)
+                for i in range(length):
+                    pos = lin0 + i
+                    idx = (pos >> 3) - b0
+                    bit = 1 << (pos & 7)
+                    if flags[i]:
+                        new[idx] |= bit
+                    else:
+                        new[idx] &= ~bit & 0xFF
+            self._write_tag_bytes(b0, bytes(new), old=old)
         if self.provenance is not None:
             self.provenance.clear_range(addr, length)
-        start = None
-        for i, tainted in enumerate(flags):
-            if tainted and start is None:
-                start = i
-            elif not tainted and start is not None:
-                self._set_range_tags(addr + start, i - start, True)
-                start = None
-        if start is not None:
-            self._set_range_tags(addr + start, length - start, True)
         if self.tracer is not None:
             from repro.obs.events import TaintStoreEvent
 
@@ -366,26 +444,52 @@ class TaintMap:
         db0, db1 = dl0 >> 3, dl1 >> 3
         if self.granularity == GRANULARITY_WORD:
             # Normalise to the 0/1 encoding set_taint writes.
-            mem.write_bytes(db0, bytes(1 if b else 0 for b in data))
+            self._write_tag_bytes(db0, bytes(1 if b else 0 for b in data))
             return
         head_mask = (0xFF << (dl0 & 7)) & 0xFF
         tail_mask = 0xFF >> (7 - (dl1 & 7))
         if db0 == db1:
             mask = head_mask & tail_mask
             old = mem.load(db0, 1)
-            mem.store(db0, 1, (old & ~mask & 0xFF) | (data[0] & mask))
+            self._store_tag_byte(db0, (old & ~mask & 0xFF) | (data[0] & mask))
             return
         lo = 0
         hi = len(data)
         if head_mask != 0xFF:
             old = mem.load(db0, 1)
-            mem.store(db0, 1, (old & ~head_mask & 0xFF) | (data[0] & head_mask))
+            self._store_tag_byte(
+                db0, (old & ~head_mask & 0xFF) | (data[0] & head_mask))
             db0 += 1
             lo = 1
         if tail_mask != 0xFF:
             old = mem.load(db1, 1)
-            mem.store(db1, 1, (old & ~tail_mask & 0xFF) | (data[-1] & tail_mask))
+            self._store_tag_byte(
+                db1, (old & ~tail_mask & 0xFF) | (data[-1] & tail_mask))
             db1 -= 1
             hi -= 1
         if hi > lo:
-            mem.write_bytes(db0, data[lo:hi])
+            self._write_tag_bytes(db0, bytes(data[lo:hi]))
+
+    # -- guest-store accounting (CPU tag_watch hook) -----------------------
+
+    def on_guest_tag_store(self, addr: int, size: int, value: int) -> None:
+        """Account a guest store into tag space, *before* it commits.
+
+        Wired as ``cpu.tag_watch`` by the Machine: the execution engines
+        call it for any store whose target lies below the tag-space
+        limit, so instrumented tag updates (``st1``/``st2`` emitted by
+        the SHIFT pass) keep :attr:`live_granules` exact without the
+        host ever scanning the bitmap.
+        """
+        old = self.memory.load(addr, size)
+        value &= (1 << (size * 8)) - 1
+        if old == value:
+            return
+        if self.granularity == GRANULARITY_WORD:
+            delta = 0
+            for i in range(size):
+                delta += 1 if (value >> (8 * i)) & 0xFF else 0
+                delta -= 1 if (old >> (8 * i)) & 0xFF else 0
+            self.live_granules += delta
+        else:
+            self.live_granules += value.bit_count() - old.bit_count()

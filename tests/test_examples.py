@@ -57,6 +57,12 @@ class TestExamples:
         assert "DETECTED -> L2" in out
         assert "delivered ok" in out
 
+    def test_adaptive_server(self, capsys):
+        out = run_example("adaptive_server", capsys)
+        assert "adaptive (on-demand)" in out
+        assert "x faster" in out
+        assert "Same alert, same policy, same pc" in out
+
     def test_fleet_demo(self, capsys):
         out = run_example("fleet_demo", capsys)
         assert "quarantined request" in out
