@@ -20,6 +20,7 @@ from repro.fleet.driver import (
 )
 from repro.fleet.frontend import ROUTING_POLICIES, FleetFrontend, WorkerSlot
 from repro.fleet.observe import (
+    frontend_metrics,
     incident_report,
     merge_metric_dicts,
     merge_worker_metrics,
@@ -37,6 +38,7 @@ __all__ = [
     "TaggedMessage",
     "WireFormatError",
     "WorkerSlot",
+    "frontend_metrics",
     "incident_report",
     "merge_metric_dicts",
     "merge_worker_metrics",

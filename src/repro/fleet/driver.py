@@ -223,6 +223,20 @@ class FleetResult:
         """Ids of workers removed from rotation."""
         return [w["worker_id"] for w in self.workers if not w["completed"]]
 
+    @property
+    def utilization(self) -> Dict[str, float]:
+        """Per-worker busy fraction: own cycles / slowest worker's cycles.
+
+        The fleet's simulated duration is the slowest worker's cycle
+        count, so a worker at 1.0 ran the whole time and a worker at
+        0.5 sat idle for half the fleet run — the imbalance fleetbench
+        and servebench compare.
+        """
+        sim = self.sim_cycles
+        if not sim:
+            return {w["worker_id"]: 0.0 for w in self.workers}
+        return {w["worker_id"]: w["cycles"] / sim for w in self.workers}
+
     def metrics(self):
         """Merged fleet-level metrics registry (see repro.fleet.observe)."""
         from repro.fleet.observe import merge_worker_metrics

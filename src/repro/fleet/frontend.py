@@ -4,9 +4,9 @@ A :class:`FleetFrontend` is the load balancer in front of N worker
 Machines.  It is host-side (the workers' guests never see it), fully
 deterministic for a fixed seed, and enforces *backpressure*: each
 worker has a bounded queue, a request that finds its chosen worker full
-spills to the next healthy worker in deterministic order, and a request
-that finds every queue full is dropped and counted — never buffered
-unboundedly.
+spills to the next routable worker in deterministic order, and a
+request that finds every queue full is dropped and counted — never
+buffered unboundedly.
 
 Routing policies
 ----------------
@@ -18,12 +18,28 @@ Routing policies
 ``hash``
     Consistent hashing: workers are placed on a ring at positions
     derived from ``sha256(seed, worker, replica)``; a request maps to
-    the first worker clockwise of ``sha256(seed, payload)``.  Ejecting
-    a worker only remaps the requests that hashed to it.
+    the first worker clockwise of ``sha256(seed, key)`` where ``key``
+    defaults to the payload bytes but can be an explicit *affinity key*
+    (``submit(request, key=...)``) — the serving layer routes every
+    request of one session by the same key, so keep-alive sessions
+    stick to one worker.  Ejecting a worker only remaps the requests
+    that hashed to it.
 
-Health ejection: :meth:`eject` removes a worker from rotation (after it
-alerted or faulted in a mode that could not recover) and hands back its
-queued requests so the driver can re-route them to the survivors.
+Worker lifecycle (used by the autoscaler in :mod:`repro.serve`):
+
+* :meth:`add_worker` joins a new worker to the rotation mid-run (its
+  ring replicas derive from the same seed, so placement is
+  deterministic no matter when it joined).
+* :meth:`drain` marks a worker unroutable while leaving its queue
+  intact — it finishes what it has, takes nothing new.
+* :meth:`retire` removes a drained worker whose queue has emptied.
+* :meth:`eject` removes a worker that failed (alerted or faulted in a
+  mode that could not recover) and hands back its queued requests so
+  the driver can re-route them to the survivors.
+
+:meth:`depths` exposes the per-worker queue snapshot (queued requests,
+queued bytes, health/drain state) — the non-private view the
+autoscaler and the observability layer key off.
 """
 
 from __future__ import annotations
@@ -39,11 +55,16 @@ ROUTING_POLICIES = ("round_robin", "least_loaded", "hash")
 #: Ring positions per worker for the consistent-hash policy.
 HASH_REPLICAS = 64
 
+#: Anything with a ``payload`` bytes attribute routes like a
+#: TaggedMessage (the serve layer queues its richer request records
+#: directly); plain bytes route as themselves.
 Request = Union[bytes, TaggedMessage]
 
 
 def _payload_of(request: Request) -> bytes:
-    return request.payload if isinstance(request, TaggedMessage) else request
+    if isinstance(request, (bytes, bytearray)):
+        return bytes(request)
+    return request.payload
 
 
 def _hash64(*parts: bytes) -> int:
@@ -59,6 +80,8 @@ class WorkerSlot:
     capacity: Optional[int] = None
     queue: List[Request] = field(default_factory=list)
     healthy: bool = True
+    #: Draining workers serve out their queue but take nothing new.
+    draining: bool = False
     #: Requests routed here (including ones later handed back on eject).
     assigned: int = 0
     ejected_reason: str = ""
@@ -72,6 +95,11 @@ class WorkerSlot:
     def has_room(self) -> bool:
         """True while the bounded queue can take another request."""
         return self.capacity is None or len(self.queue) < self.capacity
+
+    @property
+    def routable(self) -> bool:
+        """True while new requests may be routed to this worker."""
+        return self.healthy and not self.draining
 
 
 class FleetFrontend:
@@ -90,12 +118,13 @@ class FleetFrontend:
             raise ValueError("worker ids must be unique")
         self.policy = policy
         self.seed = seed
+        self.queue_capacity = queue_capacity
         self.slots: Dict[str, WorkerSlot] = {
             wid: WorkerSlot(wid, capacity=queue_capacity)
             for wid in worker_ids
         }
         self.order: List[str] = list(worker_ids)
-        #: Requests refused because every healthy queue was full.
+        #: Requests refused because every routable queue was full.
         self.dropped = 0
         #: Requests that spilled past their first-choice worker.
         self.spilled = 0
@@ -118,24 +147,29 @@ class FleetFrontend:
     def _healthy(self) -> List[str]:
         return [wid for wid in self.order if self.slots[wid].healthy]
 
-    def _candidates(self, request: Request) -> List[str]:
+    def _routable(self) -> List[str]:
+        return [wid for wid in self.order if self.slots[wid].routable]
+
+    def _candidates(self, request: Request,
+                    key: Optional[bytes] = None) -> List[str]:
         """Worker ids in routing-preference order for one request."""
-        healthy = self._healthy()
-        if not healthy:
+        routable = self._routable()
+        if not routable:
             return []
         if self.policy == "round_robin":
-            start = self._rr_next % len(healthy)
+            start = self._rr_next % len(routable)
             self._rr_next += 1
-            return healthy[start:] + healthy[:start]
+            return routable[start:] + routable[:start]
         if self.policy == "least_loaded":
             return sorted(
-                healthy,
+                routable,
                 key=lambda wid: (len(self.slots[wid].queue),
                                  self.slots[wid].queued_bytes,
                                  self.order.index(wid)))
-        # Consistent hash: walk the ring clockwise from the payload's
-        # position, skipping unhealthy/duplicate workers.
-        point = _hash64(str(self.seed).encode(), _payload_of(request))
+        # Consistent hash: walk the ring clockwise from the key's
+        # position, skipping unroutable/duplicate workers.
+        point = _hash64(str(self.seed).encode(),
+                        key if key is not None else _payload_of(request))
         ordered: List[str] = []
         start = 0
         for i, (pos, _wid) in enumerate(self._ring):
@@ -144,21 +178,24 @@ class FleetFrontend:
                 break
         for i in range(len(self._ring)):
             wid = self._ring[(start + i) % len(self._ring)][1]
-            if wid not in ordered and self.slots[wid].healthy:
+            if wid not in ordered and self.slots[wid].routable:
                 ordered.append(wid)
-                if len(ordered) == len(healthy):
+                if len(ordered) == len(routable):
                     break
         return ordered
 
     # -- routing ---------------------------------------------------------
 
-    def submit(self, request: Request) -> Optional[str]:
+    def submit(self, request: Request,
+               key: Optional[bytes] = None) -> Optional[str]:
         """Route one request; returns the worker id, or None if dropped.
 
         The first candidate with queue room takes it; candidates past
         the first count as spill (backpressure at the preferred worker).
+        ``key`` overrides the bytes hashed by the ``hash`` policy — the
+        session-affinity key of the serving layer.
         """
-        for rank, wid in enumerate(self._candidates(request)):
+        for rank, wid in enumerate(self._candidates(request, key)):
             slot = self.slots[wid]
             if slot.has_room:
                 slot.queue.append(request)
@@ -175,18 +212,89 @@ class FleetFrontend:
             self.submit(request)
         return {wid: len(slot.queue) for wid, slot in self.slots.items()}
 
-    # -- health ----------------------------------------------------------
+    # -- worker lifecycle ------------------------------------------------
+
+    def add_worker(self, worker_id: str,
+                   capacity: Optional[int] = None) -> WorkerSlot:
+        """Join a new worker to the rotation (autoscaler scale-up).
+
+        The worker's ring replicas derive from the frontend seed, so a
+        worker added mid-run lands exactly where it would have at
+        construction time — consistent-hash placement stays stable.
+        ``capacity`` defaults to the frontend-wide queue bound.
+        """
+        if worker_id in self.slots:
+            raise ValueError(f"worker {worker_id!r} already exists")
+        slot = WorkerSlot(
+            worker_id,
+            capacity=self.queue_capacity if capacity is None else capacity)
+        self.slots[worker_id] = slot
+        self.order.append(worker_id)
+        for replica in range(HASH_REPLICAS):
+            pos = _hash64(str(self.seed).encode(), worker_id.encode(),
+                          str(replica).encode())
+            self._ring.append((pos, worker_id))
+        self._ring.sort()
+        return slot
+
+    def drain(self, worker_id: str) -> None:
+        """Stop routing to a worker; it serves out its queue (scale-down)."""
+        self.slots[worker_id].draining = True
+
+    def retire(self, worker_id: str) -> None:
+        """Remove a drained worker whose queue has emptied."""
+        slot = self.slots[worker_id]
+        if slot.queue:
+            raise ValueError(
+                f"worker {worker_id!r} still has {len(slot.queue)} "
+                "queued request(s); drain must empty before retire")
+        slot.healthy = False
+        slot.draining = False
+        slot.ejected_reason = "retired"
 
     def eject(self, worker_id: str, reason: str = "") -> List[Request]:
         """Remove a worker from rotation; hand back its queued requests."""
         slot = self.slots[worker_id]
         slot.healthy = False
+        slot.draining = False
         slot.ejected_reason = reason or "ejected"
         orphans = list(slot.queue)
         slot.queue.clear()
         return orphans
 
+    # -- observation -----------------------------------------------------
+
+    def depths(self) -> Dict[str, Dict[str, object]]:
+        """Per-worker queue-depth snapshot (the autoscaler's input).
+
+        Every worker ever known appears, including drained and ejected
+        ones, each with its queued request/byte counts and lifecycle
+        flags — the public view the autoscaler and the obs layer use
+        instead of reaching into :attr:`slots`.
+        """
+        return {
+            wid: {
+                "queued": len(slot.queue),
+                "queued_bytes": slot.queued_bytes,
+                "healthy": slot.healthy,
+                "draining": slot.draining,
+                "routable": slot.routable,
+            }
+            for wid, slot in self.slots.items()
+        }
+
+    @property
+    def total_queued(self) -> int:
+        """Requests waiting across every healthy worker queue."""
+        return sum(len(slot.queue) for slot in self.slots.values()
+                   if slot.healthy)
+
     @property
     def healthy_count(self) -> int:
-        """Workers still in rotation."""
+        """Workers still in rotation (draining workers included)."""
         return len(self._healthy())
+
+    @property
+    def routable_count(self) -> int:
+        """Workers accepting new requests (healthy and not draining)."""
+        return len(self._routable())

@@ -10,8 +10,12 @@ into one fleet view:
   from the summed accesses/misses, granularity and capacity are
   configuration, min/max histogram bounds take min/max).
 * :func:`merge_worker_metrics` — the merged snapshot plus ``fleet.*``
-  instruments (worker counts, routing spill/drop, simulated cycles) in
-  a renderable :class:`~repro.obs.metrics.MetricsRegistry`.
+  instruments (worker counts, routing spill/drop, simulated cycles,
+  per-worker utilization) in a renderable
+  :class:`~repro.obs.metrics.MetricsRegistry`.
+* :func:`frontend_metrics` — a live :class:`FleetFrontend`'s routing
+  counters (``frontend.dropped`` spill-then-drop rejections,
+  ``frontend.spilled``) and per-worker queue depths as instruments.
 * :func:`incident_report` / :func:`render_incidents` — every quarantine
   and ejection across the fleet, each naming the worker, the request
   index, the tripped policy and the taint-origin chain that fed it.
@@ -98,6 +102,45 @@ def merge_worker_metrics(result):
     reg.gauge("fleet.sim_throughput",
               "served requests per 1e9 simulated cycles").set(
         round(result.sim_throughput, 6))
+    if result.wall_seconds:
+        reg.gauge("fleet.wall_seconds",
+                  "host wall-clock seconds for the run").set(
+            round(result.wall_seconds, 6))
+    for wid, busy in sorted(result.utilization.items()):
+        reg.gauge(f"fleet.utilization.{wid}",
+                  "worker busy cycles / slowest worker's cycles").set(
+            round(busy, 6))
+    return reg
+
+
+def frontend_metrics(frontend, registry=None):
+    """Routing-layer instruments for one live :class:`FleetFrontend`.
+
+    ``frontend.dropped`` counts spill-then-drop rejections (every
+    routable queue full), ``frontend.spilled`` requests pushed past
+    their first-choice worker; per-worker ``frontend.depth.*`` gauges
+    come from the public :meth:`FleetFrontend.depths` snapshot.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    reg = registry or MetricsRegistry()
+    reg.counter("frontend.dropped",
+                "requests refused with every routable queue full").value = \
+        frontend.dropped
+    reg.counter("frontend.spilled",
+                "requests past their first-choice worker").value = \
+        frontend.spilled
+    reg.gauge("frontend.queued",
+              "requests waiting across healthy workers").set(
+        frontend.total_queued)
+    reg.gauge("frontend.workers_routable",
+              "workers accepting new requests").set(frontend.routable_count)
+    reg.gauge("frontend.workers_healthy",
+              "workers in rotation (draining included)").set(
+        frontend.healthy_count)
+    for wid, depth in sorted(frontend.depths().items()):
+        reg.gauge(f"frontend.depth.{wid}",
+                  "requests queued at one worker").set(depth["queued"])
     return reg
 
 

@@ -35,8 +35,6 @@ the report as ``metrics.txt``.
 
 from __future__ import annotations
 
-import argparse
-import json
 import pathlib
 import sys
 from typing import Dict, List, Sequence, Tuple
@@ -44,6 +42,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro.apps.spec import BENCHMARKS
 from repro.apps.webserver import make_request, traversal_request
 from repro.compiler.instrument import ShiftOptions
+from repro.harness.benchcli import bench_parser, write_report
 from repro.harness.resilbench import attack_mix
 from repro.harness.runners import (
     backend_policy,
@@ -299,29 +298,17 @@ def gate(report: Dict) -> int:
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro.harness.adaptivebench",
-        description=__doc__.split("\n")[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="small mixes, gzip only")
-    parser.add_argument("--engine", default="predecoded",
-                        choices=("reference", "predecoded"))
-    parser.add_argument("--scale", default="test",
-                        help="SPEC input scale (default: test)")
-    parser.add_argument("--output", default="BENCH_adaptive.json",
-                        help="report path (default: BENCH_adaptive.json)")
-    parser.add_argument("--gate", action="store_true",
-                        help="exit 1 unless the speedup/detection gate holds")
+    # No --seed: the mixes and kernels here have no seeded randomness.
+    parser = bench_parser("repro.harness.adaptivebench", __doc__,
+                          output="BENCH_adaptive.json", seed=None,
+                          scale="test")
     args = parser.parse_args(argv)
 
     report, metrics_text = run_suite(args.quick, args.engine, args.scale)
-    out_path = pathlib.Path(args.output)
-    with open(out_path, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    out_path = write_report(report, args.output)
     metrics_path = out_path.parent / "metrics.txt"
     metrics_path.write_text(metrics_text + "\n")
-    print(f"wrote {out_path} and {metrics_path}")
+    print(f"wrote {metrics_path}")
     if args.gate:
         return gate(report)
     return 0

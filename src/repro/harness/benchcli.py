@@ -1,0 +1,61 @@
+"""Shared CLI plumbing for the bench harnesses.
+
+servebench, fleetbench, resilbench and adaptivebench all expose the
+same contract — ``--quick`` for the CI smoke configuration, a
+deterministic ``--seed``, ``--engine``, ``--output`` for the report
+path and ``--gate`` to turn the report into an exit code — and used to
+re-implement it with small inconsistencies.  :func:`bench_parser`
+builds the common parser (each harness adds its own extras on top) and
+:func:`write_report` serialises a report the one canonical way
+(sorted keys, two-space indent, trailing newline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+from typing import Dict, Optional
+
+__all__ = ["bench_parser", "write_report"]
+
+
+def bench_parser(prog: str, doc: Optional[str], *, output: str,
+                 seed: Optional[int] = 0, engine: bool = True,
+                 scale: Optional[str] = None) -> argparse.ArgumentParser:
+    """The common bench argument parser.
+
+    ``output`` is the default report path; ``seed=None`` omits the
+    ``--seed`` flag (for harnesses with no seeded randomness);
+    ``engine=False`` omits ``--engine``; ``scale`` adds ``--scale``
+    with the given default (SPEC input scale).
+    """
+    parser = argparse.ArgumentParser(
+        prog=prog, description=(doc or "").strip().split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small CI-smoke configuration")
+    if seed is not None:
+        parser.add_argument("--seed", type=int, default=seed,
+                            help=f"deterministic seed (default: {seed})")
+    if engine:
+        parser.add_argument("--engine", default="predecoded",
+                            choices=("reference", "predecoded"),
+                            help="execution engine (default: predecoded)")
+    if scale is not None:
+        parser.add_argument("--scale", default=scale,
+                            help=f"SPEC input scale (default: {scale})")
+    parser.add_argument("--output", default=output,
+                        help=f"report path (default: {output})")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit 1 unless every gate condition holds")
+    return parser
+
+
+def write_report(report: Dict, output: str) -> pathlib.Path:
+    """Write one JSON report the canonical way; returns its path."""
+    path = pathlib.Path(output)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+    return path

@@ -34,8 +34,6 @@ conditions the CI ``fleet-smoke`` job enforces (quick mode gates the
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 from typing import Dict, List
 
@@ -46,6 +44,7 @@ from repro.apps.webserver import (
 )
 from repro.compiler.instrument import ShiftOptions
 from repro.fleet import FleetConfig, FleetDriver, two_tier_experiment
+from repro.harness.benchcli import bench_parser, write_report
 
 #: Fleet sizes measured by the scaling experiment.
 SCALING_WORKERS = (1, 2, 4, 8)
@@ -166,13 +165,20 @@ def reproducibility_run(workers: int, requests: int, seed: int,
     driver = FleetDriver(_fleet_config(engine), workers=workers, seed=seed)
     first = driver.run(batch).digest()
     second = driver.run(batch).digest()
-    process = driver.run(batch, processes=True).digest()
+    mp_result = driver.run(batch, processes=True)
     return {
         "workers": workers,
         "requests": requests,
         "digest": first,
         "rerun_identical": first == second,
-        "processes_identical": first == process,
+        "processes_identical": first == mp_result.digest(),
+        # The multiprocessing path is the one with a real wall clock;
+        # utilization is busy-cycles / slowest-worker-cycles per worker.
+        "multiprocessing": {
+            "wall_seconds": round(mp_result.wall_seconds, 3),
+            "utilization": {wid: round(u, 4)
+                            for wid, u in mp_result.utilization.items()},
+        },
     }
 
 
@@ -267,30 +273,17 @@ def gate(report: Dict) -> int:
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro.harness.fleetbench", description=__doc__.split("\n")[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="1/2-worker scaling only (CI smoke)")
-    parser.add_argument("--seed", type=int, default=0,
-                        help="routing seed (default: 0)")
-    parser.add_argument("--engine", default="predecoded",
-                        choices=("reference", "predecoded"))
+    parser = bench_parser("repro.harness.fleetbench", __doc__,
+                          output="BENCH_fleet.json")
     parser.add_argument("--requests", type=int, default=None,
                         help="scaling batch size (default: 32, quick: 12)")
-    parser.add_argument("--output", default="BENCH_fleet.json",
-                        help="report path (default: BENCH_fleet.json)")
-    parser.add_argument("--gate", action="store_true",
-                        help="exit 1 unless every fleet gate holds")
     args = parser.parse_args(argv)
 
     requests = args.requests
     if requests is None:
         requests = 12 if args.quick else 32
     report = run_suite(args.quick, args.seed, args.engine, requests)
-    with open(args.output, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {args.output}")
+    write_report(report, args.output)
     if args.gate:
         return gate(report)
     return 0

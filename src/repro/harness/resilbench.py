@@ -27,8 +27,6 @@ job enforces.
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 from typing import Dict
 
@@ -39,6 +37,7 @@ from repro.apps.webserver import (
     traversal_request,
 )
 from repro.compiler.instrument import ShiftOptions
+from repro.harness.benchcli import bench_parser, write_report
 from repro.harness.runners import build_web_machine
 from repro.resil.inject import run_campaign
 
@@ -159,30 +158,16 @@ def gate(report: Dict) -> int:
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro.harness.resilbench", description=__doc__.split("\n")[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="small campaign (4 trials/kind, gzip only)")
-    parser.add_argument("--seed", type=int, default=12345,
-                        help="campaign seed (default: 12345)")
+    parser = bench_parser("repro.harness.resilbench", __doc__,
+                          output="BENCH_resil.json", seed=12345,
+                          scale="test")
     parser.add_argument("--trials", type=int, default=10,
                         help="trials per injection kind (default: 10)")
-    parser.add_argument("--scale", default="test",
-                        help="SPEC input scale (default: test)")
-    parser.add_argument("--engine", default="predecoded",
-                        choices=("reference", "predecoded"))
-    parser.add_argument("--output", default="BENCH_resil.json",
-                        help="report path (default: BENCH_resil.json)")
-    parser.add_argument("--gate", action="store_true",
-                        help="exit 1 unless the detection gate holds")
     args = parser.parse_args(argv)
 
     report = run_suite(args.quick, args.seed, args.trials, args.scale,
                        args.engine)
-    with open(args.output, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {args.output}")
+    write_report(report, args.output)
     if args.gate:
         return gate(report)
     return 0

@@ -30,6 +30,8 @@ from repro.obs.events import (
     InjectionEvent,
     QuarantineEvent,
     RollbackEvent,
+    ScaleEvent,
+    ServeRequestEvent,
     SyscallEvent,
     TaintSourceEvent,
     TaintStoreEvent,
@@ -87,6 +89,8 @@ __all__ = [
     "ProvenanceTracker",
     "QuarantineEvent",
     "RollbackEvent",
+    "ScaleEvent",
+    "ServeRequestEvent",
     "SyscallEvent",
     "TaintOrigin",
     "TaintSourceEvent",

@@ -169,6 +169,40 @@ class AdaptiveSwitchEvent(Event):
     instruction_count: int = 0
 
 
+@dataclass
+class ServeRequestEvent(Event):
+    """One open-loop request completed its lifecycle (repro.serve).
+
+    Timestamps are simulated cycles on the serving clock: ``enqueue``
+    when the request arrived at the frontend, ``dispatch`` when a
+    worker started it, ``complete`` when the worker finished (or the
+    drop/ejection was recorded).
+    """
+
+    KIND: ClassVar[str] = "serve_request"
+
+    index: int  # arrival order in the workload
+    request_kind: str  # 'clean' | 'traversal' | 'overflow' | ...
+    worker: str  # '' when the request was dropped
+    outcome: str  # 'served' | 'quarantined' | 'fatal' | 'dropped' | ...
+    enqueue: float
+    dispatch: float
+    complete: float
+
+
+@dataclass
+class ScaleEvent(Event):
+    """The autoscaler changed the worker set (repro.serve)."""
+
+    KIND: ClassVar[str] = "scale"
+
+    action: str  # 'scale_up' | 'drain' | 'retire' | 'eject'
+    worker: str
+    depth: float  # smoothed queue depth per routable worker at decision
+    workers: int  # routable workers after the action
+    time: float  # simulated cycles
+
+
 #: Every event type, for schema documentation and exporters.
 EVENT_TYPES: Tuple[type, ...] = (
     TaintSourceEvent,
@@ -182,4 +216,6 @@ EVENT_TYPES: Tuple[type, ...] = (
     QuarantineEvent,
     InjectionEvent,
     AdaptiveSwitchEvent,
+    ServeRequestEvent,
+    ScaleEvent,
 )

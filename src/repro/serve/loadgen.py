@@ -1,0 +1,210 @@
+"""Open-loop load generation: seeded, heavy-tailed, wall-clock-free.
+
+Every harness before this one was *closed-loop*: a fixed batch is
+queued up front and the fleet chews through it, so offered load always
+equals capacity and latency is meaningless.  A production deployment is
+*open-loop* — requests arrive on their own schedule whether or not the
+servers are keeping up, and what a user experiences is the time from
+arrival to response, queueing included.
+
+:func:`generate` produces that arrival schedule deterministically:
+
+* **Sessions, not lone requests.**  Users arrive as sessions of
+  geometrically-distributed length; a session's requests share one
+  *affinity key* (fed to the frontend's sha256 consistent-hash ring, so
+  keep-alive requests stick to one worker) and are spaced by lognormal
+  think gaps.
+* **Heavy-tailed inter-arrivals.**  Session inter-arrival gaps are
+  lognormal (sigma ~1 gives the bursty, long-tailed arrival process
+  real traffic shows); the scale is solved from the requested offered
+  load, so the *mean* rate is exact while the instantaneous rate
+  bursts.
+* **Phases.**  A workload is a sequence of :class:`LoadPhase` steps
+  (duration at an offered load), which is how servebench builds its
+  burst-then-taper autoscaler scenarios.
+* **Attack mix.**  A fraction of sessions end in an attack request
+  (directory traversal / buffer overflow against the vulnerable server
+  variant), so detection can be measured *under load* while the
+  autoscaler is reshaping the fleet.
+
+Times are simulated cycles — the same unit as worker cycle budgets —
+and everything derives from one ``random.Random(seed)``, so a workload
+is bit-reproducible across reruns and platforms.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.apps.webserver import (
+    make_request,
+    overflow_request,
+    traversal_request,
+)
+
+#: Attack kinds the generator can plant (cycled per attack session).
+ATTACK_KINDS = ("traversal", "overflow")
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One open-loop request: arrival stamp, payload, session identity."""
+
+    index: int  # arrival order within the workload
+    session: int  # session the request belongs to
+    arrival: float  # arrival time in simulated cycles
+    payload: bytes
+    kind: str = "clean"  # 'clean' | 'traversal' | 'overflow'
+    tags: Optional[bytes] = None  # packed wire taint (None = untainted)
+
+    @property
+    def affinity(self) -> bytes:
+        """Routing key: every request of one session hashes alike."""
+        return b"session-%d" % self.session
+
+
+@dataclass(frozen=True)
+class LoadPhase:
+    """A stretch of workload at one offered load."""
+
+    duration: float  # cycles the phase lasts
+    offered_load: float  # requests per 1e6 cycles (mean)
+
+
+@dataclass
+class LoadConfig:
+    """Everything that shapes a generated workload."""
+
+    seed: int = 0
+    phases: Sequence[LoadPhase] = (LoadPhase(2_000_000.0, 10.0),)
+    #: Mean keep-alive requests per session (geometric, >= 1).
+    session_length_mean: float = 3.0
+    #: Hard cap on one session's length (keeps the tail finite).
+    session_length_max: int = 8
+    #: Lognormal sigma of session inter-arrival gaps (burstiness).
+    arrival_sigma: float = 1.0
+    #: Mean think gap between a session's keep-alive requests (cycles).
+    keepalive_gap: float = 30_000.0
+    #: Lognormal sigma of keep-alive think gaps.
+    keepalive_sigma: float = 0.5
+    #: File sizes (KB) a session may fetch, with matching weights; a
+    #: session picks once and keeps fetching the same file (keep-alive
+    #: to one resource), so service demand is heavy-tailed too.
+    sizes_kb: Sequence[int] = (4, 8, 16)
+    size_weights: Sequence[float] = (0.7, 0.2, 0.1)
+    #: Fraction of sessions whose final request is an attack.
+    attack_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("a workload needs at least one phase")
+        for phase in self.phases:
+            if phase.duration <= 0 or phase.offered_load <= 0:
+                raise ValueError("phase duration and load must be positive")
+        if len(self.sizes_kb) != len(self.size_weights):
+            raise ValueError("sizes_kb and size_weights must match")
+        if not 0.0 <= self.attack_fraction <= 1.0:
+            raise ValueError("attack_fraction must be in [0, 1]")
+        if self.session_length_mean < 1.0:
+            raise ValueError("sessions have at least one request")
+
+
+def _lognormal(rng: random.Random, mean: float, sigma: float) -> float:
+    """Lognormal sample with the given *mean* (not median)."""
+    mu = math.log(mean) - 0.5 * sigma * sigma
+    return rng.lognormvariate(mu, sigma)
+
+
+def _session_length(rng: random.Random, config: LoadConfig) -> int:
+    """Geometric session length with mean ``session_length_mean``."""
+    extra_mean = config.session_length_mean - 1.0
+    if extra_mean <= 0.0:
+        return 1
+    # Geometric on {0, 1, ...} with mean extra_mean.
+    p = 1.0 / (1.0 + extra_mean)
+    u = rng.random()
+    extra = int(math.log(max(u, 1e-12)) / math.log(1.0 - p))
+    return 1 + min(extra, config.session_length_max - 1)
+
+
+def _attack_payload(kind: str) -> bytes:
+    if kind == "traversal":
+        return traversal_request()
+    if kind == "overflow":
+        return overflow_request()
+    raise ValueError(f"unknown attack kind {kind!r}")
+
+
+def generate(config: LoadConfig) -> List[ServeRequest]:
+    """Produce the workload: requests sorted by arrival time.
+
+    Deterministic in ``config`` — the same config yields the identical
+    request list, which is what the servebench reproducibility gate
+    leans on.
+    """
+    rng = random.Random(config.seed)
+    raw: List[Tuple[float, int, bytes, str]] = []
+    session = 0
+    attack_cursor = 0
+    phase_start = 0.0
+    for phase in config.phases:
+        # Sessions arrive at rate offered / mean_session_len; the gap
+        # mean converts that to cycles between session starts.
+        per_session = min(config.session_length_mean,
+                          float(config.session_length_max))
+        gap_mean = per_session * 1e6 / phase.offered_load
+        t = phase_start + _lognormal(rng, gap_mean, config.arrival_sigma)
+        phase_end = phase_start + phase.duration
+        while t < phase_end:
+            length = _session_length(rng, config)
+            size = rng.choices(list(config.sizes_kb),
+                               weights=list(config.size_weights))[0]
+            attack_kind = ""
+            if config.attack_fraction and \
+                    rng.random() < config.attack_fraction:
+                attack_kind = ATTACK_KINDS[attack_cursor
+                                           % len(ATTACK_KINDS)]
+                attack_cursor += 1
+            when = t
+            for i in range(length):
+                if attack_kind and i == length - 1:
+                    raw.append((when, session,
+                                _attack_payload(attack_kind), attack_kind))
+                else:
+                    raw.append((when, session, make_request(size), "clean"))
+                when += _lognormal(rng, config.keepalive_gap,
+                                   config.keepalive_sigma)
+            session += 1
+            t += _lognormal(rng, gap_mean, config.arrival_sigma)
+        phase_start = phase_end
+    raw.sort(key=lambda entry: (entry[0], entry[1]))
+    return [
+        ServeRequest(index=i, session=sess, arrival=when,
+                     payload=payload, kind=kind)
+        for i, (when, sess, payload, kind) in enumerate(raw)
+    ]
+
+
+def offered_duration(config: LoadConfig) -> float:
+    """Total phase time of a workload config (cycles)."""
+    return sum(phase.duration for phase in config.phases)
+
+
+def describe(workload: Sequence[ServeRequest]) -> dict:
+    """Summary stats of one generated workload (for reports)."""
+    if not workload:
+        return {"requests": 0, "sessions": 0, "attacks": 0,
+                "duration": 0.0, "offered_load": 0.0}
+    duration = workload[-1].arrival - workload[0].arrival
+    attacks = sum(1 for r in workload if r.kind != "clean")
+    return {
+        "requests": len(workload),
+        "sessions": len({r.session for r in workload}),
+        "attacks": attacks,
+        "duration": duration,
+        "offered_load": (len(workload) / (duration / 1e6)
+                         if duration else 0.0),
+    }

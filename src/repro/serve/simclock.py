@@ -1,0 +1,649 @@
+"""Event-driven serving: a simulated clock over real worker budgets.
+
+The serving loop interleaves two event streams on one simulated clock:
+open-loop *arrivals* from :mod:`repro.serve.loadgen`, and *completions*
+from workers whose per-request cycle budgets are **measured, not
+modelled**: every distinct payload is executed once, for real, on a
+recover-mode worker Machine via :func:`repro.fleet.driver.run_worker`,
+and the cycles it consumed (plus its security outcome — served,
+quarantined, fatal) become the budget every simulated dispatch of that
+payload replays.  The simulation is therefore wall-clock-free and
+bit-reproducible, while its service times and its detection results
+are the DIFT machine's own.
+
+Requests queue at the frontend when every routable worker is busy —
+each request records its enqueue / dispatch / complete stamps, and the
+run emits p50/p95/p99 latency, a queue-depth time series, and the
+autoscaler's worker-count trace.
+
+For *real* (non-simulated) measurements there is a parallel
+multiprocessing wall-clock mode in :mod:`repro.serve.wallclock`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fleet.driver import FleetConfig, run_worker
+from repro.fleet.frontend import FleetFrontend
+from repro.serve.autoscaler import Autoscaler, AutoscalerConfig
+from repro.serve.loadgen import ServeRequest
+
+__all__ = [
+    "RequestRecord",
+    "ServeResult",
+    "ServeSim",
+    "ServiceCost",
+    "ServiceModel",
+    "SimClock",
+    "percentile",
+]
+
+
+class SimClock:
+    """A deterministic event queue over simulated cycles."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, str, object]] = []
+        self._seq = 0
+
+    def schedule(self, when: float, kind: str, data: object = None) -> None:
+        """Enqueue an event; ties break by insertion order."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule into the past "
+                             f"({when} < {self.now})")
+        heapq.heappush(self._heap, (when, self._seq, kind, data))
+        self._seq += 1
+
+    def pop(self) -> Tuple[str, object]:
+        """Advance to and return the next event."""
+        when, _seq, kind, data = heapq.heappop(self._heap)
+        self.now = when
+        return kind, data
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile (0 for an empty sequence)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+# -- measured service model ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServiceCost:
+    """What one real execution of a payload cost and decided."""
+
+    cycles: float  # marginal cycles beyond worker boot
+    outcome: str  # 'served' | 'quarantined' | 'fatal' | 'noop'
+    policy_ids: Tuple[str, ...] = ()
+    alerts: int = 0
+    response_sha: str = ""
+    error: str = ""
+
+    @property
+    def fatal(self) -> bool:
+        """True when the worker did not survive the request."""
+        return self.outcome == "fatal"
+
+
+class ServiceModel:
+    """Per-payload cycle budgets measured on a real worker Machine.
+
+    One instance is shared across every sweep point of a bench run, so
+    each distinct payload is executed exactly once no matter how many
+    thousands of simulated requests replay it.  ``boot_cycles`` — a
+    worker Machine brought up with an empty queue — doubles as the
+    autoscaler's spawn delay for new workers.
+
+    A quarantined request's budget is approximated by the instructions
+    it retired before the supervisor rolled it back (rollback restores
+    the cycle counters, so the post-run counter alone would price an
+    absorbed attack at zero).
+    """
+
+    def __init__(self, config: Optional[FleetConfig] = None) -> None:
+        self.config = config or FleetConfig()
+        self._cache: Dict[Tuple[bytes, Optional[bytes]], ServiceCost] = {}
+        self._boot: Optional[Dict] = None
+
+    def _boot_summary(self) -> Dict:
+        if self._boot is None:
+            summary, _machine = run_worker(self.config, "svc-boot", [])
+            self._boot = summary
+        return self._boot
+
+    @property
+    def boot_cycles(self) -> float:
+        """Cycles to bring a worker up before it can serve (spawn cost)."""
+        return float(self._boot_summary()["cycles"])
+
+    @property
+    def measured(self) -> int:
+        """Distinct payloads executed so far."""
+        return len(self._cache)
+
+    def cost(self, payload: bytes,
+             tags: Optional[bytes] = None) -> ServiceCost:
+        """The measured budget for one payload (cached)."""
+        key = (bytes(payload), tags)
+        entry = self._cache.get(key)
+        if entry is None:
+            entry = self._measure(key[0], tags)
+            self._cache[key] = entry
+        return entry
+
+    def _measure(self, payload: bytes, tags: Optional[bytes]) -> ServiceCost:
+        boot = self._boot_summary()
+        summary, _machine = run_worker(self.config, "svc-probe",
+                                       [(payload, tags)])
+        cycles = max(1.0, float(summary["cycles"]) - float(boot["cycles"]))
+        policy_ids = tuple(a["policy_id"] for a in summary["alerts"])
+        response_sha = ""
+        if summary["responses"]:
+            response_sha = hashlib.sha256(
+                summary["responses"][0]).hexdigest()
+        if summary["error"] is not None:
+            return ServiceCost(
+                cycles=cycles, outcome="fatal", policy_ids=policy_ids,
+                alerts=len(summary["alerts"]),
+                error=summary["error"]["message"])
+        if summary["quarantined"]:
+            burned = 0.0
+            if summary["incidents"]:
+                burned = (summary["incidents"][0]["instruction_count"]
+                          - boot["instructions"])
+            return ServiceCost(
+                cycles=max(cycles, float(burned), 1.0),
+                outcome="quarantined", policy_ids=policy_ids,
+                alerts=len(summary["alerts"]))
+        outcome = "served" if summary["served"] else "noop"
+        return ServiceCost(
+            cycles=cycles, outcome=outcome, policy_ids=policy_ids,
+            alerts=len(summary["alerts"]), response_sha=response_sha)
+
+    def mean_cycles(self, payloads: Sequence[bytes]) -> float:
+        """Mean measured budget over a payload set (capacity planning)."""
+        if not payloads:
+            return 0.0
+        return sum(self.cost(p).cycles for p in payloads) / len(payloads)
+
+
+# -- per-request bookkeeping --------------------------------------------
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle stamps of one simulated request."""
+
+    index: int
+    session: int
+    kind: str
+    enqueue: float
+    worker: str = ""
+    dispatch: float = -1.0
+    complete: float = -1.0
+    service: float = 0.0
+    outcome: str = "pending"
+    policy_ids: Tuple[str, ...] = ()
+    alerts: int = 0
+    response_sha: str = ""
+    rerouted: bool = False
+
+    @property
+    def latency(self) -> float:
+        """Arrival-to-completion time (queueing included)."""
+        return self.complete - self.enqueue
+
+    @property
+    def queue_wait(self) -> float:
+        """Time spent waiting for a worker."""
+        return self.dispatch - self.enqueue
+
+    def to_dict(self) -> Dict:
+        return {
+            "index": self.index, "session": self.session,
+            "kind": self.kind, "worker": self.worker,
+            "enqueue": self.enqueue, "dispatch": self.dispatch,
+            "complete": self.complete, "service": self.service,
+            "outcome": self.outcome, "policy_ids": list(self.policy_ids),
+            "alerts": self.alerts, "response_sha": self.response_sha,
+            "rerouted": self.rerouted,
+        }
+
+
+@dataclass
+class _SimWorker:
+    """Serving-loop state for one (simulated) worker."""
+
+    worker_id: str
+    spawned_at: float = 0.0
+    available_at: float = 0.0  # boot finishes here
+    busy: bool = False
+    served: int = 0
+    busy_cycles: float = 0.0
+    retired_at: Optional[float] = None
+    ejected: bool = False
+
+
+@dataclass
+class ServeResult:
+    """Everything one serving run produced."""
+
+    records: List[RequestRecord]
+    depth_series: List[Dict] = field(default_factory=list)
+    scale_events: List[Dict] = field(default_factory=list)
+    workers: Dict[str, _SimWorker] = field(default_factory=dict)
+    dropped: int = 0
+    rerouted: int = 0
+    frontend: Optional[FleetFrontend] = None
+
+    # -- outcome tallies -------------------------------------------------
+
+    @property
+    def served(self) -> int:
+        return sum(1 for r in self.records if r.outcome == "served")
+
+    @property
+    def quarantined(self) -> int:
+        return sum(1 for r in self.records if r.outcome == "quarantined")
+
+    @property
+    def false_alerts(self) -> int:
+        """Alerts raised while handling clean traffic."""
+        return sum(r.alerts for r in self.records if r.kind == "clean")
+
+    def attack_detection(self) -> Dict:
+        """Detection tally over non-clean requests."""
+        attacks = [r for r in self.records if r.kind != "clean"]
+        caught = [r for r in attacks
+                  if r.outcome in ("quarantined", "fatal")]
+        return {
+            "attacks": len(attacks),
+            "detected": len(caught),
+            "detection_rate": (len(caught) / len(attacks)
+                               if attacks else 1.0),
+        }
+
+    # -- latency / throughput --------------------------------------------
+
+    def latencies(self, kinds: Optional[Sequence[str]] = None) -> List[float]:
+        """Completed-request latencies (optionally filtered by kind)."""
+        return [r.latency for r in self.records
+                if r.complete >= 0.0
+                and (kinds is None or r.kind in kinds)]
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        lat = self.latencies()
+        return {"p50": percentile(lat, 50.0),
+                "p95": percentile(lat, 95.0),
+                "p99": percentile(lat, 99.0),
+                "mean": sum(lat) / len(lat) if lat else 0.0,
+                "max": max(lat) if lat else 0.0}
+
+    @property
+    def makespan(self) -> float:
+        """First arrival to last completion, in cycles."""
+        if not self.records:
+            return 0.0
+        start = min(r.enqueue for r in self.records)
+        end = max((r.complete for r in self.records if r.complete >= 0.0),
+                  default=start)
+        return end - start
+
+    @property
+    def throughput(self) -> float:
+        """Served requests per 1e6 cycles of makespan."""
+        span = self.makespan
+        return self.served / (span / 1e6) if span else 0.0
+
+    @property
+    def peak_workers(self) -> int:
+        """Most routable workers observed at any depth sample."""
+        if not self.depth_series:
+            return len([w for w in self.workers.values()
+                        if w.retired_at is None and not w.ejected])
+        return max(s["routable_workers"] for s in self.depth_series)
+
+    @property
+    def max_queue_depth(self) -> int:
+        if not self.depth_series:
+            return 0
+        return max(s["queued"] for s in self.depth_series)
+
+    def worker_trace(self) -> List[Tuple[float, int]]:
+        """(time, routable workers) samples — the autoscaler's story."""
+        return [(s["time"], s["routable_workers"])
+                for s in self.depth_series]
+
+    def utilization(self) -> Dict[str, float]:
+        """Per-worker busy fraction over its in-rotation lifetime."""
+        out: Dict[str, float] = {}
+        span = self.makespan or 1.0
+        for wid, worker in self.workers.items():
+            end = worker.retired_at if worker.retired_at is not None \
+                else (min(r.enqueue for r in self.records) + span
+                      if self.records else worker.spawned_at)
+            alive = max(end - worker.spawned_at, 1.0)
+            out[wid] = min(worker.busy_cycles / alive, 1.0)
+        return out
+
+    # -- reproducibility -------------------------------------------------
+
+    def digest(self) -> str:
+        """Deterministic fingerprint of the run's observable outcome."""
+        canonical = {
+            "records": [r.to_dict() for r in self.records],
+            "scale_events": self.scale_events,
+            "dropped": self.dropped,
+            "rerouted": self.rerouted,
+        }
+        blob = json.dumps(canonical, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def metrics(self):
+        """``serve.*`` instruments plus the frontend's routing counters."""
+        from repro.fleet.observe import frontend_metrics
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        pcts = self.latency_percentiles()
+        reg.counter("serve.requests", "open-loop arrivals").value = \
+            len(self.records)
+        reg.counter("serve.served", "requests answered").value = self.served
+        reg.counter("serve.quarantined",
+                    "attacks absorbed by rollback").value = self.quarantined
+        reg.counter("serve.dropped",
+                    "arrivals refused by backpressure").value = self.dropped
+        reg.counter("serve.rerouted",
+                    "requests re-routed after ejection").value = self.rerouted
+        reg.counter("serve.false_alerts",
+                    "alerts on clean traffic").value = self.false_alerts
+        for name, value in pcts.items():
+            reg.gauge(f"serve.latency.{name}",
+                      "arrival-to-completion latency (cycles)").set(
+                round(value, 3))
+        hist = reg.histogram("serve.latency", "per-request latency")
+        for lat in self.latencies():
+            hist.observe(lat)
+        reg.gauge("serve.throughput",
+                  "served requests per 1e6 cycles").set(
+            round(self.throughput, 6))
+        reg.gauge("serve.queue_depth.max",
+                  "deepest sampled frontend queue").set(self.max_queue_depth)
+        reg.gauge("serve.workers.peak",
+                  "most routable workers at once").set(self.peak_workers)
+        reg.counter("serve.scale_ups", "autoscaler spawns").value = sum(
+            1 for e in self.scale_events if e["action"] == "scale_up")
+        reg.counter("serve.drains", "autoscaler drains").value = sum(
+            1 for e in self.scale_events if e["action"] == "drain")
+        reg.counter("serve.retires", "drained workers removed").value = sum(
+            1 for e in self.scale_events if e["action"] == "retire")
+        if self.frontend is not None:
+            frontend_metrics(self.frontend, reg)
+        return reg
+
+    def to_report(self) -> Dict:
+        """JSON-ready summary (records elided to tallies)."""
+        detection = self.attack_detection()
+        return {
+            "requests": len(self.records),
+            "served": self.served,
+            "quarantined": self.quarantined,
+            "dropped": self.dropped,
+            "rerouted": self.rerouted,
+            "false_alerts": self.false_alerts,
+            "detection": detection,
+            "latency": {k: round(v, 1)
+                        for k, v in self.latency_percentiles().items()},
+            "throughput": round(self.throughput, 3),
+            "makespan": round(self.makespan, 1),
+            "max_queue_depth": self.max_queue_depth,
+            "peak_workers": self.peak_workers,
+            "scale_events": self.scale_events,
+            "digest": self.digest(),
+        }
+
+
+# -- the serving loop ----------------------------------------------------
+
+
+class ServeSim:
+    """Open-loop serving of a workload over measured worker budgets.
+
+    Arrivals route through a :class:`FleetFrontend` (hash policy keyed
+    by session affinity by default); busy workers queue requests at
+    their slot; completions free the worker for the next queued
+    request.  With an :class:`AutoscalerConfig` the worker set grows
+    and shrinks at tick cadence: spawned workers pay the measured boot
+    budget before their first dispatch, drained workers serve out their
+    queue and retire.  A worker whose request comes back *fatal*
+    (raise-mode alert or unrecoverable fault in the measurement) is
+    ejected and its queue re-routes to the survivors.
+    """
+
+    def __init__(self, *, workers: int = 2, seed: int = 0,
+                 routing: str = "hash",
+                 queue_capacity: Optional[int] = None,
+                 config: Optional[FleetConfig] = None,
+                 service_model: Optional[ServiceModel] = None,
+                 autoscaler: Optional[AutoscalerConfig] = None,
+                 tracing: bool = False) -> None:
+        if workers <= 0:
+            raise ValueError("serving needs at least one worker")
+        self.initial_workers = workers
+        self.seed = seed
+        self.routing = routing
+        self.queue_capacity = queue_capacity
+        self.service = service_model or ServiceModel(config)
+        self.autoscaler_config = autoscaler
+        self.tracer = None
+        if tracing:
+            from repro.obs.tracer import Tracer
+
+            self.tracer = Tracer()
+
+    # -- event handlers --------------------------------------------------
+
+    def run(self, workload: Sequence[ServeRequest]) -> ServeResult:
+        """Serve one workload to completion; returns the full result."""
+        clock = SimClock()
+        frontend = FleetFrontend(
+            [f"w{i}" for i in range(self.initial_workers)],
+            policy=self.routing, seed=self.seed,
+            queue_capacity=self.queue_capacity)
+        workers: Dict[str, _SimWorker] = {
+            wid: _SimWorker(wid) for wid in frontend.order
+        }
+        autoscaler = (Autoscaler(self.autoscaler_config)
+                      if self.autoscaler_config is not None else None)
+        result = ServeResult(records=[], workers=workers, frontend=frontend)
+        records: Dict[int, RequestRecord] = {}
+        open_requests = 0
+        next_worker = self.initial_workers
+
+        for request in workload:
+            clock.schedule(request.arrival, "arrival", request)
+        if autoscaler is not None and workload:
+            clock.schedule(self.autoscaler_config.interval, "tick")
+
+        def dispatch(wid: str) -> None:
+            worker = workers[wid]
+            slot = frontend.slots[wid]
+            if worker.busy or not slot.queue or worker.ejected:
+                return
+            if clock.now < worker.available_at:
+                return  # still booting; 'ready' event will retry
+            request = slot.queue.pop(0)
+            record = records[request.index]
+            cost = self.service.cost(request.payload, request.tags)
+            record.worker = wid
+            record.dispatch = clock.now
+            record.service = cost.cycles
+            worker.busy = True
+            clock.schedule(clock.now + cost.cycles, "complete",
+                           (wid, request, cost))
+
+        def finish_draining(wid: str) -> None:
+            slot = frontend.slots[wid]
+            worker = workers[wid]
+            if slot.draining and not slot.queue and not worker.busy:
+                frontend.retire(wid)
+                worker.retired_at = clock.now
+                scale_event("retire", wid,
+                            autoscaler.smoothed if autoscaler else 0.0)
+
+        def scale_event(action: str, wid: str, depth: float) -> None:
+            event = {
+                "action": action, "worker": wid,
+                "depth": round(depth, 4),
+                "workers": frontend.routable_count,
+                "time": clock.now,
+            }
+            result.scale_events.append(event)
+            if self.tracer is not None:
+                from repro.obs.events import ScaleEvent
+
+                self.tracer.emit(ScaleEvent(
+                    action=action, worker=wid, depth=event["depth"],
+                    workers=event["workers"], time=clock.now))
+
+        def complete_record(record: RequestRecord, cost: ServiceCost) -> None:
+            record.complete = clock.now
+            record.outcome = cost.outcome
+            record.policy_ids = cost.policy_ids
+            record.alerts = cost.alerts
+            record.response_sha = cost.response_sha
+            if self.tracer is not None:
+                from repro.obs.events import ServeRequestEvent
+
+                self.tracer.emit(ServeRequestEvent(
+                    index=record.index, request_kind=record.kind,
+                    worker=record.worker, outcome=record.outcome,
+                    enqueue=record.enqueue, dispatch=record.dispatch,
+                    complete=record.complete))
+
+        def on_arrival(request: ServeRequest) -> None:
+            nonlocal open_requests
+            record = RequestRecord(
+                index=request.index, session=request.session,
+                kind=request.kind, enqueue=clock.now)
+            records[request.index] = record
+            result.records.append(record)
+            wid = frontend.submit(request, key=request.affinity)
+            if wid is None:
+                record.outcome = "dropped"
+                result.dropped += 1
+                return
+            open_requests += 1
+            dispatch(wid)
+
+        def on_complete(wid: str, request: ServeRequest,
+                        cost: ServiceCost) -> None:
+            nonlocal open_requests
+            worker = workers[wid]
+            worker.busy = False
+            worker.busy_cycles += cost.cycles
+            open_requests -= 1
+            record = records[request.index]
+            complete_record(record, cost)
+            if cost.fatal:
+                eject(wid)
+                return
+            worker.served += 1
+            dispatch(wid)
+            finish_draining(wid)
+
+        def eject(wid: str) -> None:
+            nonlocal open_requests
+            worker = workers[wid]
+            worker.ejected = True
+            orphans = frontend.eject(wid, "fatal request")
+            scale_event("eject", wid,
+                        autoscaler.smoothed if autoscaler else 0.0)
+            for orphan in orphans:
+                open_requests -= 1
+                record = records[orphan.index]
+                target = frontend.submit(orphan, key=orphan.affinity)
+                if target is None:
+                    record.outcome = "dropped"
+                    result.dropped += 1
+                    continue
+                record.rerouted = True
+                result.rerouted += 1
+                open_requests += 1
+                dispatch(target)
+
+        def on_tick() -> None:
+            assert autoscaler is not None
+            queued = frontend.total_queued
+            routable = frontend.routable_count
+            action = autoscaler.observe(clock.now, queued, routable)
+            result.depth_series.append({
+                "time": clock.now,
+                "queued": queued,
+                "in_flight": sum(1 for w in workers.values() if w.busy),
+                "routable_workers": routable,
+                "smoothed": round(autoscaler.smoothed, 4),
+            })
+            if action == "scale_up":
+                nonlocal next_worker
+                wid = f"w{next_worker}"
+                next_worker += 1
+                frontend.add_worker(wid)
+                worker = _SimWorker(
+                    wid, spawned_at=clock.now,
+                    available_at=clock.now + self.service.boot_cycles)
+                workers[wid] = worker
+                scale_event("scale_up", wid, autoscaler.smoothed)
+                clock.schedule(worker.available_at, "ready", wid)
+            elif action == "drain":
+                victim = self._drain_victim(frontend, workers)
+                if victim is not None:
+                    frontend.drain(victim)
+                    scale_event("drain", victim, autoscaler.smoothed)
+                    finish_draining(victim)
+            if open_requests > 0 or clock:
+                clock.schedule(clock.now + self.autoscaler_config.interval,
+                               "tick")
+
+        while clock:
+            kind, data = clock.pop()
+            if kind == "arrival":
+                on_arrival(data)
+            elif kind == "complete":
+                wid, request, cost = data
+                on_complete(wid, request, cost)
+            elif kind == "ready":
+                dispatch(data)
+                finish_draining(data)
+            elif kind == "tick":
+                # Drop trailing ticks once all work has finished.
+                if open_requests > 0 or clock:
+                    on_tick()
+        return result
+
+    @staticmethod
+    def _drain_victim(frontend: FleetFrontend,
+                      workers: Dict[str, _SimWorker]) -> Optional[str]:
+        """Newest routable worker — scale-down unwinds LIFO."""
+        for wid in reversed(frontend.order):
+            if frontend.slots[wid].routable and not workers[wid].ejected:
+                return wid
+        return None

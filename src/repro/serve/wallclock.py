@@ -1,0 +1,175 @@
+"""Wall-clock serving: the open-loop workload on real OS processes.
+
+The simulated loop in :mod:`repro.serve.simclock` is the deterministic,
+gateable measurement; this module is its reality check.  Each worker is
+an OS process running real recover-mode Machines; the parent *paces*
+the workload's arrival schedule in wall time (``time_scale`` simulated
+cycles per wall second), routes each arrival through the same seeded
+frontend (session-affinity hash, identical placement to the sim), and
+stamps completions with ``time.perf_counter``.  Latency is measured
+against the *scheduled* arrival instant, as an open-loop harness must —
+if the parent or a worker falls behind, the delay shows up in the tail
+instead of quietly stretching the arrival process.
+
+Results are real and therefore not bit-reproducible; servebench
+reports them without gating.  The worker set is fixed (the autoscaler
+is a property of the simulated loop, where spawning is free).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.fleet.driver import FleetConfig, run_worker
+from repro.fleet.frontend import FleetFrontend
+from repro.serve.loadgen import ServeRequest
+from repro.serve.simclock import percentile
+
+__all__ = ["run_wallclock"]
+
+#: Seconds a straggler worker gets before the run aborts as partial.
+RESULT_TIMEOUT = 120.0
+
+
+def _wall_worker(config, worker_id, inbox, outbox):
+    """Worker-process loop: serve one request per message until None."""
+    while True:
+        item = inbox.get()
+        if item is None:
+            return
+        index, payload, tags = item
+        started = time.perf_counter()
+        summary, _machine = run_worker(config, worker_id, [(payload, tags)])
+        finished = time.perf_counter()
+        outbox.put({
+            "index": index,
+            "worker": worker_id,
+            "started": started,
+            "finished": finished,
+            "served": summary["served"] or 0,
+            "quarantined": summary["quarantined"],
+            "alerts": len(summary["alerts"]),
+            "fatal": summary["error"] is not None,
+        })
+
+
+def run_wallclock(workload: Sequence[ServeRequest], *,
+                  config: Optional[FleetConfig] = None,
+                  workers: int = 2, seed: int = 0,
+                  routing: str = "hash",
+                  time_scale: float = 1e6) -> Dict:
+    """Serve one workload on real processes; returns a report dict.
+
+    ``time_scale`` converts the workload's cycle stamps to wall time
+    (cycles per second): arrivals are replayed at
+    ``arrival / time_scale`` seconds after the run starts.  The parent
+    warms the shared compile caches before forking so worker processes
+    inherit them and the first request isn't a compile benchmark.
+    """
+    import multiprocessing as mp
+
+    if workers <= 0:
+        raise ValueError("serving needs at least one worker")
+    config = config or FleetConfig()
+    try:
+        ctx = mp.get_context("fork")
+    except ValueError:  # platforms without fork
+        ctx = mp.get_context("spawn")
+
+    # Warm the process-wide compile caches pre-fork (fork children
+    # inherit them; spawn children pay the compile once each).
+    from repro.fleet.driver import build_worker
+
+    build_worker(config, "wall-warm")
+
+    frontend = FleetFrontend([f"w{i}" for i in range(workers)],
+                             policy=routing, seed=seed)
+    inboxes = {wid: ctx.Queue() for wid in frontend.order}
+    outbox = ctx.Queue()
+    procs = [
+        ctx.Process(target=_wall_worker,
+                    args=(config, wid, inboxes[wid], outbox), daemon=True)
+        for wid in frontend.order
+    ]
+    for proc in procs:
+        proc.start()
+
+    sent: Dict[int, Dict] = {}
+    dropped = 0
+    epoch = time.perf_counter()
+    try:
+        for request in sorted(workload, key=lambda r: (r.arrival, r.index)):
+            target_wall = epoch + request.arrival / time_scale
+            delay = target_wall - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            wid = frontend.submit(request.payload, key=request.affinity)
+            if wid is None:
+                dropped += 1
+                continue
+            frontend.slots[wid].queue.clear()  # bookkeeping only
+            sent[request.index] = {
+                "kind": request.kind,
+                "worker": wid,
+                "arrival_wall": target_wall,
+            }
+            inboxes[wid].put((request.index, request.payload, request.tags))
+        for wid in frontend.order:
+            inboxes[wid].put(None)
+
+        completions: List[Dict] = []
+        deadline = time.perf_counter() + RESULT_TIMEOUT
+        while len(completions) < len(sent):
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            try:
+                completions.append(outbox.get(timeout=remaining))
+            except Exception:
+                break
+    finally:
+        for proc in procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.terminate()
+
+    latencies: List[float] = []
+    served = quarantined = alerts_on_clean = detected = attacks = 0
+    for done in completions:
+        meta = sent[done["index"]]
+        latencies.append(done["finished"] - meta["arrival_wall"])
+        served += done["served"]
+        quarantined += done["quarantined"]
+        if meta["kind"] == "clean":
+            alerts_on_clean += done["alerts"]
+        else:
+            attacks += 1
+            if done["quarantined"] or done["fatal"]:
+                detected += 1
+    wall_seconds = time.perf_counter() - epoch
+    lat_ms = sorted(v * 1e3 for v in latencies)
+    return {
+        "mode": "wallclock",
+        "workers": workers,
+        "requests": len(workload),
+        "completed": len(completions),
+        "dropped": dropped,
+        "served": served,
+        "quarantined": quarantined,
+        "attacks": attacks,
+        "detected": detected,
+        "false_alerts": alerts_on_clean,
+        "time_scale": time_scale,
+        "wall_seconds": round(wall_seconds, 3),
+        "throughput_rps": (round(len(completions) / wall_seconds, 3)
+                           if wall_seconds else 0.0),
+        "latency_ms": {
+            "p50": round(percentile(lat_ms, 50.0), 3),
+            "p95": round(percentile(lat_ms, 95.0), 3),
+            "p99": round(percentile(lat_ms, 99.0), 3),
+            "mean": (round(sum(lat_ms) / len(lat_ms), 3)
+                     if lat_ms else 0.0),
+            "max": round(lat_ms[-1], 3) if lat_ms else 0.0,
+        },
+    }

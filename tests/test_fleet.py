@@ -94,6 +94,116 @@ class TestFrontendRouting:
             FleetFrontend(["a", "a"])
 
 
+class TestFrontendLifecycle:
+    def test_depths_snapshots_every_slot(self):
+        fe = FleetFrontend(["a", "b"])
+        fe.submit(b"r1")
+        fe.eject("b", "sick")
+        depths = fe.depths()
+        assert depths["a"] == {"queued": 1, "queued_bytes": 2,
+                               "healthy": True, "draining": False,
+                               "routable": True}
+        assert depths["b"]["healthy"] is False
+        assert depths["b"]["routable"] is False
+        assert fe.total_queued == 1
+        assert fe.routable_count == 1
+
+    def test_affinity_key_overrides_payload_hash(self):
+        fe = FleetFrontend(["a", "b", "c", "d"], policy="hash", seed=2)
+        targets = {fe.submit(bytes([i]), key=b"session-9")
+                   for i in range(8)}
+        assert len(targets) == 1  # distinct payloads, one key, one home
+
+    def test_add_worker_only_steals_keys_it_now_owns(self):
+        keys = [f"session-{i}".encode() for i in range(60)]
+        fe = FleetFrontend(["a", "b"], policy="hash", seed=4)
+        before = {k: fe.submit(b"r", key=k) for k in keys}
+        fe2 = FleetFrontend(["a", "b"], policy="hash", seed=4)
+        fe2.add_worker("c")
+        moved = 0
+        for k in keys:
+            after = fe2.submit(b"r", key=k)
+            if after != before[k]:
+                assert after == "c"  # consistent hashing: moves only to c
+                moved += 1
+        assert 0 < moved < len(keys)
+
+    def test_drain_makes_worker_unroutable_then_retire(self):
+        fe = FleetFrontend(["a", "b"], policy="hash", seed=1)
+        fe.slots["a"].queue.append(b"old")
+        fe.drain("a")
+        assert not fe.slots["a"].routable
+        assert fe.slots["a"].healthy  # draining is not unhealthy
+        for i in range(10):
+            assert fe.submit(f"r{i}".encode()) == "b"
+        with pytest.raises(ValueError):
+            fe.retire("a")  # queue not yet empty
+        fe.slots["a"].queue.clear()
+        fe.retire("a")
+        assert fe.slots["a"].ejected_reason == "retired"
+        assert fe.routable_count == 1
+
+    def test_frontend_metrics_expose_drops_and_depths(self):
+        from repro.fleet import frontend_metrics
+
+        fe = FleetFrontend(["a", "b"], queue_capacity=1)
+        fe.submit(b"r1")
+        fe.submit(b"r2")
+        fe.submit(b"r3")  # both full -> dropped
+        flat = frontend_metrics(fe).to_dict()
+        assert flat["frontend.dropped"] == 1
+        assert flat["frontend.queued"] == 2
+        assert flat["frontend.depth.a"] == 1
+        assert flat["frontend.workers_routable"] == 2
+
+
+class TestMidstreamEjection:
+    """Health ejection after partial routing: orphans must re-route and
+    the rerun must land on bit-identical results."""
+
+    def test_eject_after_partial_routing_remaps_only_orphans(self):
+        keys = [f"session-{i}".encode() for i in range(30)]
+        fe = FleetFrontend(["a", "b", "c"], policy="hash", seed=6)
+        first_half = {k: fe.submit(b"r", key=k) for k in keys[:15]}
+        victim = first_half[keys[0]]
+        orphans = fe.eject(victim, "watchdog")
+        assert len(orphans) == sum(
+            1 for t in first_half.values() if t == victim)
+        for k in keys:  # late arrivals and orphans avoid the victim
+            assert fe.submit(b"r", key=k) != victim
+
+    def test_raise_fleet_reroute_is_digest_identical(self):
+        config = FleetConfig(engine_mode="raise", recover_watchdog=None)
+        batch = [make_request(4) for _ in range(6)]
+        batch.insert(1, traversal_request())  # clean request queued behind
+        driver = FleetDriver(config, workers=3, seed=0)
+        first = driver.run(batch)
+        second = driver.run(batch)
+        assert first.ejected and first.rerouted >= 1
+        assert first.digest() == second.digest()
+
+    def test_rerouted_responses_match_healthy_fleet(self):
+        # The clean requests a dying worker orphaned must come back
+        # byte-identical to what an attack-free fleet serves.
+        clean = [make_request(4) for _ in range(6)]
+        attacked = list(clean)
+        attacked.insert(1, traversal_request())
+        raise_config = FleetConfig(engine_mode="raise",
+                                   recover_watchdog=None)
+        hurt = FleetDriver(raise_config, workers=3, seed=0).run(attacked)
+        calm = FleetDriver(FleetConfig(), workers=3, seed=0).run(clean)
+        def bodies(result):
+            # The dying worker logs an empty buffer for the attack
+            # itself; only full 200 responses are comparable.
+            out = []
+            for w in result.workers:
+                out.extend(bytes(r) for r in w["responses"]
+                           if bytes(r).startswith(b"HTTP/1.0 200"))
+            return sorted(out)
+        assert hurt.ejected and hurt.rerouted >= 1
+        assert bodies(hurt) == bodies(calm)
+
+
 class TestBoundedSimNetwork:
     def test_capacity_refuses_and_counts(self):
         net = SimNetwork(capacity=2)
