@@ -454,9 +454,50 @@ class CPU:
         if uops is None:
             uops = self._ensure_uops()
         n = len(uops)
-        executed = 0
         pc = self.pc
-        while executed < budget:
+        limit = start + budget
+        # Bulk of the slice: fused blocks, exactly as in the unsliced
+        # run loop, so supervised (recover-mode) execution pays no
+        # per-instruction dispatch tax.  Every path increments the
+        # instruction counter 1:1, so stopping 64 short of the budget
+        # (a fused block runs at most MAX_BLOCK < 64 instructions) and
+        # finishing per-uop enforces the exact slice length.
+        safe = limit - 64
+        if counters.instructions < safe:
+            fused = self._fused
+            if fused is None:
+                fused = self._ensure_fused()
+            while counters.instructions < safe:
+                if not 0 <= pc < n:
+                    self.pc = pc
+                    raise IllegalInstructionFault(f"pc out of range: {pc}")
+                blk = fused[pc]
+                if blk is not None:
+                    try:
+                        pc = blk(pc)
+                    except Fault as fault:
+                        self._fault_abort(self._fault_pc, fault)
+                    except BaseException:
+                        self.pc = pc
+                        raise
+                    if pc >= 0:
+                        continue
+                else:
+                    try:
+                        pc = uops[pc](pc)
+                    except Fault as fault:
+                        self._fault_abort(pc, fault)
+                    except BaseException:
+                        self.pc = pc
+                        raise
+                if pc < 0:
+                    pc = ~pc
+                    if self.halted or self.yield_requested:
+                        self.pc = pc
+                        self.issue.flush()
+                        return counters.instructions - start
+        # Exact tail (and the whole slice for small budgets).
+        while counters.instructions < limit:
             if not 0 <= pc < n:
                 self.pc = pc
                 raise IllegalInstructionFault(f"pc out of range: {pc}")
@@ -467,7 +508,6 @@ class CPU:
             except BaseException:
                 self.pc = pc
                 raise
-            executed += 1
             if pc < 0:
                 pc = ~pc
                 if self.halted or self.yield_requested:

@@ -16,6 +16,7 @@ from repro.fleet.driver import (
     FleetConfig,
     FleetDriver,
     FleetResult,
+    migrate_worker,
     run_worker,
 )
 from repro.fleet.frontend import ROUTING_POLICIES, FleetFrontend, WorkerSlot
@@ -42,6 +43,7 @@ __all__ = [
     "incident_report",
     "merge_metric_dicts",
     "merge_worker_metrics",
+    "migrate_worker",
     "render_incidents",
     "run_two_tier",
     "run_worker",

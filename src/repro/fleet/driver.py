@@ -145,6 +145,42 @@ def run_worker(config: FleetConfig, worker_id: str,
     return summary, machine
 
 
+def migrate_worker(config: FleetConfig, source_machine, new_worker_id: str,
+                   *, at_request: Optional[int] = None):
+    """Move a worker's live session onto a freshly built machine.
+
+    Packs the source (base + COW deltas, taint bitmap, provenance, fd
+    and device queues — see :mod:`repro.resil.migrate`) and rehydrates
+    the blob on a new worker built from the same fleet configuration.
+    Returns ``(blob, target_machine)``; the caller runs the target to
+    continue serving the migrated pending queue.
+
+    ``at_request`` selects the chain checkpoint at which ``Connection``
+    with that arrival index was at the head of the pending queue —
+    "migrate the session just before request N" — instead of the
+    source's current state.
+    """
+    from repro.resil.migrate import pack_worker, rehydrate_worker
+
+    checkpoint = None
+    if at_request is not None:
+        sup = getattr(source_machine, "resil", None)
+        if sup is None:
+            raise ValueError(
+                "at_request needs a supervised (recover-mode) source")
+        for node in sup.chain:
+            if node.pending_head_index == at_request:
+                checkpoint = node
+                break
+        else:
+            raise ValueError(
+                f"no chain checkpoint has request {at_request} pending")
+    blob = pack_worker(source_machine, checkpoint)
+    target = build_worker(config, new_worker_id)
+    rehydrate_worker(blob, target)
+    return blob, target
+
+
 def _incident_dicts(machine, worker_id: str) -> List[Dict]:
     sup = getattr(machine, "resil", None)
     if sup is None:

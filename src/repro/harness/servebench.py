@@ -211,12 +211,21 @@ def attack_run(engine: str, seed: int, requests: int) -> Dict:
     sim = ServeSim(workers=BASE_WORKERS, seed=seed,
                    service_model=service, autoscaler=auto)
     result = sim.run(workload)
+    # Zero-downtime arm: the same workload with drained workers retiring
+    # via live migration (queued requests ship in the state blob) rather
+    # than serving out their queue first.
+    migrated = ServeSim(workers=BASE_WORKERS, seed=seed,
+                        service_model=service, autoscaler=auto,
+                        migrate_on_drain=True).run(workload)
     detection = result.attack_detection()
     clean = sum(1 for r in result.records if r.kind == "clean")
     scale_ups = sum(1 for e in result.scale_events
                     if e["action"] == "scale_up")
     retires = sum(1 for e in result.scale_events
                   if e["action"] == "retire")
+    migrations = sum(1 for e in migrated.scale_events
+                     if e["action"] == "migrate")
+    mig_detection = migrated.attack_detection()
     return {
         "workload": describe(workload),
         "mean_service_cycles": round(mean, 1),
@@ -237,6 +246,27 @@ def attack_run(engine: str, seed: int, requests: int) -> Dict:
                   and detection["detection_rate"] == 1.0
                   and result.false_alerts == 0
                   and result.dropped == 0),
+        "drain_migration": {
+            "migration_blob_bytes": service.migration_blob_bytes,
+            "migration_cycles": round(service.migration_cycles, 1),
+            "migrations": migrations,
+            "requests_migrated": migrated.migrated,
+            "served": migrated.served,
+            "quarantined": migrated.quarantined,
+            "dropped": migrated.dropped,
+            "detection": mig_detection,
+            "false_alerts": migrated.false_alerts,
+            "p99": round(migrated.latency_percentiles()["p99"], 1),
+            # Every admitted request completes exactly once and the
+            # outcome tallies match the serve-out-the-queue drain: no
+            # request was dropped or re-executed by migrating.
+            "zero_downtime": (
+                migrated.dropped == 0
+                and migrated.served == result.served
+                and migrated.quarantined == result.quarantined
+                and mig_detection["detection_rate"] == 1.0
+                and migrated.false_alerts == 0),
+        },
     }
 
 
@@ -300,6 +330,12 @@ def run_suite(quick: bool, seed: int, engine: str, *,
           f"{attack['false_alerts']} false alerts, "
           f"{attack['scale_ups']} scale-ups, {attack['retires']} retires",
           flush=True)
+    migration = attack["drain_migration"]
+    print(f"  drain-via-migration: {migration['migrations']} migrations "
+          f"({migration['migration_blob_bytes']} B blob, "
+          f"{migration['migration_cycles']:.0f} cycles each), "
+          f"{migration['requests_migrated']} requests moved, "
+          f"zero-downtime: {migration['zero_downtime']}", flush=True)
 
     wallclock = None
     if wall:
@@ -370,6 +406,14 @@ def gate(report: Dict) -> int:
             "attack mix did not exercise scale-up and drained retire")
     if not attack["exact"]:
         failures.append("attack mix was not exact")
+    migration = attack["drain_migration"]
+    if not migration["migrations"]:
+        failures.append("drain-via-migration arm never migrated a worker")
+    if not migration["zero_downtime"]:
+        failures.append(
+            "drain-via-migration dropped/re-executed requests "
+            f"(served {migration['served']} vs {attack['served']}, "
+            f"dropped {migration['dropped']})")
     for failure in failures:
         print(f"GATE FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

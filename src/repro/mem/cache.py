@@ -56,17 +56,25 @@ class Cache:
         self._sets: List[List[int]] = [[] for _ in range(config.num_sets)]
         self._set_mask = config.num_sets - 1
         self._line_shift = config.line_bytes.bit_length() - 1
+        #: Indices of sets holding at least one line.  Occupancy is
+        #: monotone under access() (LRU eviction replaces, never
+        #: empties), so this only grows — checkpoint capture iterates
+        #: it instead of scanning every (mostly empty) set.
+        self._occupied: set = set()
 
     def access(self, addr: int) -> bool:
         """Touch the line containing ``addr``; returns True on hit."""
         line = addr >> self._line_shift
-        ways = self._sets[line & self._set_mask]
+        index = line & self._set_mask
+        ways = self._sets[index]
         self.stats.accesses += 1
         try:
             ways.remove(line)
         except ValueError:
             self.stats.misses += 1
-            if len(ways) >= self.config.ways:
+            if not ways:
+                self._occupied.add(index)
+            elif len(ways) >= self.config.ways:
                 ways.pop(0)
             ways.append(line)
             return False

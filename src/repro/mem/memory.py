@@ -11,12 +11,26 @@ cache skips the dict lookup when consecutive accesses touch the same
 page (the overwhelmingly common case: stack frames and tag-bitmap
 bytes), and the value is packed/unpacked in place with ``struct``
 instead of round-tripping through an intermediate ``bytes`` object.
+
+Dirty-page tracking (repro.resil copy-on-write checkpoints): every
+mutation — scalar stores from either execution engine, range writes
+from the libc fast paths, ``TaintMap`` tag updates, wire-taint imports
+— funnels through :meth:`store` or :meth:`write_bytes`, which record
+the touched page number in a dirty set.  Loads allocate pages lazily
+but never dirty them (a lazily-allocated page is all zeros, i.e.
+content-identical to never having existed).  A checkpoint drains the
+set with :meth:`begin_epoch`, so a per-request delta captures exactly
+the pages written since the last checkpoint; the epoch token lets a
+restore prove the live dirty set is relative to *that* checkpoint and
+roll back in O(touched) instead of O(state).  The per-store cost is
+one integer compare (a one-entry "last dirtied page" cache absorbs
+consecutive stores to the same page).
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Set, Tuple
 
 from repro.mem.address import ADDRESS_MASK, IMPL_MASK, REGION_SHIFT, is_implemented
 
@@ -56,6 +70,14 @@ class SparseMemory:
         # reference can never go stale.
         self._cached_pno = -1
         self._cached_page: bytearray = b""  # type: ignore[assignment]
+        #: Pages written since the last :meth:`begin_epoch` (the COW
+        #: checkpoint working set).  ``_dirty_last`` is a one-entry
+        #: cache so a run of stores to one page costs one compare.
+        self._dirty: Set[int] = set()
+        self._dirty_last = -1
+        #: Token naming the checkpoint the dirty set is relative to.
+        self.dirty_epoch = 0
+        self._epoch_counter = 0
 
     def _page_for(self, addr: int) -> Tuple[bytearray, int]:
         pno = addr >> PAGE_BITS
@@ -104,6 +126,9 @@ class SparseMemory:
         off = addr & PAGE_MASK
         if off + size <= PAGE_SIZE and not addr & _UNIMPL_MASK:
             pno = addr >> PAGE_BITS
+            if pno != self._dirty_last:
+                self._dirty.add(pno)
+                self._dirty_last = pno
             if pno == self._cached_pno:
                 page = self._cached_page
             else:
@@ -140,6 +165,10 @@ class SparseMemory:
         addr &= ADDRESS_MASK
         pos = 0
         while pos < len(data):
+            pno = (addr + pos) >> PAGE_BITS
+            if pno != self._dirty_last:
+                self._dirty.add(pno)
+                self._dirty_last = pno
             page, off = self._page_for(addr + pos)
             chunk = min(len(data) - pos, PAGE_SIZE - off)
             page[off:off + chunk] = data[pos:pos + chunk]
@@ -172,3 +201,48 @@ class SparseMemory:
     def iter_pages(self) -> Iterator[Tuple[int, bytearray]]:
         """Iterate (page-number, bytearray) pairs."""
         return iter(self._pages.items())
+
+    # -- dirty-page epochs (repro.resil delta checkpoints) ------------
+
+    def dirty_pages(self) -> Set[int]:
+        """Page numbers written since the last :meth:`begin_epoch`.
+
+        The returned set is live — callers that need a stable snapshot
+        must copy it before the next store.
+        """
+        return self._dirty
+
+    def dirty_count(self) -> int:
+        """Number of distinct pages written this epoch."""
+        return len(self._dirty)
+
+    def begin_epoch(self) -> int:
+        """Drain the dirty set and open a new epoch.
+
+        Returns a fresh token naming the epoch.  A delta checkpoint
+        captures the drained set and remembers the token; at restore
+        time a matching ``dirty_epoch`` proves the live dirty set lists
+        exactly the pages that diverged from that checkpoint.
+        """
+        self._dirty.clear()
+        self._dirty_last = -1
+        self._epoch_counter += 1
+        self.dirty_epoch = self._epoch_counter
+        return self.dirty_epoch
+
+    def rebind_epoch(self, epoch: int) -> None:
+        """Reset the dirty set as of a restored checkpoint's epoch.
+
+        Called after an in-place restore: memory now matches the
+        checkpoint that owns ``epoch``, so the dirty set restarts empty
+        relative to it (repeat rollbacks to the same checkpoint stay
+        O(touched)).
+        """
+        self._dirty.clear()
+        self._dirty_last = -1
+        self.dirty_epoch = epoch
+        # Keep the counter monotonic past any adopted token so future
+        # epochs never collide with one carried in by a migrated
+        # checkpoint chain (tokens are compared only for equality).
+        if epoch > self._epoch_counter:
+            self._epoch_counter = epoch

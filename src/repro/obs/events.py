@@ -116,9 +116,12 @@ class CheckpointEvent(Event):
     KIND: ClassVar[str] = "checkpoint"
 
     reason: str  # 'request_boundary' | 'manual'
-    pages: int  # non-zero memory pages captured
+    pages: int  # memory pages captured by this snapshot
     pending_requests: int
     instruction_count: int = 0
+    snapshot: str = "full"  # 'full' | 'delta'
+    captured_bytes: int = 0  # page bytes captured by this snapshot
+    chain_length: int = 1  # snapshots in the delta chain ending here
 
 
 @dataclass

@@ -222,6 +222,30 @@ def collect_machine(machine, registry: Optional[MetricsRegistry] = None) -> Metr
     for alert in machine.alerts:
         reg.counter(f"alerts.by_policy.{alert.policy_id}").inc()
 
+    resil = getattr(machine, "resil", None)
+    if resil is not None:
+        reg.counter("resil.capture_count",
+                    "checkpoints captured (full + delta)").value = \
+            resil.checkpoints_taken
+        reg.counter("resil.full_captures", "full base snapshots").value = \
+            resil.full_captures
+        reg.counter("resil.delta_captures", "COW delta snapshots").value = \
+            resil.delta_captures
+        reg.counter("resil.checkpoint_pages",
+                    "memory pages captured across all checkpoints").value = \
+            resil.pages_captured
+        reg.counter("resil.checkpoint_bytes",
+                    "page bytes captured across all checkpoints").value = \
+            resil.bytes_captured
+        reg.counter("resil.recoveries", "rollback recoveries").value = \
+            resil.recoveries
+        reg.gauge("resil.chain_length",
+                  "snapshots in the live delta chain").set(len(resil.chain))
+        if resil.checkpoints_taken:
+            reg.gauge("resil.delta_ratio",
+                      "fraction of checkpoints captured as deltas").set(
+                round(resil.delta_captures / resil.checkpoints_taken, 6))
+
     threads = getattr(machine, "threads", None)
     if threads is not None:
         reg.counter("threads.context_switches").value = threads.context_switches

@@ -23,13 +23,17 @@ the paper assumes:
 
 from __future__ import annotations
 
-from repro.resil.checkpoint import MachineCheckpoint
+from repro.resil.checkpoint import DeltaCheckpoint, MachineCheckpoint
+from repro.resil.migrate import pack_worker, rehydrate_worker
 from repro.resil.recovery import QuarantineIncident, ResilienceSupervisor
 from repro.resil.transient import TransientErrorInjector
 
 __all__ = [
+    "DeltaCheckpoint",
     "MachineCheckpoint",
     "QuarantineIncident",
     "ResilienceSupervisor",
     "TransientErrorInjector",
+    "pack_worker",
+    "rehydrate_worker",
 ]

@@ -10,6 +10,16 @@ and cache state — so a rolled-back run is *bit-identical* to one that
 never executed the discarded segment, under both the reference and the
 predecoded engine.
 
+Copy-on-write deltas: a :class:`DeltaCheckpoint` chains off a parent
+checkpoint and captures only the memory pages written since the parent
+was taken (``SparseMemory`` tracks them — see the dirty-page epoch
+protocol in :mod:`repro.mem.memory`), plus the same small register/OS/
+provenance state.  Reading a page walks the chain child → parent →
+base; a missing page everywhere means all-zero.  Restore is O(touched)
+whenever the live dirty epoch matches the checkpoint being restored
+(the common rollback-to-latest case, full *or* delta), and falls back
+to a full chain walk otherwise — always correct, merely slower.
+
 Restore is strictly **in place**: the predecoded engine's generated
 closures capture the identity of the register lists, the counters, the
 ``pair_costs`` dict, the issue-model group list and the store-forward
@@ -54,26 +64,31 @@ def _capture_context(ctx):
                       br=list(ctx.br), unat=ctx.unat, pc=ctx.pc)
 
 
-class MachineCheckpoint:
-    """One restorable snapshot of a :class:`~repro.runtime.machine.Machine`.
+class _SnapshotBase:
+    """State capture/restore shared by full and delta checkpoints.
 
-    Build with :meth:`capture`; apply with :meth:`restore` on the *same*
-    machine instance.  Capture flushes the open issue group first, which
-    is a no-op at the points checkpoints are taken (native-call and
-    run-slice boundaries always flush before returning control).
+    Subclasses differ only in *which memory pages* they carry and how a
+    page is resolved at restore time; everything else — registers,
+    counters, caches, OS, devices, provenance, threads — is small and
+    captured wholesale by :meth:`_capture_state`.
     """
+
+    kind = "full"
 
     def __init__(self) -> None:
         self.instruction_count = 0
         self.pages: Dict[int, bytes] = {}
+        #: Parent in the delta chain (None for a base snapshot).
+        self.parent: Optional["_SnapshotBase"] = None
+        #: Dirty-page epoch token this snapshot opened (see
+        #: SparseMemory.begin_epoch).
+        self.epoch = 0
         self.pending_head_index = -1  # Connection.index, -1 when empty
 
     # -- capture -------------------------------------------------------
 
-    @classmethod
-    def capture(cls, machine) -> "MachineCheckpoint":
-        """Snapshot the machine's complete guest-visible state."""
-        self = cls()
+    def _capture_state(self, machine) -> None:
+        """Capture everything except memory pages."""
         cpu = machine.cpu
         cpu.issue.flush()
 
@@ -103,24 +118,19 @@ class MachineCheckpoint:
         # Cache hierarchy: LRU contents + hit/miss statistics per level.
         self._caches = []
         for cache in (cpu.caches.l1, cpu.caches.l2, cpu.caches.l3):
-            sets = {i: tuple(ways) for i, ways in enumerate(cache._sets)
-                    if ways}
+            # Only occupied sets hold lines (occupancy is monotone), so
+            # capture walks tens of entries, not thousands of empties.
+            sets = {i: tuple(cache._sets[i]) for i in cache._occupied}
             self._caches.append(
                 (sets, cache.stats.accesses, cache.stats.misses))
 
-        # Memory: every non-zero page (tag bitmap pages included).
-        self.pages = {
-            pno: bytes(page)
-            for pno, page in machine.memory._pages.items()
-            if page != _ZERO_PAGE
-        }
         self._heap_next = machine._heap_next
         self._heap_sizes = dict(machine._heap_sizes)
 
         # Taint live-byte counter and adaptive mode (repro.adaptive):
-        # the bitmap pages above already carry the tag *bits*; the
-        # counter and the controller's mode must stay consistent with
-        # them or a restored machine could enter fast mode non-quiescent.
+        # the bitmap pages already carry the tag *bits*; the counter and
+        # the controller's mode must stay consistent with them or a
+        # restored machine could enter fast mode non-quiescent.
         self._live_granules = machine.taint_map.live_granules
         adaptive = getattr(machine, "adaptive", None)
         self._adaptive = None if adaptive is None else adaptive.capture()
@@ -150,6 +160,13 @@ class MachineCheckpoint:
         ]
         if self._pending:
             self.pending_head_index = self._pending[0].index
+        # External-evidence watermarks: restore() on the same machine
+        # deliberately leaves these alone (they are append-only facts),
+        # but a migration rehydrate onto a fresh machine uses them to
+        # cut the carried-by-value copies back to this checkpoint's
+        # view — the target re-executes the later requests itself.
+        self._quarantined_len = len(net.quarantined)
+        self._net_dropped = net.dropped
 
         # Filesystem, console, side-effect logs, guest RNG.
         self._files = dict(machine.fs.files)
@@ -180,9 +197,55 @@ class MachineCheckpoint:
         ]
         self._next_mutex = threads._next_mutex
         self._context_switches = threads.context_switches
-        return self
 
     # -- restore -------------------------------------------------------
+
+    def _resolve_page(self, pno: int) -> Optional[bytes]:
+        """Effective content of page ``pno`` at this snapshot.
+
+        Walks the chain toward the base; None means all-zero (absent
+        everywhere).
+        """
+        node: Optional["_SnapshotBase"] = self
+        while node is not None:
+            saved = node.pages.get(pno)
+            if saved is not None:
+                return saved
+            node = node.parent
+        return None
+
+    def _restore_memory(self, machine) -> None:
+        """Roll guest memory back to this snapshot, strictly in place.
+
+        Fast path: when the live dirty epoch *is* this snapshot's epoch,
+        only the pages in the dirty set can differ — rewrite exactly
+        those, O(touched).  Slow path (restoring an older snapshot, or
+        rehydrating onto a fresh machine): rewrite the union of live and
+        chain-captured pages, materialising pages the target machine
+        never allocated.  Pages allocated after the checkpoint are
+        zero-filled in place (content-equivalent to never-allocated,
+        and it keeps the one-entry page cache valid).
+        """
+        mem = machine.memory
+        if mem.dirty_epoch == self.epoch:
+            pnos = set(mem.dirty_pages())
+        else:
+            pnos = set(mem._pages)
+            node: Optional["_SnapshotBase"] = self
+            while node is not None:
+                pnos |= node.pages.keys()
+                node = node.parent
+        pages = mem._pages
+        for pno in pnos:
+            saved = self._resolve_page(pno)
+            page = pages.get(pno)
+            if page is None:
+                if saved is None:
+                    continue
+                page = bytearray(PAGE_SIZE)
+                pages[pno] = page
+            page[:] = saved if saved is not None else _ZERO_PAGE
+        mem.rebind_epoch(self.epoch)
 
     def restore(self, machine) -> None:
         """Roll the machine back to this snapshot, strictly in place."""
@@ -220,32 +283,29 @@ class MachineCheckpoint:
         for key in [k for k in counters.pair_costs if k not in saved_keys]:
             del counters.pair_costs[key]
         for key, (slots, issue_cycles, stall_cycles) in self._pair_costs:
-            bucket = counters.pair_costs[key]
+            bucket = counters.pair_costs.get(key)
+            if bucket is None:
+                # Fresh-machine rehydrate (migration): the target has
+                # never executed, so its buckets are created here, in
+                # saved order — preserving the source's creation order.
+                bucket = counters.pair(*key)
             bucket.slots = slots
             bucket.issue_cycles = issue_cycles
             bucket.stall_cycles = stall_cycles
 
         for cache, (sets, accesses, misses) in zip(
                 (cpu.caches.l1, cpu.caches.l2, cpu.caches.l3), self._caches):
-            for i, ways in enumerate(cache._sets):
-                saved = sets.get(i)
-                if saved is not None:
-                    ways[:] = saved
-                elif ways:
-                    ways.clear()
+            # Clear sets filled after the capture, rewrite the saved
+            # ones; _occupied shrinks back to the captured index set.
+            for i in cache._occupied - sets.keys():
+                cache._sets[i].clear()
+            for i, saved in sets.items():
+                cache._sets[i][:] = saved
+            cache._occupied = set(sets.keys())
             cache.stats.accesses = accesses
             cache.stats.misses = misses
 
-        # Memory: pages allocated after the checkpoint are zero-filled in
-        # place (content-equivalent to never-allocated, and it keeps the
-        # one-entry page cache valid).  Pages are never freed, so every
-        # saved page still exists.
-        for pno, page in machine.memory._pages.items():
-            saved = self.pages.get(pno)
-            if saved is not None:
-                page[:] = saved
-            else:
-                page[:] = _ZERO_PAGE
+        self._restore_memory(machine)
         machine._heap_next = self._heap_next
         machine._heap_sizes.clear()
         machine._heap_sizes.update(self._heap_sizes)
@@ -321,10 +381,108 @@ class MachineCheckpoint:
 
     @property
     def page_count(self) -> int:
-        """Number of non-zero memory pages captured."""
+        """Pages captured *by this snapshot* (not the whole chain)."""
         return len(self.pages)
+
+    @property
+    def byte_size(self) -> int:
+        """Memory bytes captured by this snapshot (pages only)."""
+        return len(self.pages) * PAGE_SIZE
+
+    @property
+    def chain_length(self) -> int:
+        """Snapshots in the chain ending here (1 for a base)."""
+        n, node = 0, self
+        while node is not None:
+            n += 1
+            node = node.parent
+        return n
 
     @property
     def pending_requests(self) -> int:
         """Pending connections at capture time."""
         return len(self._pending)
+
+
+class MachineCheckpoint(_SnapshotBase):
+    """One full restorable snapshot of a :class:`~repro.runtime.machine.Machine`.
+
+    Build with :meth:`capture`; apply with :meth:`restore` on the same
+    machine instance (or a freshly built twin, for migration).  Capture
+    flushes the open issue group first, which is a no-op at the points
+    checkpoints are taken (native-call and run-slice boundaries always
+    flush before returning control).
+    """
+
+    kind = "full"
+
+    @classmethod
+    def capture(cls, machine) -> "MachineCheckpoint":
+        """Snapshot the machine's complete guest-visible state."""
+        self = cls()
+        self._capture_state(machine)
+
+        # Memory: every non-zero page (tag bitmap pages included).
+        self.pages = {
+            pno: bytes(page)
+            for pno, page in machine.memory._pages.items()
+            if page != _ZERO_PAGE
+        }
+        self.epoch = machine.memory.begin_epoch()
+        return self
+
+    def absorb(self, delta: "DeltaCheckpoint") -> None:
+        """Fold a direct-child delta into this base, in place.
+
+        Afterwards this snapshot is state-identical to ``delta`` (its
+        small state and epoch are adopted wholesale); the caller must
+        repoint any grandchildren's ``parent`` at this object.  Pages
+        dirtied back to all-zero are dropped (at base level, absence
+        already means zero).
+        """
+        if delta.parent is not self:
+            raise ValueError("can only absorb a direct child delta")
+        for pno, data in delta.pages.items():
+            if data == _ZERO_PAGE:
+                self.pages.pop(pno, None)
+            else:
+                self.pages[pno] = data
+        for attr, value in delta.__dict__.items():
+            if attr in ("pages", "parent"):
+                continue
+            setattr(self, attr, value)
+
+
+class DeltaCheckpoint(_SnapshotBase):
+    """A copy-on-write checkpoint: only pages written since ``parent``.
+
+    Valid only when the machine's dirty set is still relative to the
+    parent (``memory.dirty_epoch == parent.epoch``) — the supervisor
+    checks this and falls back to a full snapshot when some other
+    checkpoint has claimed the epoch in between.
+    """
+
+    kind = "delta"
+
+    @classmethod
+    def capture(cls, machine, parent: _SnapshotBase) -> "DeltaCheckpoint":
+        """Capture the pages dirtied since ``parent`` + small state."""
+        mem = machine.memory
+        if mem.dirty_epoch != parent.epoch:
+            raise ValueError(
+                "dirty set is not relative to the given parent "
+                f"(epoch {mem.dirty_epoch} != {parent.epoch})")
+        self = cls()
+        self._capture_state(machine)
+
+        # A dirtied page was written through store()/write_bytes(), both
+        # of which allocate, so it always exists; pages dirtied back to
+        # all-zero are captured anyway — a restore must see the zeros
+        # even when an ancestor holds non-zero content.
+        pages = mem._pages
+        self.pages = {
+            pno: bytes(pages[pno]) for pno in mem.dirty_pages()
+        }
+        self.parent = parent
+        self.epoch = mem.begin_epoch()
+        return self

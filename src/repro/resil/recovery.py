@@ -29,7 +29,8 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cpu.faults import Fault, GuestOOMFault, RunawayError
-from repro.resil.checkpoint import MachineCheckpoint
+from repro.resil.checkpoint import (DeltaCheckpoint, MachineCheckpoint,
+                                    _SnapshotBase)
 from repro.taint.engine import SecurityAlert
 
 
@@ -45,13 +46,27 @@ class QuarantineIncident:
     instruction_count: int  # instruction count at the abort point
     rolled_back_to: int  # instruction count restored by the rollback
     worker: str = ""  # machine id of the recovering machine (fleet)
+    checkpoint_kind: str = "full"  # 'full' | 'delta' — what was restored
+    checkpoint_pages: int = 0  # pages the restored snapshot captured
+    checkpoint_bytes: int = 0  # page bytes the restored snapshot captured
 
 
 class ResilienceSupervisor:
-    """Checkpoint/rollback recovery loop around one machine."""
+    """Checkpoint/rollback recovery loop around one machine.
+
+    Checkpoints form a copy-on-write chain: the first capture is a full
+    :class:`MachineCheckpoint`; subsequent request boundaries capture
+    :class:`DeltaCheckpoint`\\ s holding only the pages written since the
+    previous checkpoint (``use_delta=False`` restores the old
+    full-snapshot-every-time behaviour for differential testing).  The
+    chain is compacted by folding the oldest delta into the base once it
+    exceeds ``max_chain`` links, bounding both restore depth and held
+    memory.
+    """
 
     def __init__(self, machine, *, watchdog: Optional[int] = None,
-                 max_recoveries: int = 1000, label: str = "") -> None:
+                 max_recoveries: int = 1000, label: str = "",
+                 use_delta: bool = True, max_chain: int = 64) -> None:
         self.machine = machine
         #: Machine identity stamped on incidents — in a fleet this names
         #: the worker that rolled back ("w3 quarantined request 5").
@@ -59,28 +74,74 @@ class ResilienceSupervisor:
         #: Per-request instruction budget; None disables the watchdog.
         self.watchdog = watchdog
         self.max_recoveries = max_recoveries
+        self.use_delta = use_delta
+        self.max_chain = max_chain
         self.incidents: List[QuarantineIncident] = []
         self.recoveries = 0
         self.checkpoints_taken = 0
-        self._checkpoint: Optional[MachineCheckpoint] = None
+        #: Capture-cost accounting (surfaced as resil.* metrics).
+        self.full_captures = 0
+        self.delta_captures = 0
+        self.pages_captured = 0
+        self.bytes_captured = 0
+        #: Base + deltas, oldest first; the tip is what _recover restores.
+        self.chain: List[_SnapshotBase] = []
+        self._checkpoint: Optional[_SnapshotBase] = None
         self._checkpoint_instr = 0
 
     # -- checkpointing -------------------------------------------------
 
     def on_request_boundary(self) -> None:
         """Capture a checkpoint (called by the accept native, pre-pop)."""
-        self._checkpoint = MachineCheckpoint.capture(self.machine)
-        self._checkpoint_instr = self._checkpoint.instruction_count
+        self.checkpoint_now("request_boundary")
+
+    def checkpoint_now(self, reason: str = "manual") -> _SnapshotBase:
+        """Capture the next checkpoint in the chain and return it.
+
+        Takes a delta whenever the live dirty set is provably relative
+        to the current tip (its epoch token matches); anything else —
+        first capture, ``use_delta=False``, or an outside caller such as
+        ``machine.checkpoint()`` having claimed the epoch in between —
+        falls back to a fresh full snapshot, which is always correct.
+        """
+        machine = self.machine
+        cp: _SnapshotBase
+        if (self.use_delta and self.chain
+                and machine.memory.dirty_epoch == self.chain[-1].epoch):
+            cp = DeltaCheckpoint.capture(machine, self.chain[-1])
+            self.delta_captures += 1
+            self.chain.append(cp)
+            if len(self.chain) > self.max_chain:
+                base = self.chain[0]
+                base.absorb(self.chain[1])
+                del self.chain[1]
+                if len(self.chain) > 1:
+                    self.chain[1].parent = base
+        else:
+            cp = MachineCheckpoint.capture(machine)
+            self.full_captures += 1
+            self.chain = [cp]
+        # The tip is what _recover restores; at max_chain=1 the fold
+        # above absorbs the fresh delta straight into the base, which
+        # is then state-identical to it.
+        self._checkpoint = self.chain[-1]
+        self._checkpoint_instr = cp.instruction_count
         self.checkpoints_taken += 1
-        obs = self.machine.obs
+        self.pages_captured += cp.page_count
+        self.bytes_captured += cp.byte_size
+        obs = machine.obs
         if obs is not None:
             from repro.obs.events import CheckpointEvent
 
             obs.tracer.emit(CheckpointEvent(
-                reason="request_boundary",
-                pages=self._checkpoint.page_count,
-                pending_requests=self._checkpoint.pending_requests,
-                instruction_count=self._checkpoint_instr))
+                reason=reason,
+                pages=cp.page_count,
+                pending_requests=cp.pending_requests,
+                instruction_count=self._checkpoint_instr,
+                snapshot=cp.kind,
+                captured_bytes=cp.byte_size,
+                chain_length=len(self.chain)))
+        return cp
 
     # -- the supervised run loop ---------------------------------------
 
@@ -171,7 +232,10 @@ class ResilienceSupervisor:
             pc=abort_pc,
             instruction_count=abort_instr,
             rolled_back_to=cp.instruction_count,
-            worker=self.label)
+            worker=self.label,
+            checkpoint_kind=cp.kind,
+            checkpoint_pages=cp.page_count,
+            checkpoint_bytes=cp.byte_size)
         self.incidents.append(incident)
 
         obs = machine.obs

@@ -122,6 +122,7 @@ class ServiceModel:
         self.config = config or FleetConfig()
         self._cache: Dict[Tuple[bytes, Optional[bytes]], ServiceCost] = {}
         self._boot: Optional[Dict] = None
+        self._migration: Optional[Tuple[int, float]] = None
 
     def _boot_summary(self) -> Dict:
         if self._boot is None:
@@ -138,6 +139,34 @@ class ServiceModel:
     def measured(self) -> int:
         """Distinct payloads executed so far."""
         return len(self._cache)
+
+    def _measure_migration(self) -> Tuple[int, float]:
+        """(blob bytes, cycles) to move one worker, from a real pack.
+
+        Packs an actual booted worker via :mod:`repro.resil.migrate`
+        and prices shipping the blob at network device rates — the same
+        cost model every simulated byte already pays.
+        """
+        if self._migration is None:
+            from repro.resil.migrate import pack_worker
+            from repro.runtime.devices import DeviceCosts
+
+            _summary, machine = run_worker(self.config, "svc-mig-probe", [])
+            blob = pack_worker(machine)
+            costs = DeviceCosts()
+            self._migration = (
+                len(blob), costs.net_base + len(blob) * costs.net_byte)
+        return self._migration
+
+    @property
+    def migration_blob_bytes(self) -> int:
+        """Measured wire size of one packed worker."""
+        return self._measure_migration()[0]
+
+    @property
+    def migration_cycles(self) -> float:
+        """Cycles to pack, ship and rehydrate one worker's state."""
+        return self._measure_migration()[1]
 
     def cost(self, payload: bytes,
              tags: Optional[bytes] = None) -> ServiceCost:
@@ -205,6 +234,9 @@ class RequestRecord:
     alerts: int = 0
     response_sha: str = ""
     rerouted: bool = False
+    #: True when the request changed workers via live migration (its
+    #: draining worker shipped it, still queued, inside the state blob).
+    migrated: bool = False
 
     @property
     def latency(self) -> float:
@@ -224,7 +256,7 @@ class RequestRecord:
             "complete": self.complete, "service": self.service,
             "outcome": self.outcome, "policy_ids": list(self.policy_ids),
             "alerts": self.alerts, "response_sha": self.response_sha,
-            "rerouted": self.rerouted,
+            "rerouted": self.rerouted, "migrated": self.migrated,
         }
 
 
@@ -252,6 +284,8 @@ class ServeResult:
     workers: Dict[str, _SimWorker] = field(default_factory=dict)
     dropped: int = 0
     rerouted: int = 0
+    #: Requests moved to another worker by drain-via-migration.
+    migrated: int = 0
     frontend: Optional[FleetFrontend] = None
 
     # -- outcome tallies -------------------------------------------------
@@ -353,6 +387,7 @@ class ServeResult:
             "scale_events": self.scale_events,
             "dropped": self.dropped,
             "rerouted": self.rerouted,
+            "migrated": self.migrated,
         }
         blob = json.dumps(canonical, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()
@@ -373,6 +408,11 @@ class ServeResult:
                     "arrivals refused by backpressure").value = self.dropped
         reg.counter("serve.rerouted",
                     "requests re-routed after ejection").value = self.rerouted
+        reg.counter("serve.migrated",
+                    "requests moved by drain-via-migration").value = \
+            self.migrated
+        reg.counter("serve.migrations", "worker live migrations").value = sum(
+            1 for e in self.scale_events if e["action"] == "migrate")
         reg.counter("serve.false_alerts",
                     "alerts on clean traffic").value = self.false_alerts
         for name, value in pcts.items():
@@ -408,6 +448,7 @@ class ServeResult:
             "quarantined": self.quarantined,
             "dropped": self.dropped,
             "rerouted": self.rerouted,
+            "migrated": self.migrated,
             "false_alerts": self.false_alerts,
             "detection": detection,
             "latency": {k: round(v, 1)
@@ -444,6 +485,8 @@ class ServeSim:
                  config: Optional[FleetConfig] = None,
                  service_model: Optional[ServiceModel] = None,
                  autoscaler: Optional[AutoscalerConfig] = None,
+                 migrate_on_drain: bool = False,
+                 migration_cycles: Optional[float] = None,
                  tracing: bool = False) -> None:
         if workers <= 0:
             raise ValueError("serving needs at least one worker")
@@ -453,11 +496,28 @@ class ServeSim:
         self.queue_capacity = queue_capacity
         self.service = service_model or ServiceModel(config)
         self.autoscaler_config = autoscaler
+        #: Drain via live migration: a drained worker finishes its
+        #: in-flight request (the pack point is a request boundary, as
+        #: in repro.resil.migrate), then its queued requests ship to the
+        #: survivors inside the state blob and it retires immediately —
+        #: zero dropped, zero re-executed.  Plain drain instead serves
+        #: out the whole queue before retiring.
+        self.migrate_on_drain = migrate_on_drain
+        #: Override for the measured pack+ship+rehydrate cost (None =
+        #: price a real blob via ServiceModel.migration_cycles).
+        self._migration_cycles = migration_cycles
         self.tracer = None
         if tracing:
             from repro.obs.tracer import Tracer
 
             self.tracer = Tracer()
+
+    @property
+    def migration_cycles(self) -> float:
+        """Simulated cost of one worker migration."""
+        if self._migration_cycles is not None:
+            return self._migration_cycles
+        return self.service.migration_cycles
 
     # -- event handlers --------------------------------------------------
 
@@ -477,6 +537,8 @@ class ServeSim:
         records: Dict[int, RequestRecord] = {}
         open_requests = 0
         next_worker = self.initial_workers
+        #: Workers waiting to migrate at their next request boundary.
+        migrating: set = set()
 
         for request in workload:
             clock.schedule(request.arrival, "arrival", request)
@@ -508,6 +570,55 @@ class ServeSim:
                 worker.retired_at = clock.now
                 scale_event("retire", wid,
                             autoscaler.smoothed if autoscaler else 0.0)
+
+        def try_migrate(wid: str) -> None:
+            """Pack and retire a draining worker at a request boundary.
+
+            Waits for the in-flight request to finish (the pack point
+            is the accept boundary, exactly where repro.resil takes its
+            checkpoints); queued requests ship inside the blob and land
+            on the survivors after the measured migration delay.
+            """
+            worker = workers[wid]
+            if wid not in migrating or worker.busy:
+                return
+            migrating.discard(wid)
+            slot = frontend.slots[wid]
+            moved = list(slot.queue)
+            slot.queue.clear()
+            frontend.retire(wid)
+            worker.retired_at = clock.now
+            scale_event("migrate", wid,
+                        autoscaler.smoothed if autoscaler else 0.0)
+            if moved:
+                clock.schedule(clock.now + self.migration_cycles,
+                               "migrated", (wid, moved))
+
+        def on_migrated(wid: str, moved: List[ServeRequest]) -> None:
+            """The state blob landed: requeue its requests, never drop."""
+            for request in moved:
+                record = records[request.index]
+                target = frontend.submit(request, key=request.affinity)
+                if target is None:
+                    # Migrated requests are already admitted work — pick
+                    # the least-loaded routable survivor, bypassing the
+                    # admission capacity check.
+                    candidates = [
+                        s for s in frontend.order
+                        if frontend.slots[s].routable
+                        and not workers[s].ejected
+                    ]
+                    if not candidates:
+                        record.outcome = "dropped"
+                        result.dropped += 1
+                        continue
+                    target = min(
+                        candidates,
+                        key=lambda s: len(frontend.slots[s].queue))
+                    frontend.slots[target].queue.append(request)
+                record.migrated = True
+                result.migrated += 1
+                dispatch(target)
 
         def scale_event(action: str, wid: str, depth: float) -> None:
             event = {
@@ -567,6 +678,9 @@ class ServeSim:
                 eject(wid)
                 return
             worker.served += 1
+            if wid in migrating:
+                try_migrate(wid)
+                return
             dispatch(wid)
             finish_draining(wid)
 
@@ -618,7 +732,12 @@ class ServeSim:
                 if victim is not None:
                     frontend.drain(victim)
                     scale_event("drain", victim, autoscaler.smoothed)
-                    finish_draining(victim)
+                    if (self.migrate_on_drain
+                            and frontend.routable_count >= 1):
+                        migrating.add(victim)
+                        try_migrate(victim)
+                    else:
+                        finish_draining(victim)
             if open_requests > 0 or clock:
                 clock.schedule(clock.now + self.autoscaler_config.interval,
                                "tick")
@@ -633,6 +752,9 @@ class ServeSim:
             elif kind == "ready":
                 dispatch(data)
                 finish_draining(data)
+            elif kind == "migrated":
+                wid, moved = data
+                on_migrated(wid, moved)
             elif kind == "tick":
                 # Drop trailing ticks once all work has finished.
                 if open_requests > 0 or clock:
