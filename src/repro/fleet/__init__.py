@@ -20,6 +20,7 @@ from repro.fleet.driver import (
     run_worker,
 )
 from repro.fleet.frontend import ROUTING_POLICIES, FleetFrontend, WorkerSlot
+from repro.fleet.supervised import SupervisedFleet, SupervisionConfig
 from repro.fleet.observe import (
     frontend_metrics,
     incident_report,
@@ -36,6 +37,8 @@ __all__ = [
     "FleetFrontend",
     "FleetResult",
     "ROUTING_POLICIES",
+    "SupervisedFleet",
+    "SupervisionConfig",
     "TaggedMessage",
     "WireFormatError",
     "WorkerSlot",

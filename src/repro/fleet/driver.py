@@ -381,6 +381,34 @@ class FleetDriver:
             dropped=frontend.dropped, spilled=frontend.spilled,
             rerouted=rerouted, unserved=unserved, machines=machines)
 
+    def run_supervised(self, requests: Sequence[Request], *,
+                       chaos=None, supervision=None,
+                       shed_limit: Optional[int] = None) -> Dict:
+        """Multiprocessing execution with heartbeats and crash recovery.
+
+        Unlike :meth:`run`'s plain ``processes=True`` path — where a
+        worker process that dies takes its batch with it — this path
+        supervises every worker (heartbeat failure detection, periodic
+        ``SHFTMIG1`` checkpoint replication, replacement spawn via
+        ``add_worker``, journal-driven replay) and survives the real
+        ``SIGKILL``/stall faults a :class:`~repro.chaos.schedule
+        .ChaosSchedule`'s directives inject.  Returns the supervised
+        report dict (see :class:`repro.fleet.supervised
+        .SupervisedFleet`); wall-clock numbers are real, the
+        exactly-once accounting is the part worth gating.
+        """
+        from repro.fleet.supervised import SupervisedFleet
+
+        fleet = SupervisedFleet(
+            self.config, workers=len(self.worker_ids),
+            seed=self.seed, routing=self.routing,
+            shed_limit=shed_limit, supervision=supervision, chaos=chaos)
+        encoded = []
+        for i, request in enumerate(requests):
+            payload, tags = encode_request(request)
+            encoded.append((i, payload, tags, "clean"))
+        return fleet.run(encoded)
+
     def _run_processes(self, frontend: FleetFrontend) -> FleetResult:
         import multiprocessing as mp
 

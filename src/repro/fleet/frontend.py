@@ -46,9 +46,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.fleet.wire import TaggedMessage
+from repro.fleet.wire import TaggedMessage, WireFormatError
+from repro.resil.transient import RetryPolicy
 
 ROUTING_POLICIES = ("round_robin", "least_loaded", "hash")
 
@@ -107,7 +108,8 @@ class FleetFrontend:
 
     def __init__(self, worker_ids: Sequence[str], *,
                  policy: str = "round_robin", seed: int = 0,
-                 queue_capacity: Optional[int] = None) -> None:
+                 queue_capacity: Optional[int] = None,
+                 shed_limit: Optional[int] = None) -> None:
         if policy not in ROUTING_POLICIES:
             raise ValueError(
                 f"unknown routing policy {policy!r}; "
@@ -116,9 +118,16 @@ class FleetFrontend:
             raise ValueError("a fleet needs at least one worker")
         if len(set(worker_ids)) != len(worker_ids):
             raise ValueError("worker ids must be unique")
+        if shed_limit is not None and shed_limit < 1:
+            raise ValueError("shed_limit must be positive when set")
         self.policy = policy
         self.seed = seed
         self.queue_capacity = queue_capacity
+        #: Admission-control depth bound: submissions arriving while
+        #: this many requests are already queued fleet-wide are refused
+        #: outright with an explicit 503-style rejection (graceful
+        #: degradation under sustained failure or recovery backlog).
+        self.shed_limit = shed_limit
         self.slots: Dict[str, WorkerSlot] = {
             wid: WorkerSlot(wid, capacity=queue_capacity)
             for wid in worker_ids
@@ -128,6 +137,14 @@ class FleetFrontend:
         self.dropped = 0
         #: Requests that spilled past their first-choice worker.
         self.spilled = 0
+        #: Requests refused by admission control (503-style shedding).
+        self.rejected = 0
+        #: Corrupt/truncated frames refused by :meth:`receive_frame`.
+        self.frame_rejects = 0
+        #: Frames that never arrived (dropped on the wire).
+        self.frames_lost = 0
+        #: Retransmission requests issued after a bad/lost frame.
+        self.retransmits = 0
         self._rr_next = 0
         self._ring = self._build_ring(worker_ids, seed)
 
@@ -194,7 +211,18 @@ class FleetFrontend:
         the first count as spill (backpressure at the preferred worker).
         ``key`` overrides the bytes hashed by the ``hash`` policy — the
         session-affinity key of the serving layer.
+
+        Admission control runs first: when :attr:`shed_limit` is set
+        and that many requests are already queued fleet-wide, the
+        request is *rejected* (counted in :attr:`rejected`) without
+        touching any queue — the 503-style explicit refusal that keeps
+        a degraded fleet inside its depth bound instead of silently
+        absorbing a backlog it cannot serve.
         """
+        if (self.shed_limit is not None
+                and self.total_queued >= self.shed_limit):
+            self.rejected += 1
+            return None
         for rank, wid in enumerate(self._candidates(request, key)):
             slot = self.slots[wid]
             if slot.has_room:
@@ -211,6 +239,48 @@ class FleetFrontend:
         for request in requests:
             self.submit(request)
         return {wid: len(slot.queue) for wid, slot in self.slots.items()}
+
+    # -- wire ingress ----------------------------------------------------
+
+    def receive_frame(self, channel: Callable[[int], Optional[bytes]],
+                      *, retry: Optional[RetryPolicy] = None):
+        """Receive one wire frame, retransmitting on loss or corruption.
+
+        ``channel(attempt)`` models one delivery attempt: it returns the
+        frame bytes as they arrived (possibly corrupted in flight) or
+        ``None`` when the frame was dropped on the wire.  A frame that
+        fails :meth:`TaggedMessage.from_bytes` (bad magic, short frame,
+        CRC mismatch) counts in :attr:`frame_rejects`; a dropped frame
+        counts in :attr:`frames_lost`; each follow-up attempt counts in
+        :attr:`retransmits` and pays ``retry.backoff(attempt)`` cycles.
+
+        Returns ``(message, backoff_cycles)`` on success.  Raises
+        :class:`WireFormatError` only once the retry budget is
+        exhausted — the caller may then eject the sender, but a
+        transient bit-flip no longer kills a healthy worker.
+        """
+        policy = retry if retry is not None else RetryPolicy()
+        backoff_cycles = 0.0
+        last_error: Optional[WireFormatError] = None
+        for attempt in range(policy.limit + 1):
+            if attempt > 0:
+                self.retransmits += 1
+                backoff_cycles += policy.backoff(attempt - 1)
+            raw = channel(attempt)
+            if raw is None:
+                self.frames_lost += 1
+                last_error = WireFormatError("frame lost on the wire")
+                continue
+            try:
+                message = TaggedMessage.from_bytes(raw)
+            except WireFormatError as exc:
+                self.frame_rejects += 1
+                last_error = exc
+                continue
+            return message, backoff_cycles
+        raise WireFormatError(
+            f"frame unrecoverable after {policy.limit} retransmit(s): "
+            f"{last_error}")
 
     # -- worker lifecycle ------------------------------------------------
 

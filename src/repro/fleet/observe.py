@@ -130,6 +130,18 @@ def frontend_metrics(frontend, registry=None):
     reg.counter("frontend.spilled",
                 "requests past their first-choice worker").value = \
         frontend.spilled
+    reg.counter("frontend.rejected",
+                "requests shed by admission control (503)").value = \
+        frontend.rejected
+    reg.counter("fleet.retransmits",
+                "frame retransmissions after loss/corruption").value = \
+        frontend.retransmits
+    reg.counter("fleet.frame_rejects",
+                "wire frames refused (bad magic/CRC)").value = \
+        frontend.frame_rejects
+    reg.counter("fleet.frames_lost",
+                "wire frames dropped in flight").value = \
+        frontend.frames_lost
     reg.gauge("frontend.queued",
               "requests waiting across healthy workers").set(
         frontend.total_queued)

@@ -1,0 +1,472 @@
+"""Chaos benchmark: crash campaigns, exactly-once recovery, shedding.
+
+Five experiments, one report (``BENCH_chaos.json``):
+
+1. **Crash campaigns** (one per seed): an attack-laced open-loop
+   workload served while a seeded :class:`~repro.chaos.schedule
+   .ChaosSchedule` kills workers fail-stop, freezes one long enough to
+   become a zombie, and corrupts/drops response frames on the wire.
+   Each campaign runs against an *uncrashed control* of the same
+   workload; the gate requires the chaos run's outcome digest (what
+   was served, stripped of timing and placement) to equal the
+   control's — crashes replayed exactly the open requests, the journal
+   suppressed every duplicate, and no request was lost.  Quarantine
+   evidence must survive recovery intact and every campaign must
+   replay bit-identically at its seed.
+2. **Zombie dedup**: a single worker stalled past the failure
+   detector's patience is declared dead and replaced; when it wakes
+   and finishes its request anyway, the request-id journal must
+   suppress the duplicate (``duplicates_suppressed >= 1``).
+3. **Graceful degradation**: offered load at twice capacity with
+   admission control armed.  Shedding must actually happen, every
+   refusal must be an explicit 503-style rejection (zero silent
+   drops), and every *accepted* request must complete exactly once
+   with all admitted attacks quarantined.
+4. **Wire chaos**: heavy frame corruption/drop rates absorbed by the
+   frontend's bounded retransmit; the gate requires visible
+   ``fleet.retransmits``/``fleet.frame_rejects`` counters and an
+   outcome digest equal to a clean-wire control.
+5. **Supervised wall-clock arm** (skipped with ``--quick`` unless
+   ``--wall``): real worker processes, a real ``SIGKILL`` directive,
+   heartbeat detection and blob-rehydrated replacement via
+   :class:`repro.fleet.supervised.SupervisedFleet` — reported, never
+   gated (wall-clock numbers are not bit-reproducible).
+
+::
+
+    PYTHONPATH=src python -m repro.harness.chaosbench --quick --gate
+
+``--gate`` exits non-zero unless every condition above holds — the CI
+``chaos-smoke`` job's contract.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List
+
+from repro.chaos import ChaosEvent, ChaosSchedule, RecoveryPolicy, WorkerChaos
+from repro.compiler.instrument import ShiftOptions
+from repro.fleet.driver import FleetConfig
+from repro.harness.benchcli import bench_parser, write_report
+from repro.serve import (
+    LoadConfig,
+    LoadPhase,
+    ServeSim,
+    ServiceModel,
+    describe,
+    generate,
+)
+
+#: Campaign fleet size (crashes walk the workers round-robin).
+CAMPAIGN_WORKERS = 3
+
+#: Fail-stop crashes per campaign trial.
+CAMPAIGN_CRASHES = 2
+
+#: Stalls per campaign trial (sized to outlast the detector: zombies).
+CAMPAIGN_STALLS = 1
+
+#: Per-attempt frame corruption / drop probabilities in the campaigns.
+CAMPAIGN_CORRUPT = 0.08
+CAMPAIGN_DROP = 0.05
+
+#: Wire-chaos experiment rates (deliberately heavier than the campaign).
+WIRE_CORRUPT = 0.2
+WIRE_DROP = 0.1
+
+#: Attack share of campaign traffic.
+ATTACK_FRACTION = 0.25
+
+#: Strict byte granularity so planted overflows are caught (the same
+#: configuration the serving and fleet benches gate detection with).
+ATTACK_OPTIONS = ShiftOptions(granularity=1)
+ATTACK_SIZES = (4, 8)
+ATTACK_WEIGHTS = (0.8, 0.2)
+
+#: Per-request instruction budget for recover-mode workers.
+SERVE_WATCHDOG = 2_000_000
+
+#: Slack multiplier on the analytic recovery-latency bound.
+RECOVERY_SLACK = 1.5
+
+
+def _config(engine: str) -> FleetConfig:
+    return FleetConfig(variant="resil", options=ATTACK_OPTIONS,
+                       sizes=ATTACK_SIZES, engine=engine,
+                       recover_watchdog=SERVE_WATCHDOG)
+
+
+def _mean_service(service: ServiceModel) -> float:
+    from repro.apps.webserver import make_request
+
+    total = sum(ATTACK_WEIGHTS)
+    return sum(service.cost(make_request(kb)).cycles * w
+               for kb, w in zip(ATTACK_SIZES, ATTACK_WEIGHTS)) / total
+
+
+def _workload(seed: int, offered: float, requests: int, *,
+              attack_fraction: float = ATTACK_FRACTION) -> List:
+    duration = requests * 1e6 / offered
+    return generate(LoadConfig(
+        seed=seed, phases=[LoadPhase(duration, offered)],
+        sizes_kb=ATTACK_SIZES, size_weights=ATTACK_WEIGHTS,
+        attack_fraction=attack_fraction))
+
+
+def recovery_bound(service: ServiceModel, policy: RecoveryPolicy) -> float:
+    """Analytic worst-case failure-to-ready latency, with slack.
+
+    Detection waits out the detector's patience; the replacement then
+    pays boot plus blob rehydration.  Anything slower than this bound
+    means recovery is doing work it should not be.
+    """
+    rehydrate = (policy.rehydrate_cycles
+                 if policy.rehydrate_cycles is not None
+                 else service.migration_cycles)
+    return RECOVERY_SLACK * (policy.detection_cycles
+                             + service.boot_cycles + rehydrate)
+
+
+def campaign_run(service: ServiceModel, seed: int, requests: int) -> Dict:
+    """One seeded crash campaign vs. its uncrashed control."""
+    mean = _mean_service(service)
+    capacity = CAMPAIGN_WORKERS * 1e6 / mean
+    offered = 0.8 * capacity
+    duration = requests * 1e6 / offered
+    policy = RecoveryPolicy()
+    chaos = ChaosSchedule.campaign(
+        seed, workers=CAMPAIGN_WORKERS, duration=duration,
+        crashes=CAMPAIGN_CRASHES, stalls=CAMPAIGN_STALLS,
+        stall_cycles=4.0 * policy.detection_cycles,
+        corrupt_rate=CAMPAIGN_CORRUPT, drop_rate=CAMPAIGN_DROP)
+
+    workload = _workload(seed, offered, requests)
+    control = ServeSim(workers=CAMPAIGN_WORKERS, seed=seed,
+                       service_model=service).run(workload)
+    result = ServeSim(workers=CAMPAIGN_WORKERS, seed=seed,
+                      service_model=service, chaos=chaos,
+                      recovery=policy).run(workload)
+    rerun = ServeSim(workers=CAMPAIGN_WORKERS, seed=seed,
+                     service_model=service, chaos=chaos,
+                     recovery=policy).run(
+        _workload(seed, offered, requests))
+
+    detection = result.attack_detection()
+    bound = recovery_bound(service, policy)
+    journal = result.journal.to_dict()
+    frontend = result.frontend
+    return {
+        "seed": seed,
+        "workload": describe(workload),
+        "schedule": chaos.describe(),
+        "requests": len(result.records),
+        "served": result.served,
+        "quarantined": result.quarantined,
+        "dropped": result.dropped,
+        "shed": result.shed,
+        "replayed": result.replayed,
+        "stale_completions": result.stale_completions,
+        "acks_lost": result.acks_lost,
+        "retransmits": frontend.retransmits,
+        "frame_rejects": frontend.frame_rejects,
+        "frames_lost": frontend.frames_lost,
+        "journal": journal,
+        "recoveries": result.recoveries,
+        "recovery_latency_max": round(result.recovery_latency_max(), 1),
+        "recovery_bound": round(bound, 1),
+        "recovery_bounded": result.recovery_latency_max() <= bound,
+        "detection": detection,
+        "false_alerts": result.false_alerts,
+        "latency": {k: round(v, 1)
+                    for k, v in result.latency_percentiles().items()},
+        "control": {
+            "served": control.served,
+            "quarantined": control.quarantined,
+            "detection": control.attack_detection(),
+            "p99": round(control.latency_percentiles()["p99"], 1),
+        },
+        "p99_vs_control": round(
+            result.latency_percentiles()["p99"]
+            - control.latency_percentiles()["p99"], 1),
+        "outcome_digest": result.outcome_digest(),
+        "outcome_matches_control": (result.outcome_digest()
+                                    == control.outcome_digest()),
+        "evidence_intact": result.quarantined == control.quarantined,
+        "digest": result.digest(),
+        "rerun_identical": result.digest() == rerun.digest(),
+        "exactly_once": (journal["exactly_once"]
+                         and journal["open"] == 0
+                         and result.dropped == 0),
+    }
+
+
+def zombie_run(service: ServiceModel, seed: int, requests: int) -> Dict:
+    """Stall one worker past the detector: the journal must dedup."""
+    mean = _mean_service(service)
+    offered = 0.9 * 1e6 / mean  # keep the single worker busy
+    duration = requests * 1e6 / offered
+    policy = RecoveryPolicy()
+    chaos = ChaosSchedule([
+        ChaosEvent(time=0.4 * duration, kind="stall", worker="w0",
+                   duration=6.0 * policy.detection_cycles),
+    ], seed=seed)
+    result = ServeSim(workers=1, seed=seed, service_model=service,
+                      chaos=chaos, recovery=policy).run(
+        _workload(seed, offered, requests, attack_fraction=0.0))
+    journal = result.journal.to_dict()
+    return {
+        "requests": len(result.records),
+        "served": result.served,
+        "recoveries": result.recoveries,
+        "stale_completions": result.stale_completions,
+        "journal": journal,
+        "deduped": journal["duplicates_suppressed"] >= 1,
+        "exactly_once": (journal["exactly_once"]
+                         and journal["open"] == 0
+                         and result.dropped == 0),
+    }
+
+
+def shed_run(service: ServiceModel, seed: int, requests: int) -> Dict:
+    """Twice-capacity load with admission control armed."""
+    mean = _mean_service(service)
+    capacity = 2 * 1e6 / mean
+    offered = 2.0 * capacity
+    duration = requests * 1e6 / offered
+    policy = RecoveryPolicy()
+    chaos = ChaosSchedule.campaign(
+        seed, workers=2, duration=duration, crashes=1)
+    result = ServeSim(workers=2, seed=seed, service_model=service,
+                      chaos=chaos, recovery=policy,
+                      shed_limit=6).run(
+        _workload(seed, offered, requests))
+    journal = result.journal.to_dict()
+    detection = result.attack_detection()
+    return {
+        "offered_multiplier": 2.0,
+        "shed_limit": 6,
+        "requests": len(result.records),
+        "shed": result.shed,
+        "rejected_counter": result.frontend.rejected,
+        "dropped": result.dropped,
+        "served": result.served,
+        "quarantined": result.quarantined,
+        "journal": journal,
+        "recoveries": len(result.recoveries),
+        "detection": detection,
+        "accepted_complete": (journal["open"] == 0
+                              and journal["completed"]
+                              == journal["admitted"]),
+        "no_silent_drops": (result.dropped == 0
+                            and result.shed == result.frontend.rejected),
+        "exactly_once": journal["exactly_once"],
+    }
+
+
+def wire_run(service: ServiceModel, seed: int, requests: int) -> Dict:
+    """Heavy wire damage absorbed by bounded retransmit."""
+    mean = _mean_service(service)
+    offered = 0.7 * 2 * 1e6 / mean
+    chaos = ChaosSchedule(seed=seed, corrupt_rate=WIRE_CORRUPT,
+                          drop_rate=WIRE_DROP)
+    workload = _workload(seed, offered, requests)
+    control = ServeSim(workers=2, seed=seed,
+                       service_model=service).run(workload)
+    result = ServeSim(workers=2, seed=seed, service_model=service,
+                      chaos=chaos).run(workload)
+    journal = result.journal.to_dict()
+    frontend = result.frontend
+    return {
+        "corrupt_rate": WIRE_CORRUPT,
+        "drop_rate": WIRE_DROP,
+        "requests": len(result.records),
+        "served": result.served,
+        "retransmits": frontend.retransmits,
+        "frame_rejects": frontend.frame_rejects,
+        "frames_lost": frontend.frames_lost,
+        "acks_lost": result.acks_lost,
+        "retransmit_cycles": round(result.retransmit_cycles, 1),
+        "journal": journal,
+        "wire_visible": (frontend.retransmits > 0
+                         and frontend.frame_rejects > 0),
+        "outcome_matches_control": (result.outcome_digest()
+                                    == control.outcome_digest()),
+        "exactly_once": (journal["exactly_once"]
+                         and journal["open"] == 0
+                         and result.dropped == 0),
+    }
+
+
+def supervised_run(engine: str, seed: int, requests: int) -> Dict:
+    """Real processes, real SIGKILL (reported, never gated)."""
+    from repro.fleet.driver import FleetDriver
+
+    chaos = ChaosSchedule(directives={
+        "w0": WorkerChaos(crash_after=2),
+    }, seed=seed)
+    driver = FleetDriver(_config(engine), workers=2, seed=seed,
+                         routing="round_robin")
+    payloads = [b"GET /static/page-%d.html" % i for i in range(requests)]
+    report = driver.run_supervised(payloads, chaos=chaos)
+    return report
+
+
+def run_suite(quick: bool, seed: int, engine: str, *,
+              wall: bool) -> Dict:
+    """All experiments; returns the full report dict."""
+    requests = 50 if quick else 110
+    seeds = [seed + i for i in range(2 if quick else 3)]
+    service = ServiceModel(_config(engine))
+
+    print("chaosbench: measuring service budgets", flush=True)
+    mean = _mean_service(service)
+    print(f"  boot {service.boot_cycles:.0f} cycles, mix mean "
+          f"{mean:.0f} cycles ({service.measured} payloads measured)",
+          flush=True)
+
+    campaigns = []
+    for s in seeds:
+        print(f"chaosbench: crash campaign (seed {s})", flush=True)
+        trial = campaign_run(service, s, requests)
+        campaigns.append(trial)
+        print(f"  {len(trial['recoveries'])} recoveries, "
+              f"{trial['replayed']} replayed, journal "
+              f"{trial['journal']['completed']}/"
+              f"{trial['journal']['admitted']}, outcome==control: "
+              f"{trial['outcome_matches_control']}, rerun identical: "
+              f"{trial['rerun_identical']}", flush=True)
+
+    print("chaosbench: zombie dedup", flush=True)
+    zombie = zombie_run(service, seed, requests=max(20, requests // 2))
+    print(f"  {zombie['journal']['duplicates_suppressed']} duplicate(s) "
+          f"suppressed, exactly-once: {zombie['exactly_once']}",
+          flush=True)
+
+    print("chaosbench: graceful degradation (2x capacity)", flush=True)
+    shed = shed_run(service, seed, requests)
+    print(f"  {shed['shed']} shed / {shed['requests']} offered, "
+          f"accepted complete: {shed['accepted_complete']}, silent "
+          f"drops: {shed['dropped']}", flush=True)
+
+    print("chaosbench: wire chaos", flush=True)
+    wire = wire_run(service, seed, requests=max(30, requests // 2))
+    print(f"  {wire['retransmits']} retransmits "
+          f"({wire['frame_rejects']} CRC rejects, "
+          f"{wire['frames_lost']} lost), outcome==control: "
+          f"{wire['outcome_matches_control']}", flush=True)
+
+    supervised = None
+    if wall:
+        print("chaosbench: supervised wall-clock arm (real SIGKILL)",
+              flush=True)
+        supervised = supervised_run(engine, seed, requests=8)
+        print(f"  {supervised['completed']}/{supervised['requests']} done, "
+              f"{len(supervised['recoveries'])} recoveries, exactly-once: "
+              f"{supervised['journal']['exactly_once']}", flush=True)
+
+    return {
+        "config": {
+            "seed": seed,
+            "seeds": seeds,
+            "engine": engine,
+            "quick": quick,
+            "requests": requests,
+            "workers": CAMPAIGN_WORKERS,
+            "python": sys.version.split()[0],
+        },
+        "service_model": {
+            "boot_cycles": service.boot_cycles,
+            "payloads_measured": service.measured,
+            "mean_service_cycles": round(mean, 1),
+            "migration_cycles": round(service.migration_cycles, 1),
+        },
+        "campaigns": campaigns,
+        "zombie": zombie,
+        "shedding": shed,
+        "wire": wire,
+        "supervised": supervised,
+    }
+
+
+def gate(report: Dict) -> int:
+    """Check the CI gate conditions; returns a process exit code."""
+    failures = []
+    for trial in report["campaigns"]:
+        tag = f"campaign seed {trial['seed']}"
+        if not trial["exactly_once"]:
+            failures.append(
+                f"{tag}: lost or duplicated requests (journal "
+                f"{trial['journal']}, dropped {trial['dropped']})")
+        if not trial["outcome_matches_control"]:
+            failures.append(
+                f"{tag}: outcome digest diverged from uncrashed control")
+        if len(trial["recoveries"]) < CAMPAIGN_CRASHES + CAMPAIGN_STALLS:
+            failures.append(
+                f"{tag}: {len(trial['recoveries'])} recoveries < "
+                f"{CAMPAIGN_CRASHES + CAMPAIGN_STALLS} injected faults")
+        if trial["detection"]["detection_rate"] < 1.0:
+            failures.append(
+                f"{tag}: attack detection "
+                f"{trial['detection']['detection_rate']:.2f} < 1.0")
+        if not trial["evidence_intact"]:
+            failures.append(
+                f"{tag}: quarantine evidence lost across recovery "
+                f"({trial['quarantined']} vs control "
+                f"{trial['control']['quarantined']})")
+        if trial["false_alerts"]:
+            failures.append(
+                f"{tag}: {trial['false_alerts']} false alert(s)")
+        if not trial["recovery_bounded"]:
+            failures.append(
+                f"{tag}: recovery latency "
+                f"{trial['recovery_latency_max']:.0f} exceeds bound "
+                f"{trial['recovery_bound']:.0f} cycles")
+        if not trial["rerun_identical"]:
+            failures.append(f"{tag}: re-run digest diverged at fixed seed")
+    zombie = report["zombie"]
+    if not zombie["deduped"]:
+        failures.append("zombie arm suppressed no duplicate completion")
+    if not zombie["exactly_once"]:
+        failures.append("zombie arm lost or duplicated requests")
+    shed = report["shedding"]
+    if not shed["shed"]:
+        failures.append("degradation arm shed nothing at 2x capacity")
+    if not shed["no_silent_drops"]:
+        failures.append(
+            f"degradation arm dropped silently (dropped {shed['dropped']}, "
+            f"shed {shed['shed']} vs rejected {shed['rejected_counter']})")
+    if not shed["accepted_complete"] or not shed["exactly_once"]:
+        failures.append("degradation arm lost accepted requests")
+    if shed["detection"]["detection_rate"] < 1.0:
+        failures.append("degradation arm missed an admitted attack")
+    wire = report["wire"]
+    if not wire["wire_visible"]:
+        failures.append("wire arm surfaced no retransmit/reject counters")
+    if not wire["outcome_matches_control"]:
+        failures.append("wire arm outcome diverged from clean-wire control")
+    if not wire["exactly_once"]:
+        failures.append("wire arm lost or duplicated requests")
+    for failure in failures:
+        print(f"GATE FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = bench_parser("repro.harness.chaosbench", __doc__,
+                          output="BENCH_chaos.json")
+    parser.add_argument("--wall", action="store_true",
+                        help="force the supervised wall-clock arm "
+                             "(default: full mode only)")
+    args = parser.parse_args(argv)
+
+    report = run_suite(args.quick, args.seed, args.engine,
+                       wall=args.wall or not args.quick)
+    write_report(report, args.output)
+    if args.gate:
+        return gate(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

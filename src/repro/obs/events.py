@@ -206,6 +206,35 @@ class ScaleEvent(Event):
     time: float  # simulated cycles
 
 
+@dataclass
+class WorkerCrashEvent(Event):
+    """Chaos injected a fail-stop crash or stall (repro.chaos)."""
+
+    KIND: ClassVar[str] = "worker_crash"
+
+    fault: str  # 'crash' | 'stall'
+    worker: str
+    time: float  # simulated cycles at injection
+    duration: float = 0.0  # stall length (stalls only)
+    applied: bool = True  # False when the target was already gone
+
+
+@dataclass
+class RecoveryEvent(Event):
+    """A dead worker was detected and replaced (repro.chaos)."""
+
+    KIND: ClassVar[str] = "recovery"
+
+    worker: str  # the worker declared dead
+    replacement: str  # the worker spawned in its place
+    cause: str  # 'crash' | 'stall'
+    failed_at: float  # simulated cycles when the fault fired
+    detected_at: float  # when the failure detector declared death
+    recovered_at: float  # when the replacement could first dispatch
+    watermark: int = -1  # replica watermark the replacement rehydrated
+    replayed: int = 0  # open requests moved to the replacement
+
+
 #: Every event type, for schema documentation and exporters.
 EVENT_TYPES: Tuple[type, ...] = (
     TaintSourceEvent,
@@ -221,4 +250,6 @@ EVENT_TYPES: Tuple[type, ...] = (
     AdaptiveSwitchEvent,
     ServeRequestEvent,
     ScaleEvent,
+    WorkerCrashEvent,
+    RecoveryEvent,
 )

@@ -26,13 +26,14 @@ from __future__ import annotations
 from repro.resil.checkpoint import DeltaCheckpoint, MachineCheckpoint
 from repro.resil.migrate import pack_worker, rehydrate_worker
 from repro.resil.recovery import QuarantineIncident, ResilienceSupervisor
-from repro.resil.transient import TransientErrorInjector
+from repro.resil.transient import RetryPolicy, TransientErrorInjector
 
 __all__ = [
     "DeltaCheckpoint",
     "MachineCheckpoint",
     "QuarantineIncident",
     "ResilienceSupervisor",
+    "RetryPolicy",
     "TransientErrorInjector",
     "pack_worker",
     "rehydrate_worker",

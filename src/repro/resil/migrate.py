@@ -61,7 +61,8 @@ def program_fingerprint(machine) -> str:
 
 
 def pack_worker(machine, checkpoint: Optional[_SnapshotBase] = None, *,
-                reason: str = "migrate") -> bytes:
+                reason: str = "migrate",
+                watermark: Optional[int] = None) -> bytes:
     """Serialise a worker's state (base + deltas) into a wire blob.
 
     With ``checkpoint=None`` the blob carries the machine's *current*
@@ -70,6 +71,11 @@ def pack_worker(machine, checkpoint: Optional[_SnapshotBase] = None, *,
     Passing an existing chain member instead packs the state *as of
     that checkpoint* — e.g. "just before request N was accepted" —
     which is how the fleet migrates a mid-stream session.
+
+    ``watermark`` tags the blob with the highest request index whose
+    effects it contains — the replication stream's replay cut-off (see
+    :mod:`repro.chaos.replica`).  Readers use :func:`blob_watermark`;
+    blobs packed without one report -1 (no replay guarantee).
     """
     sup = getattr(machine, "resil", None)
     if checkpoint is None:
@@ -100,8 +106,20 @@ def pack_worker(machine, checkpoint: Optional[_SnapshotBase] = None, *,
         "incidents": [] if sup is None else list(sup.incidents),
         "recoveries": 0 if sup is None else sup.recoveries,
     }
+    if watermark is not None:
+        payload["watermark"] = watermark
     body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     return MAGIC + _HEADER.pack(zlib.crc32(body)) + body
+
+
+def blob_watermark(blob: bytes) -> int:
+    """Request-index watermark a replication blob was packed with.
+
+    -1 means the blob predates watermarks (or was a plain migration
+    blob): it carries state but promises nothing about which requests'
+    effects are inside, so a recovery must replay everything open.
+    """
+    return unpack_blob(blob).get("watermark", -1)
 
 
 def unpack_blob(blob: bytes) -> dict:

@@ -12,11 +12,44 @@ not rewind the error stream and replay the same transient forever.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict
 
 _MASK64 = (1 << 64) - 1
 _MUL = 6364136223846793005
 _INC = 1442695040888963407
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transient failures.
+
+    The guest I/O natives have always retried transients this way
+    (``GuestOS._retry_io`` with the :class:`DeviceCosts` knobs); the
+    fleet wire layer reuses the same shape for frame retransmission and
+    send/recv hiccups, so one policy object describes "how patient is
+    this component" everywhere.  ``limit`` bounds the retries (the
+    original attempt is free), ``backoff(i)`` prices the wait before
+    retry *i* in cycles.
+    """
+
+    limit: int = 4
+    backoff_base: float = 2_000.0
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.limit < 0:
+            raise ValueError("retry limit must be non-negative")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be non-negative and growing")
+
+    def backoff(self, retry: int) -> float:
+        """Cycles to wait before the given retry (0-based)."""
+        return self.backoff_base * self.backoff_factor ** retry
+
+    def total_backoff(self, retries: int) -> float:
+        """Cycles spent backing off across the first ``retries`` retries."""
+        return sum(self.backoff(i) for i in range(retries))
 
 
 class TransientErrorInjector:

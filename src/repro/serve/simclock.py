@@ -29,8 +29,13 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.chaos.journal import RequestJournal
+from repro.chaos.replica import RecoveryPolicy, Replica, ReplicaStore
+from repro.chaos.schedule import ChaosSchedule
 from repro.fleet.driver import FleetConfig, run_worker
 from repro.fleet.frontend import FleetFrontend
+from repro.fleet.wire import TaggedMessage, WireFormatError
+from repro.resil.transient import RetryPolicy
 from repro.serve.autoscaler import Autoscaler, AutoscalerConfig
 from repro.serve.loadgen import ServeRequest
 
@@ -272,6 +277,21 @@ class _SimWorker:
     busy_cycles: float = 0.0
     retired_at: Optional[float] = None
     ejected: bool = False
+    # -- chaos state ------------------------------------------------------
+    #: Bumped on each fail-stop crash; completions scheduled under an
+    #: older incarnation are cancelled (the work died with the worker).
+    incarnation: int = 0
+    crashed: bool = False
+    crashed_at: float = -1.0
+    #: Frozen (unresponsive but alive) until this cycle stamp.
+    stall_until: float = 0.0
+    #: The request currently executing (recovered on crash detection).
+    inflight: Optional[ServeRequest] = None
+    #: Highest request index completed — the replication watermark.
+    completed_mark: int = -1
+    since_replicate: int = 0
+    #: Quarantine incidents this worker holds (evidence continuity).
+    evidence: int = 0
 
 
 @dataclass
@@ -287,6 +307,21 @@ class ServeResult:
     #: Requests moved to another worker by drain-via-migration.
     migrated: int = 0
     frontend: Optional[FleetFrontend] = None
+    #: Arrivals refused by admission control (503-style shedding).
+    shed: int = 0
+    #: Open requests moved to a replacement after a failure.
+    replayed: int = 0
+    #: Completions from a dead incarnation, cancelled outright.
+    stale_completions: int = 0
+    #: Response frames undeliverable within one retry budget (the
+    #: request re-executed; the journal still completed it once).
+    acks_lost: int = 0
+    #: Cycles spent waiting out wire retransmit backoff.
+    retransmit_cycles: float = 0.0
+    chaos_events: List[Dict] = field(default_factory=list)
+    recoveries: List[Dict] = field(default_factory=list)
+    journal: Optional[RequestJournal] = None
+    replica_store: Optional[ReplicaStore] = None
 
     # -- outcome tallies -------------------------------------------------
 
@@ -304,8 +339,15 @@ class ServeResult:
         return sum(r.alerts for r in self.records if r.kind == "clean")
 
     def attack_detection(self) -> Dict:
-        """Detection tally over non-clean requests."""
-        attacks = [r for r in self.records if r.kind != "clean"]
+        """Detection tally over non-clean requests.
+
+        Requests shed by admission control never reached a worker, so
+        they are excluded from the denominator — an explicit 503 is not
+        a missed detection (and the chaos gates separately require that
+        no *admitted* attack escapes).
+        """
+        attacks = [r for r in self.records if r.kind != "clean"
+                   and r.outcome != "rejected"]
         caught = [r for r in attacks
                   if r.outcome in ("quarantined", "fatal")]
         return {
@@ -388,9 +430,43 @@ class ServeResult:
             "dropped": self.dropped,
             "rerouted": self.rerouted,
             "migrated": self.migrated,
+            "shed": self.shed,
+            "replayed": self.replayed,
+            "chaos_events": self.chaos_events,
+            "recoveries": self.recoveries,
         }
         blob = json.dumps(canonical, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()
+
+    def outcome_digest(self) -> str:
+        """Fingerprint of *what was served*, not when or by whom.
+
+        Hashes each request's authoritative outcome — index, kind,
+        outcome, response digest, alerts, policies — sorted by index,
+        with all timing and worker placement excluded.  A chaos run
+        that crashed workers, replayed their open requests and
+        suppressed zombie duplicates must produce the same outcome
+        digest as an uncrashed control run of the same workload; that
+        equality is the exactly-once gate of
+        ``repro.harness.chaosbench``.  Requests that never completed
+        (pending) or were refused before admission (dropped, rejected)
+        are excluded — admission differences are gated by their
+        explicit counters instead.
+        """
+        rows = [
+            [r.index, r.kind, r.outcome, r.response_sha, r.alerts,
+             sorted(r.policy_ids)]
+            for r in self.records
+            if r.outcome not in ("pending", "dropped", "rejected")
+        ]
+        rows.sort()
+        blob = json.dumps(rows, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def recovery_latency_max(self) -> float:
+        """Slowest failure-to-replacement-ready interval, in cycles."""
+        return max((rec["recovery_latency"] for rec in self.recoveries),
+                   default=0.0)
 
     def metrics(self):
         """``serve.*`` instruments plus the frontend's routing counters."""
@@ -415,6 +491,30 @@ class ServeResult:
             1 for e in self.scale_events if e["action"] == "migrate")
         reg.counter("serve.false_alerts",
                     "alerts on clean traffic").value = self.false_alerts
+        reg.counter("serve.shed",
+                    "arrivals refused by admission control").value = self.shed
+        reg.counter("serve.replayed",
+                    "requests replayed after worker failure").value = \
+            self.replayed
+        reg.counter("serve.crashes", "chaos faults applied").value = sum(
+            1 for e in self.chaos_events if e.get("applied"))
+        reg.counter("serve.recoveries",
+                    "dead workers detected and replaced").value = \
+            len(self.recoveries)
+        reg.counter("serve.acks_lost",
+                    "response frames undeliverable in one budget").value = \
+            self.acks_lost
+        if self.journal is not None:
+            reg.counter("serve.duplicates_suppressed",
+                        "late completions deduped by the journal").value = \
+                self.journal.duplicates
+            reg.gauge("serve.journal_open",
+                      "admitted requests never completed").set(
+                self.journal.open_count)
+        if self.recoveries:
+            reg.gauge("serve.recovery_latency.max",
+                      "slowest failure-to-ready interval (cycles)").set(
+                round(self.recovery_latency_max(), 1))
         for name, value in pcts.items():
             reg.gauge(f"serve.latency.{name}",
                       "arrival-to-completion latency (cycles)").set(
@@ -442,13 +542,15 @@ class ServeResult:
     def to_report(self) -> Dict:
         """JSON-ready summary (records elided to tallies)."""
         detection = self.attack_detection()
-        return {
+        report = {
             "requests": len(self.records),
             "served": self.served,
             "quarantined": self.quarantined,
             "dropped": self.dropped,
             "rerouted": self.rerouted,
             "migrated": self.migrated,
+            "shed": self.shed,
+            "replayed": self.replayed,
             "false_alerts": self.false_alerts,
             "detection": detection,
             "latency": {k: round(v, 1)
@@ -459,7 +561,23 @@ class ServeResult:
             "peak_workers": self.peak_workers,
             "scale_events": self.scale_events,
             "digest": self.digest(),
+            "outcome_digest": self.outcome_digest(),
         }
+        if self.journal is not None:
+            report["journal"] = self.journal.to_dict()
+        if self.chaos_events or self.recoveries:
+            report["chaos"] = {
+                "events": self.chaos_events,
+                "recoveries": self.recoveries,
+                "stale_completions": self.stale_completions,
+                "acks_lost": self.acks_lost,
+                "retransmit_cycles": round(self.retransmit_cycles, 1),
+                "recovery_latency_max": round(
+                    self.recovery_latency_max(), 1),
+            }
+        if self.replica_store is not None:
+            report["replication"] = self.replica_store.to_dict()
+        return report
 
 
 # -- the serving loop ----------------------------------------------------
@@ -477,6 +595,17 @@ class ServeSim:
     queue and retire.  A worker whose request comes back *fatal*
     (raise-mode alert or unrecoverable fault in the measurement) is
     ejected and its queue re-routes to the survivors.
+
+    With a :class:`~repro.chaos.schedule.ChaosSchedule` the loop runs
+    the full failure story: fail-stop crashes kill a worker silently
+    (its in-flight request and queue go with it), a heartbeat detector
+    declares it dead ``detection_cycles`` later, and recovery spawns a
+    replacement rehydrated from the last replicated checkpoint, then
+    replays exactly the request-id journal's open set.  Stalls freeze a
+    worker without killing it; a stall outlasting the detector makes a
+    *zombie* whose late completion the journal suppresses.  Wire chaos
+    corrupts/drops response frames, absorbed by the frontend's bounded
+    retransmit.  ``shed_limit`` arms 503-style admission shedding.
     """
 
     def __init__(self, *, workers: int = 2, seed: int = 0,
@@ -487,6 +616,10 @@ class ServeSim:
                  autoscaler: Optional[AutoscalerConfig] = None,
                  migrate_on_drain: bool = False,
                  migration_cycles: Optional[float] = None,
+                 chaos: Optional[ChaosSchedule] = None,
+                 recovery: Optional[RecoveryPolicy] = None,
+                 shed_limit: Optional[int] = None,
+                 wire_retry: Optional[RetryPolicy] = None,
                  tracing: bool = False) -> None:
         if workers <= 0:
             raise ValueError("serving needs at least one worker")
@@ -496,6 +629,13 @@ class ServeSim:
         self.queue_capacity = queue_capacity
         self.service = service_model or ServiceModel(config)
         self.autoscaler_config = autoscaler
+        #: Seeded adversity for this run (None = a polite fleet).
+        self.chaos = chaos
+        #: Failure-detection / replication tuning; a default policy is
+        #: armed whenever chaos is present.
+        self.recovery = recovery
+        self.shed_limit = shed_limit
+        self.wire_retry = wire_retry
         #: Drain via live migration: a drained worker finishes its
         #: in-flight request (the pack point is a request boundary, as
         #: in repro.resil.migrate), then its queued requests ship to the
@@ -527,31 +667,49 @@ class ServeSim:
         frontend = FleetFrontend(
             [f"w{i}" for i in range(self.initial_workers)],
             policy=self.routing, seed=self.seed,
-            queue_capacity=self.queue_capacity)
+            queue_capacity=self.queue_capacity,
+            shed_limit=self.shed_limit)
         workers: Dict[str, _SimWorker] = {
             wid: _SimWorker(wid) for wid in frontend.order
         }
         autoscaler = (Autoscaler(self.autoscaler_config)
                       if self.autoscaler_config is not None else None)
-        result = ServeResult(records=[], workers=workers, frontend=frontend)
+        chaos = self.chaos
+        #: Replication + failure detection arm only when asked for —
+        #: a chaos-free run stays byte-for-byte the PR-6/7 loop.
+        protected = chaos is not None or self.recovery is not None
+        policy = self.recovery or RecoveryPolicy()
+        wire_retry = self.wire_retry or RetryPolicy()
+        journal = RequestJournal()
+        store = ReplicaStore()
+        result = ServeResult(records=[], workers=workers, frontend=frontend,
+                             journal=journal,
+                             replica_store=store if protected else None)
         records: Dict[int, RequestRecord] = {}
         open_requests = 0
         next_worker = self.initial_workers
         #: Workers waiting to migrate at their next request boundary.
         migrating: set = set()
+        #: Wire-attempt offsets for re-delivered responses: a failed
+        #: delivery must not replay the same doomed attempt sequence.
+        wire_base: Dict[int, int] = {}
 
         for request in workload:
             clock.schedule(request.arrival, "arrival", request)
         if autoscaler is not None and workload:
             clock.schedule(self.autoscaler_config.interval, "tick")
+        if chaos is not None:
+            for event in chaos.events:
+                clock.schedule(event.time, "chaos", event)
 
         def dispatch(wid: str) -> None:
             worker = workers[wid]
             slot = frontend.slots[wid]
-            if worker.busy or not slot.queue or worker.ejected:
+            if (worker.busy or not slot.queue or worker.ejected
+                    or worker.crashed):
                 return
-            if clock.now < worker.available_at:
-                return  # still booting; 'ready' event will retry
+            if clock.now < worker.available_at or clock.now < worker.stall_until:
+                return  # booting/stalled; a 'ready' event will retry
             request = slot.queue.pop(0)
             record = records[request.index]
             cost = self.service.cost(request.payload, request.tags)
@@ -559,8 +717,10 @@ class ServeSim:
             record.dispatch = clock.now
             record.service = cost.cycles
             worker.busy = True
+            worker.inflight = request
+            journal.assign(request.index, wid)
             clock.schedule(clock.now + cost.cycles, "complete",
-                           (wid, request, cost))
+                           (wid, request, cost, worker.incarnation))
 
         def finish_draining(wid: str) -> None:
             slot = frontend.slots[wid]
@@ -596,6 +756,7 @@ class ServeSim:
 
         def on_migrated(wid: str, moved: List[ServeRequest]) -> None:
             """The state blob landed: requeue its requests, never drop."""
+            nonlocal open_requests
             for request in moved:
                 record = records[request.index]
                 target = frontend.submit(request, key=request.affinity)
@@ -607,15 +768,19 @@ class ServeSim:
                         s for s in frontend.order
                         if frontend.slots[s].routable
                         and not workers[s].ejected
+                        and not workers[s].crashed
                     ]
                     if not candidates:
                         record.outcome = "dropped"
                         result.dropped += 1
+                        open_requests -= 1
+                        journal.complete(request.index, "dropped")
                         continue
                     target = min(
                         candidates,
                         key=lambda s: len(frontend.slots[s].queue))
                     frontend.slots[target].queue.append(request)
+                journal.assign(request.index, target)
                 record.migrated = True
                 result.migrated += 1
                 dispatch(target)
@@ -635,8 +800,9 @@ class ServeSim:
                     action=action, worker=wid, depth=event["depth"],
                     workers=event["workers"], time=clock.now))
 
-        def complete_record(record: RequestRecord, cost: ServiceCost) -> None:
-            record.complete = clock.now
+        def complete_record(record: RequestRecord, cost: ServiceCost,
+                            delay: float = 0.0) -> None:
+            record.complete = clock.now + delay
             record.outcome = cost.outcome
             record.policy_ids = cost.policy_ids
             record.alerts = cost.alerts
@@ -657,32 +823,110 @@ class ServeSim:
                 kind=request.kind, enqueue=clock.now)
             records[request.index] = record
             result.records.append(record)
+            shed_before = frontend.rejected
             wid = frontend.submit(request, key=request.affinity)
             if wid is None:
-                record.outcome = "dropped"
-                result.dropped += 1
+                if frontend.rejected > shed_before:
+                    record.outcome = "rejected"
+                    result.shed += 1
+                else:
+                    record.outcome = "dropped"
+                    result.dropped += 1
                 return
+            journal.admit(request.index, wid)
             open_requests += 1
             dispatch(wid)
 
+        def deliver_response(wid: str, request: ServeRequest,
+                             cost: ServiceCost):
+            """Ship the response frame over the (possibly chaotic) wire.
+
+            Returns the backoff cycles the frontend spent retransmitting,
+            or None when the ack was undeliverable within one retry
+            budget — at-least-once transport's worst case, handled by
+            re-executing the request (the journal still completes the
+            id exactly once).
+            """
+            if chaos is None or not chaos.wire_active:
+                return 0.0
+            frame = TaggedMessage(
+                payload=(cost.response_sha or cost.outcome).encode(),
+                request_id=request.index & 0xFFFFFFFF,
+                origin=f"worker:{wid}").to_bytes()
+            base = wire_base.get(request.index, 0)
+            try:
+                _msg, backoff = frontend.receive_frame(
+                    lambda attempt: chaos.transmit(
+                        frame, request.index, base + attempt),
+                    retry=wire_retry)
+            except WireFormatError:
+                wire_base[request.index] = base + wire_retry.limit + 1
+                result.acks_lost += 1
+                return None
+            result.retransmit_cycles += backoff
+            return backoff
+
         def on_complete(wid: str, request: ServeRequest,
-                        cost: ServiceCost) -> None:
+                        cost: ServiceCost, incarnation: int) -> None:
             nonlocal open_requests
             worker = workers[wid]
+            if incarnation != worker.incarnation:
+                # A completion from a crashed incarnation: the work
+                # died with the worker; recovery replays the request.
+                result.stale_completions += 1
+                return
+            if clock.now < worker.stall_until:
+                # Frozen mid-request: the completion thaws with the
+                # worker (a zombie's late finish arrives here too).
+                clock.schedule(worker.stall_until, "complete",
+                               (wid, request, cost, incarnation))
+                return
             worker.busy = False
+            worker.inflight = None
             worker.busy_cycles += cost.cycles
-            open_requests -= 1
+            ack_delay = deliver_response(wid, request, cost)
+            if ack_delay is None:
+                # Undeliverable ack: re-execute on the same worker (or
+                # let the replay complete it if this worker is gone).
+                if not worker.ejected and not worker.crashed:
+                    frontend.slots[wid].queue.insert(0, request)
+                    dispatch(wid)
+                return
             record = records[request.index]
-            complete_record(record, cost)
+            authoritative = journal.complete(request.index, cost.outcome)
+            if authoritative:
+                open_requests -= 1
+                complete_record(record, cost, delay=ack_delay)
+                if cost.outcome == "quarantined":
+                    worker.evidence += 1
             if cost.fatal:
                 eject(wid)
                 return
             worker.served += 1
+            if worker.ejected:
+                return  # a zombie: declared dead and replaced already
+            if protected and authoritative:
+                worker.completed_mark = max(worker.completed_mark,
+                                            request.index)
+                worker.since_replicate += 1
+                if (policy.replicate_every
+                        and worker.since_replicate >= policy.replicate_every):
+                    replicate(wid)
+                    return
             if wid in migrating:
                 try_migrate(wid)
                 return
             dispatch(wid)
             finish_draining(wid)
+
+        def replicate(wid: str) -> None:
+            """Ship one checkpoint replica; the worker pays the window."""
+            worker = workers[wid]
+            worker.since_replicate = 0
+            store.store(Replica(worker=wid, watermark=worker.completed_mark,
+                                evidence=worker.evidence, time=clock.now))
+            worker.available_at = clock.now + policy.replication_cycles
+            clock.schedule(worker.available_at, "ready", wid)
 
         def eject(wid: str) -> None:
             nonlocal open_requests
@@ -698,7 +942,9 @@ class ServeSim:
                 if target is None:
                     record.outcome = "dropped"
                     result.dropped += 1
+                    journal.complete(orphan.index, "dropped")
                     continue
+                journal.assign(orphan.index, target)
                 record.rerouted = True
                 result.rerouted += 1
                 open_requests += 1
@@ -742,19 +988,131 @@ class ServeSim:
                 clock.schedule(clock.now + self.autoscaler_config.interval,
                                "tick")
 
+        def on_chaos(event) -> None:
+            worker = workers.get(event.worker)
+            applied = (worker is not None and not worker.ejected
+                       and not worker.crashed
+                       and worker.retired_at is None)
+            entry = {"time": clock.now, "kind": event.kind,
+                     "worker": event.worker, "applied": applied}
+            if event.kind == "stall":
+                entry["duration"] = event.duration
+            result.chaos_events.append(entry)
+            if self.tracer is not None:
+                from repro.obs.events import WorkerCrashEvent
+
+                self.tracer.emit(WorkerCrashEvent(
+                    fault=event.kind, worker=event.worker, time=clock.now,
+                    duration=event.duration, applied=applied))
+            if not applied:
+                return
+            if event.kind == "crash":
+                # Fail-stop: silent death.  The frontend learns nothing
+                # until the heartbeat detector's patience runs out.
+                worker.crashed = True
+                worker.crashed_at = clock.now
+                worker.incarnation += 1
+                clock.schedule(clock.now + policy.detection_cycles,
+                               "detect", (event.worker, "crash", clock.now))
+            else:
+                worker.stall_until = clock.now + event.duration
+                if not worker.busy:
+                    clock.schedule(worker.stall_until, "ready", event.worker)
+                if event.duration >= policy.detection_cycles:
+                    # The freeze outlasts the detector: the worker will
+                    # be declared dead while still (slowly) alive.
+                    clock.schedule(clock.now + policy.detection_cycles,
+                                   "detect",
+                                   (event.worker, "stall", clock.now))
+
+        def on_detect(wid: str, cause: str, failed_at: float) -> None:
+            """The failure detector's verdict: eject, replace, replay."""
+            nonlocal next_worker
+            worker = workers[wid]
+            if worker.ejected or worker.retired_at is not None:
+                return
+            if not (worker.crashed or worker.stall_until > clock.now):
+                return  # heartbeats resumed before the verdict
+            worker.ejected = True
+            orphans = frontend.eject(wid, f"failure detector: {cause}")
+            inflight = worker.inflight
+            if inflight is not None:
+                # Crash: the in-flight request died with the worker.
+                # Stall: the zombie may yet finish it — replay anyway;
+                # the journal suppresses whichever completion is second.
+                orphans = [inflight] + orphans
+                if worker.crashed:
+                    worker.inflight = None
+                    worker.busy = False
+            scale_event("eject", wid,
+                        autoscaler.smoothed if autoscaler else 0.0)
+            # Spawn the replacement: boot a twin, rehydrate it from the
+            # last replicated checkpoint (evidence and all).
+            replica = store.latest(wid)
+            new_wid = f"w{next_worker}"
+            next_worker += 1
+            delay = self.service.boot_cycles
+            if replica is not None:
+                delay += (policy.rehydrate_cycles
+                          if policy.rehydrate_cycles is not None
+                          else self.migration_cycles)
+            frontend.add_worker(new_wid)
+            replacement = _SimWorker(new_wid, spawned_at=clock.now,
+                                     available_at=clock.now + delay)
+            if replica is not None:
+                replacement.evidence = replica.evidence
+                replacement.completed_mark = replica.watermark
+            workers[new_wid] = replacement
+            scale_event("recover", new_wid,
+                        autoscaler.smoothed if autoscaler else 0.0)
+            # Replay exactly the journal's open set for the dead worker
+            # — completed requests stay completed, nothing is re-run.
+            open_ids = set(journal.open_for(wid))
+            replay = [r for r in orphans if r.index in open_ids]
+            journal.reassign([r.index for r in replay], new_wid)
+            for request in replay:
+                frontend.slots[new_wid].queue.append(request)
+                records[request.index].rerouted = True
+            result.replayed += len(replay)
+            entry = {
+                "worker": wid, "replacement": new_wid, "cause": cause,
+                "failed_at": failed_at, "detected_at": clock.now,
+                "recovered_at": replacement.available_at,
+                "recovery_latency": replacement.available_at - failed_at,
+                "watermark": (replica.watermark
+                              if replica is not None else -1),
+                "evidence": replica.evidence if replica is not None else 0,
+                "replayed": len(replay),
+            }
+            result.recoveries.append(entry)
+            if self.tracer is not None:
+                from repro.obs.events import RecoveryEvent
+
+                self.tracer.emit(RecoveryEvent(
+                    worker=wid, replacement=new_wid, cause=cause,
+                    failed_at=failed_at, detected_at=clock.now,
+                    recovered_at=replacement.available_at,
+                    watermark=entry["watermark"], replayed=len(replay)))
+            clock.schedule(replacement.available_at, "ready", new_wid)
+
         while clock:
             kind, data = clock.pop()
             if kind == "arrival":
                 on_arrival(data)
             elif kind == "complete":
-                wid, request, cost = data
-                on_complete(wid, request, cost)
+                wid, request, cost, incarnation = data
+                on_complete(wid, request, cost, incarnation)
             elif kind == "ready":
                 dispatch(data)
                 finish_draining(data)
             elif kind == "migrated":
                 wid, moved = data
                 on_migrated(wid, moved)
+            elif kind == "chaos":
+                on_chaos(data)
+            elif kind == "detect":
+                wid, cause, failed_at = data
+                on_detect(wid, cause, failed_at)
             elif kind == "tick":
                 # Drop trailing ticks once all work has finished.
                 if open_requests > 0 or clock:
@@ -766,6 +1124,7 @@ class ServeSim:
                       workers: Dict[str, _SimWorker]) -> Optional[str]:
         """Newest routable worker — scale-down unwinds LIFO."""
         for wid in reversed(frontend.order):
-            if frontend.slots[wid].routable and not workers[wid].ejected:
+            if (frontend.slots[wid].routable and not workers[wid].ejected
+                    and not workers[wid].crashed):
                 return wid
         return None

@@ -58,7 +58,9 @@ def run_wallclock(workload: Sequence[ServeRequest], *,
                   config: Optional[FleetConfig] = None,
                   workers: int = 2, seed: int = 0,
                   routing: str = "hash",
-                  time_scale: float = 1e6) -> Dict:
+                  time_scale: float = 1e6,
+                  chaos=None, supervision=None,
+                  shed_limit: Optional[int] = None) -> Dict:
     """Serve one workload on real processes; returns a report dict.
 
     ``time_scale`` converts the workload's cycle stamps to wall time
@@ -66,8 +68,29 @@ def run_wallclock(workload: Sequence[ServeRequest], *,
     ``arrival / time_scale`` seconds after the run starts.  The parent
     warms the shared compile caches before forking so worker processes
     inherit them and the first request isn't a compile benchmark.
+
+    With ``chaos`` (a :class:`~repro.chaos.schedule.ChaosSchedule`
+    carrying per-worker ``WorkerChaos`` directives — real ``SIGKILL``
+    and sleep-stalls) or ``supervision`` set, the run goes through
+    :class:`~repro.fleet.supervised.SupervisedFleet`: heartbeat
+    failure detection, blob replication, replacement processes joined
+    via ``add_worker``, and journal-exact replay.
     """
     import multiprocessing as mp
+
+    if chaos is not None or supervision is not None:
+        from repro.fleet.supervised import SupervisedFleet
+
+        fleet = SupervisedFleet(
+            config, workers=workers, seed=seed, routing=routing,
+            shed_limit=shed_limit, supervision=supervision, chaos=chaos)
+        ordered = sorted(workload, key=lambda r: (r.arrival, r.index))
+        encoded = [(r.index, r.payload, r.tags, r.kind) for r in ordered]
+        arrivals = {r.index: r.arrival for r in ordered}
+        report = fleet.run(encoded, arrivals=arrivals,
+                           time_scale=time_scale)
+        report["time_scale"] = time_scale
+        return report
 
     if workers <= 0:
         raise ValueError("serving needs at least one worker")
