@@ -1,0 +1,86 @@
+"""A scripting engine under DIFT: taint through an interpreter.
+
+The hardest case for information-flow tracking is a *guest
+interpreter*: request bytes stop being operands of the protected
+program and become data of a MiniScript program the protected program
+merely executes.  Between ``recv`` and the ``sql``/``html_output``
+sinks the bytes cross the VM's fetch/decode/dispatch loop, operand
+stack, string arena, and key-value heap — and because the VM is itself
+a MiniC guest instrumented by the SHIFT pipeline, every one of those
+copies moves the tag bits too.
+
+This demo runs the MiniScript key-value service in ``recover`` mode:
+SQL injection through the script's vulnerable GET verb is caught (H3),
+rolled back and quarantined; the parameterized PGET control carrying
+the *same hostile key* is served without complaint.
+
+Run:  python examples/script_server.py
+"""
+
+from repro.apps.guestvm import (
+    KV_SERVICE_SCRIPT,
+    kv_get_request,
+    kv_pget_request,
+    kv_set_request,
+    sql_injection_request,
+)
+from repro.guestvm.asm import assemble, disassemble
+from repro.harness.guestbench import GUEST_OPTIONS, GUEST_WATCHDOG
+from repro.harness.runners import build_web_machine, guestvm_policy
+
+
+def main():
+    assembled = assemble(KV_SERVICE_SCRIPT)
+    print("The guest service is a MiniScript program, compiled host-side")
+    print(f"to {len(assembled.blob)} bytes of stack bytecode and embedded "
+          "in the MiniC VM:\n")
+    for line in disassemble(assembled.blob).splitlines()[:9]:
+        print(f"    {line}")
+    print("    ...\n")
+
+    machine = build_web_machine(
+        "guest-kv", GUEST_OPTIONS,
+        policy_config=guestvm_policy(),
+        engine_mode="recover",
+        recover_watchdog=GUEST_WATCHDOG,
+        tracing=True,
+    )
+    traffic = [
+        ("store a value", kv_set_request("user1", "alice")),
+        ("look it up (vulnerable GET)", kv_get_request("user1")),
+        ("SQL injection via GET", sql_injection_request()),
+        ("same hostile key via PGET", kv_pget_request("x' OR '1'='1")),
+    ]
+    for _, request in traffic:
+        machine.net.add_request(request)
+
+    print("Request mix sent to the interpreting server:\n")
+    for i, (kind, request) in enumerate(traffic, start=1):
+        print(f"  #{i}: {kind:28s} {request.decode()!r}")
+
+    served = machine.run(max_instructions=1_000_000_000)
+
+    print(f"\nServer exited normally after serving {served} requests.\n")
+    print("Responses (through the VM's dispatch loop):")
+    for conn in machine.net.completed:
+        print(f"  {conn.inbound.decode()!r} -> "
+              f"{bytes(conn.outbound).decode()!r}")
+
+    print("\nQuarantine log (incident report):")
+    for incident in machine.resil.incidents:
+        print(f"  request #{incident.request_index}: [{incident.policy_id}] "
+              f"{incident.message}")
+
+    alert = machine.alerts[0]
+    print("\nThe alert's origin chain reaches the *request bytes*, not")
+    print("just a VM-internal address:")
+    for origin in alert.origins:
+        print(f"  {origin.describe()}")
+
+    print("\nThe injection was caught inside sql() five copies deep in the")
+    print("interpreter; the parameterized control with the same hostile")
+    print("key was served clean — attack caught, clean traffic served.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Guest scripting under DIFT: the MiniScript toolchain (host side).
+
+The hardest scenario for a dynamic information-flow tracker is taint
+that survives a *guest interpreter's* dispatch loop: request bytes stop
+being operands of the protected program and become data of a program
+the protected program merely interprets.  Pattern-matching DIFT schemes
+lose the thread at exactly this indirection; SHIFT's per-access
+instrumentation does not, because the interpreter's own loads and
+stores are instrumented like any other code.
+
+This package is the host half of the proof: a small compiler
+(:mod:`repro.guestvm.asm`) that turns MiniScript service programs into
+a compact stack bytecode, which a MiniScript VM *written in MiniC and
+compiled by our own SHIFT pipeline* executes as a guest application
+(:mod:`repro.apps.guestvm`).  End-to-end campaigns live in
+:mod:`repro.harness.guestbench`.
+"""
+
+from repro.guestvm.asm import (
+    MiniScriptError,
+    Op,
+    assemble,
+    disassemble,
+)
+
+__all__ = [
+    "MiniScriptError",
+    "Op",
+    "assemble",
+    "disassemble",
+]

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.apps.guestvm import GUESTVM_KV_SOURCE, GUESTVM_TMPL_SOURCE
 from repro.apps.spec import BENCHMARKS, SpecBenchmark
 from repro.apps.webserver import (
     BACKEND_SOURCE,
@@ -175,12 +176,45 @@ def backend_policy() -> PolicyConfig:
     return config
 
 
+def guestvm_policy() -> PolicyConfig:
+    """MiniScript VM policy: network tainted, H3 + H5 armed.
+
+    The high-level Table-1 policies fire at the ``sql`` and
+    ``html_output`` use points *inside* the interpreter — the taint has
+    to survive the VM's fetch/decode/dispatch loop, operand stack, and
+    string arena to get there.
+    """
+    config = PolicyConfig()
+    config.tainted_sources["network"] = True
+    config.tainted_sources["file"] = False
+    config.enable("H3")
+    config.enable("H5")
+    return config
+
+
+def guest_backend_policy() -> PolicyConfig:
+    """Interior-tier MiniScript policy: taint arrives only via wire tags.
+
+    Mirrors :func:`backend_policy` for the guest VM: ingress is trusted,
+    so detection behind a fleet frontend is load-bearing proof that
+    :class:`~repro.fleet.wire.TaggedMessage` tag bits survived the hop.
+    """
+    config = PolicyConfig()
+    config.tainted_sources["network"] = False
+    config.tainted_sources["file"] = False
+    config.enable("H3")
+    config.enable("H5")
+    return config
+
+
 #: The web applications the harnesses can build, by variant name.
 WEB_VARIANTS: Dict[str, str] = {
     "standard": WEBSERVER_SOURCE,
     "resil": RESIL_WEBSERVER_SOURCE,
     "proxy": FLEET_PROXY_SOURCE,
     "backend": BACKEND_SOURCE,
+    "guest-kv": GUESTVM_KV_SOURCE,
+    "guest-tmpl": GUESTVM_TMPL_SOURCE,
 }
 
 #: ``adaptive=`` values accepted by the web build path: ``"none"`` is a

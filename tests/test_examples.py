@@ -68,3 +68,10 @@ class TestExamples:
         assert "quarantined request" in out
         assert "bit-identical!" in out
         assert "the wire transport is load-bearing" in out
+
+    def test_script_server(self, capsys):
+        out = run_example("script_server", capsys)
+        assert "stack bytecode" in out
+        assert "[H3] SECURITY ALERT" in out
+        assert "network 'request#3'" in out
+        assert "attack caught, clean traffic served" in out

@@ -88,6 +88,47 @@ class TestH3:
         assert check("H3", b"SELECT * WHERE id = 42", flags=flags) is None
 
 
+class TestH3Boundaries:
+    """Direct checker coverage: boundaries, negatives, offsets."""
+
+    def test_offset_reported(self):
+        violation = check("H3", b"WHERE k='x")
+        assert violation.policy_id == "H3"
+        assert violation.offset == 8
+        assert "at 8" in violation.message
+
+    def test_first_tainted_metachar_wins(self):
+        violation = check("H3", b"a';b'")
+        assert violation.offset == 1
+
+    def test_metachar_at_first_byte(self):
+        assert check("H3", b"' OR 1").offset == 0
+
+    def test_metachar_at_last_byte(self):
+        data = b"SELECT 1;"
+        assert check("H3", data).offset == len(data) - 1
+
+    def test_untainted_metachar_between_tainted_bytes(self):
+        # The quote itself is clean; only its neighbours are tainted.
+        data = b"k='v'"
+        flags = [c not in b"'" for c in data]
+        assert check("H3", data, flags=flags) is None
+
+    def test_only_the_tainted_metachar_counts(self):
+        # Two quotes, only the second tainted: its offset is reported.
+        data = b"a'b'c"
+        flags = [False, False, False, True, False]
+        assert check("H3", data, flags=flags).offset == 3
+
+    def test_every_metachar_fires(self):
+        for ch in b"'\";":
+            assert check("H3", bytes([ch])) is not None
+
+    def test_flags_shorter_than_data(self):
+        # zip() semantics: bytes past the flag vector are not tainted.
+        assert check("H3", b"ab'", flags=[True, True]) is None
+
+
 class TestH4:
     def test_tainted_shell_metachar(self):
         assert check("H4", b"ls; rm -rf /") is not None
@@ -97,6 +138,27 @@ class TestH4:
 
     def test_untainted_pipe_ok(self):
         assert check("H4", b"a | b", tainted_all=False) is None
+
+
+class TestH4Boundaries:
+    def test_offset_and_metachar_reported(self):
+        violation = check("H4", b"ls `id`")
+        assert violation.offset == 3
+        assert "'`'" in violation.message and "at 3" in violation.message
+
+    def test_every_metachar_fires(self):
+        for ch in b";|&`$<>":
+            violation = check("H4", b"x" + bytes([ch]))
+            assert violation is not None and violation.offset == 1
+
+    def test_quote_is_not_a_shell_metachar(self):
+        # H4's set differs from H3's: quotes don't fire here.
+        assert check("H4", b"echo 'hi'") is None
+
+    def test_untainted_metachar_tainted_text(self):
+        data = b"cat x | y"
+        flags = [c != ord("|") for c in data]
+        assert check("H4", data, flags=flags) is None
 
 
 class TestH5:
@@ -114,6 +176,36 @@ class TestH5:
 
     def test_tainted_text_without_script_ok(self):
         assert check("H5", b"hello <b>world</b>") is None
+
+
+class TestH5Boundaries:
+    def test_offset_is_match_start(self):
+        violation = check("H5", b"<p>hi</p><script>")
+        assert violation.offset == 9
+        assert "offset 9" in violation.message
+
+    def test_one_tainted_byte_inside_tag_fires(self):
+        data = b"<script>"
+        for i in range(7):   # any byte of the "<script" match
+            flags = [j == i for j in range(len(data))]
+            assert check("H5", data, flags=flags) is not None
+
+    def test_tainted_byte_after_match_span_ok(self):
+        # Taint strictly past the "<script" span: the tag is trusted.
+        data = b"<script>x"
+        flags = [j >= 7 for j in range(len(data))]
+        assert check("H5", data, flags=flags) is None
+
+    def test_second_tag_tainted_reports_its_offset(self):
+        data = b"<script>a</script><script>"
+        flags = [j >= 18 for j in range(len(data))]
+        assert check("H5", data, flags=flags).offset == 18
+
+    def test_whitespace_variant_span_counts(self):
+        # "<   script": taint on one of the interior spaces fires.
+        data = b"<   script>"
+        flags = [data[j] == ord(" ") and j == 2 for j in range(len(data))]
+        assert check("H5", data, flags=flags) is not None
 
 
 class TestConfigParsing:
