@@ -112,6 +112,13 @@ class AdaptiveController:
         live = self.machine.taint_map.live_granules
         if self.mode == MODE_FAST:
             if live or cpu.unat:
+                spec = getattr(self.machine, "spec", None)
+                if spec is not None and spec.active:
+                    # Speculation holds fast mode open with live taint:
+                    # the epoch's range guards stand in for tracking,
+                    # and its own boundary hook (which runs after this
+                    # one) judges commit/rollback.
+                    return
                 self._switch(cpu, MODE_TRACK)
         elif live == 0 and self._quiescent(cpu):
             self._switch(cpu, MODE_FAST)

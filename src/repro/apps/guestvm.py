@@ -34,6 +34,13 @@ Two vulnerable services ship as MiniScript programs:
   the control: entity-escaping (inside the VM, by the ``ESCAPE``
   opcode) rewrites ``<`` before it can form a script tag, so the same
   payload is served harmlessly.
+* **ping service** (:data:`PING_SERVICE_SCRIPT`): ``PING host`` builds
+  ``ping -c 1 <host>`` by concatenation and shells out via the
+  ``system`` native — a tainted shell metacharacter in the host fires
+  the command-injection policy H4 at the use point.  ``VPING host`` is
+  the control: the script charset-validates the host (letters, digits,
+  dot, dash) before shelling out, so the same attack bytes are
+  rejected in-script and a benign tainted host runs without alert.
 """
 
 from __future__ import annotations
@@ -57,6 +64,7 @@ native int accept();
 native int recv(int fd, char *buf, int n);
 native int send(int fd, char *buf, int n);
 native int sql_exec(char *q);
+native int system(char *cmd);
 native char *memset(char *dst, int c, int n);
 native void console_log(char *s);
 
@@ -675,6 +683,10 @@ int vm_run() {
                 csp--;
                 pc = calls[csp];
             }
+        } else if (op == 36) {      // SYSTEM: the H4 use point
+            vpop();
+            to_cstr(pv, sqlbuf, 768);
+            push_i(system(sqlbuf));
         } else {
             vm_err = 1;
         }
@@ -841,6 +853,55 @@ def render {
 }
 """
 
+#: Diagnostic shell-out handler (paper Table 1, H4).
+PING_SERVICE_SCRIPT = """
+# ping service: PING <host> | VPING <host>
+let req = arg;
+let host = "";
+let ok = 0;
+let sp = find(req, " ");
+if sp < 0 {
+  emit("ERR bad request");
+} else {
+  let verb = slice(req, 0, sp);
+  host = slice(req, sp + 1, len(req));
+  if verb == "PING" {
+    # VULNERABLE: the tainted host rides into the shell command text.
+    system("ping -c 1 " + host);
+    emit("PONG " + host);
+  } else if verb == "VPING" {
+    # CONTROL: charset-validate the host before shelling out.  The
+    # command is still built from tainted bytes, but none of them can
+    # be a shell metacharacter, so H4 stays quiet.
+    validate();
+    if ok == 1 {
+      system("ping -c 1 " + host);
+      emit("PONG " + host);
+    } else {
+      emit("ERR bad host");
+    }
+  } else {
+    emit("ERR unknown verb");
+  }
+}
+
+def validate {
+  ok = 1;
+  let i = 0;
+  while i < len(host) {
+    let c = char(host, i);
+    let good = 0;
+    if c >= 97 { if c <= 122 { good = 1; } }
+    if c >= 48 { if c <= 57 { good = 1; } }
+    if c == 46 { good = 1; }
+    if c == 45 { good = 1; }
+    if good == 0 { ok = 0; }
+    i = i + 1;
+  }
+  if len(host) == 0 { ok = 0; }
+}
+"""
+
 _assembled_cache: Dict[str, Assembled] = {}
 
 
@@ -857,6 +918,8 @@ def assembled_service(script: str) -> Assembled:
 GUESTVM_KV_SOURCE = render_guestvm(assembled_service(KV_SERVICE_SCRIPT).blob)
 GUESTVM_TMPL_SOURCE = render_guestvm(
     assembled_service(TEMPLATE_SERVICE_SCRIPT).blob)
+GUESTVM_PING_SOURCE = render_guestvm(
+    assembled_service(PING_SERVICE_SCRIPT).blob)
 
 
 # ---------------------------------------------------------------------------
@@ -893,3 +956,15 @@ def template_request(name: str, escaped: bool = False) -> bytes:
 def xss_request(payload: str = "<script>alert(1)</script>") -> bytes:
     """Classic stored-nothing XSS: tainted script tag in the output."""
     return template_request(payload, escaped=False)
+
+
+def ping_request(host: str, validated: bool = False) -> bytes:
+    """Shell out to ping (PING = vulnerable, VPING = validated)."""
+    verb = "VPING" if validated else "PING"
+    return f"{verb} {host}".encode()
+
+
+def command_injection_request(host: str = "localhost;cat /etc/passwd"
+                              ) -> bytes:
+    """Classic injection: a tainted metachar chains a second command."""
+    return ping_request(host, validated=False)

@@ -1,0 +1,258 @@
+"""The contained-taint key/value store (repro.spec workloads).
+
+A small request/response service built to exercise **speculative
+fast-path execution**: long-lived tainted data sits in a value slab,
+but the dominant request kind (``SUM``) computes over a private arena
+and never touches it.  The adaptive controller alone is stuck — the
+slab never drains, so ``live_granules`` stays nonzero and every
+request runs fully tracked.  The speculation controller digests the
+slab into a handful of watch ranges and runs those same requests on
+the fast copy, paying instrumentation only when a request actually
+reaches tainted bytes.
+
+Protocol (one request per connection, trusted network ingress):
+
+* ``PUT <slot> <value>``  — store a value (clean).
+* ``STOR <slot> <value>`` — store a value and mark it tainted via the
+  ``taint_region`` native (the app-level trust boundary: values are
+  attacker-supplied records, requests themselves are interior-tier
+  traffic).
+* ``SUM``                 — scramble/digest the private arena; the
+  clean fast-path request.
+* ``GET <slot>``          — echo the value back (guest copy loop: the
+  loads hit the taint watch when the slot is tainted).
+* ``EXEC <slot>``         — build ``run <value>`` and ``system()`` it;
+  with a tainted value carrying shell metacharacters this is the
+  paper's H4 command-injection detection.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Slab geometry (mirrored by the guest source below).
+SLOT_SIZE = 128
+NUM_SLOTS = 8
+
+SPECSTORE_SOURCE = """
+native int accept();
+native int recv(int fd, char *buf, int n);
+native int send(int fd, char *buf, int n);
+native int taint_region(char *p, int n);
+native int system(char *cmd);
+
+char req[512];
+char slab[1024];
+char arena[4096];
+char out[256];
+char cmd[256];
+int served;
+
+int send_str(int fd, char *s) {
+    return send(fd, s, strlen(s));
+}
+
+int store_value(int fd, int tainted) {
+    // "PUT d <value>" / "STOR d <value>": slot digit, space, value.
+    int base = 4;
+    if (tainted) {
+        base = 5;
+    }
+    int slot = req[base] - '0';
+    if (slot < 0 || slot > 7) {
+        send_str(fd, "ERR slot\\n");
+        return 0;
+    }
+    char *dst = slab + slot * 128;
+    int i = base + 2;
+    int n = 0;
+    while (req[i] && n < 120) {
+        dst[n] = req[i];
+        n++;
+        i++;
+    }
+    dst[n] = 0;
+    if (tainted && n > 0) {
+        taint_region(dst, n);
+    }
+    send_str(fd, "OK\\n");
+    return 1;
+}
+
+int do_sum(int fd) {
+    // The clean compute phase: three full passes over the private
+    // arena (loads and stores on every byte) so instrumentation cost
+    // dominates device time — the cycles speculation wins back.
+    int h = 2166136261;
+    int j = 0;
+    while (j < 4096) {
+        h = (h ^ arena[j]) * 16777619;
+        arena[j] = h & 127;
+        j++;
+    }
+    j = 0;
+    while (j < 4096) {
+        h = (h + arena[j]) * 33;
+        arena[j] = (h >> 3) & 127;
+        j++;
+    }
+    j = 0;
+    while (j < 4096) {
+        h = (h ^ (arena[j] + j)) * 131;
+        j++;
+    }
+    int d = 0;
+    while (d < 8) {
+        int v = (h >> ((7 - d) * 4)) & 15;
+        if (v < 10) {
+            out[d] = '0' + v;
+        } else {
+            out[d] = 'a' + (v - 10);
+        }
+        d++;
+    }
+    out[8] = 10;
+    send(fd, out, 9);
+    return 1;
+}
+
+int do_get(int fd) {
+    int slot = req[4] - '0';
+    if (slot < 0 || slot > 7) {
+        send_str(fd, "ERR slot\\n");
+        return 0;
+    }
+    // Guest copy loop: these loads trip the speculation guard when
+    // the slot's bytes are watched (tainted).
+    char *src = slab + slot * 128;
+    int n = 0;
+    while (src[n] && n < 120) {
+        out[n] = src[n];
+        n++;
+    }
+    out[n] = 10;
+    send(fd, out, n + 1);
+    // Scrub the echo buffer: a tainted value leaves tainted bytes in
+    // ``out``, and an unscrubbed copy would put ``out`` inside every
+    // later epoch's watch (tripping each SUM's digest store).
+    memset(out, 0, 256);
+    return 1;
+}
+
+int do_exec(int fd) {
+    int slot = req[5] - '0';
+    if (slot < 0 || slot > 7) {
+        send_str(fd, "ERR slot\\n");
+        return 0;
+    }
+    strcpy(cmd, "run ");
+    char *src = slab + slot * 128;
+    int n = 4;
+    int i = 0;
+    while (src[i] && n < 200) {
+        cmd[n] = src[i];
+        n++;
+        i++;
+    }
+    cmd[n] = 0;
+    system(cmd);
+    memset(cmd, 0, 256);
+    send_str(fd, "DONE\\n");
+    return 1;
+}
+
+int serve(int fd) {
+    int n = recv(fd, req, 500);
+    if (n <= 0) {
+        return 0;
+    }
+    req[n] = 0;
+    if (strncmp(req, "SUM", 3) == 0) {
+        return do_sum(fd);
+    }
+    if (strncmp(req, "PUT ", 4) == 0) {
+        return store_value(fd, 0);
+    }
+    if (strncmp(req, "STOR ", 5) == 0) {
+        return store_value(fd, 1);
+    }
+    if (strncmp(req, "GET ", 4) == 0) {
+        return do_get(fd);
+    }
+    if (strncmp(req, "EXEC ", 5) == 0) {
+        return do_exec(fd);
+    }
+    send_str(fd, "ERR verb\\n");
+    return 0;
+}
+
+int main() {
+    int j = 0;
+    while (j < 4096) {
+        arena[j] = (j * 37 + 11) & 127;
+        j++;
+    }
+    int fd;
+    while ((fd = accept()) >= 0) {
+        served += serve(fd);
+    }
+    return served;
+}
+"""
+
+
+def put_request(slot: int, value: bytes) -> bytes:
+    """Store a clean value."""
+    return b"PUT %d %s" % (slot, value)
+
+
+def stor_request(slot: int, value: bytes) -> bytes:
+    """Store a value and taint it (the app-level trust boundary)."""
+    return b"STOR %d %s" % (slot, value)
+
+
+def sum_request() -> bytes:
+    """The clean compute request (the speculative fast path)."""
+    return b"SUM"
+
+
+def get_request(slot: int) -> bytes:
+    """Echo a slot back (guard trip when the slot is tainted)."""
+    return b"GET %d" % slot
+
+
+def exec_request(slot: int) -> bytes:
+    """system('run <value>') — H4 fires on tainted shell metachars."""
+    return b"EXEC %d" % slot
+
+
+#: A value whose shell metacharacter makes EXEC an H4 command injection.
+INJECTION_VALUE = b"report.txt;rm -rf /"
+#: A boring tainted value: GETs of it trip the guard but alert nothing.
+BENIGN_VALUE = b"hello world record"
+
+
+def contained_mix(sums: int = 12) -> List[bytes]:
+    """Perf mix: one tainted store, then clean compute requests.
+
+    After the ``STOR`` the machine is never taint-free again, so a
+    plain adaptive build tracks every following request; speculation
+    runs them all on the fast copy and never trips.
+    """
+    return [stor_request(0, BENIGN_VALUE)] + [sum_request()] * sums
+
+
+def misspec_mix(sums: int = 6) -> List[bytes]:
+    """Detection mix: seeded guard trips and one real injection.
+
+    ``GET 0`` trips on the watched slot and replays clean (benign
+    rollback); ``EXEC 0`` trips, replays tracked, and H4 fires at the
+    ``system`` use point with track-accurate pc/origins.
+    """
+    requests = [stor_request(0, INJECTION_VALUE)]
+    requests += [sum_request()] * (sums // 2)
+    requests.append(get_request(0))
+    requests += [sum_request()] * (sums - sums // 2)
+    requests.append(exec_request(0))
+    requests.append(sum_request())
+    return requests

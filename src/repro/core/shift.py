@@ -71,6 +71,7 @@ def build_machine(
     net_capacity: Optional[int] = None,
     adaptive: bool = False,
     adaptive_switching: bool = True,
+    speculative: bool = False,
 ) -> Machine:
     """Compile (if needed) and load a guest into a ready Machine.
 
@@ -78,6 +79,8 @@ def build_machine(
     programs carrying an adaptive layout get a controller regardless.
     ``adaptive_switching=False`` loads a dual-version program but pins
     it in track mode (the differential baseline for testing).
+    ``speculative=True`` adds the repro.spec controller on top of the
+    adaptive one (fast-path execution under taint-range guards).
     """
     if isinstance(sources, CompiledProgram):
         compiled = sources
@@ -104,6 +107,7 @@ def build_machine(
         machine_id=machine_id,
         net_capacity=net_capacity,
         adaptive=adaptive_switching,
+        speculative=speculative,
     )
 
 

@@ -20,6 +20,7 @@ from repro.cpu.faults import (
     IllegalInstructionFault,
     NaTConsumptionFault,
     RunawayError,
+    SpecGuardTrip,
 )
 from repro.cpu.perf import IssueConfig, IssueModel, PerfCounters
 from repro.isa.instruction import Instruction, OpKind
@@ -173,6 +174,20 @@ class CPU:
         #: predecoder only generates the check when a watch is set.
         self.tag_watch = None
         self.tag_limit = 0
+        #: Speculation guard (repro.spec): watched virtual-address
+        #: ranges, mutated *in place* (generated closures bind the list
+        #: object).  Empty outside a speculative epoch, so the guard
+        #: costs one falsy check per memory access.  ``spec_check``
+        #: raises :class:`SpecGuardTrip` when ``[addr, addr+size)``
+        #: intersects any watched range.
+        self.spec_ranges: List = []
+
+        def _spec_check(addr, size, _ranges=self.spec_ranges):
+            for lo, hi in _ranges:
+                if addr < hi and lo < addr + size:
+                    raise SpecGuardTrip(addr, size)
+
+        self.spec_check = _spec_check
 
         self.gr: List[int] = [0] * NUM_GR
         self.nat: List[bool] = [False] * NUM_GR
@@ -675,6 +690,8 @@ class CPU:
                 self.issue.issue(instr)
                 self.pc += 1
                 return
+            if self.spec_ranges:
+                self.spec_check(addr, size)
             value = self.memory.load(addr, size)
             stall = self.caches.access(addr, size)
             self.write_gr(dest, value, nat=False)
@@ -683,6 +700,8 @@ class CPU:
             return
         if self.read_nat(addr_reg):
             raise NaTConsumptionFault("load_addr")
+        if self.spec_ranges:
+            self.spec_check(addr, size)
         try:
             value = self.memory.load(addr, size)
         except MemoryError_ as exc:
@@ -709,6 +728,8 @@ class CPU:
                 self.unat &= ~(1 << bit)
         elif self.read_nat(value_reg):
             raise NaTConsumptionFault("store_value")
+        if self.spec_ranges:
+            self.spec_check(addr, size)
         if self.tag_watch is not None and addr < self.tag_limit:
             self.tag_watch(addr, size, self.read_gr(value_reg))
         try:

@@ -55,6 +55,26 @@ class GuestOOMFault(Fault):
         self.limit = limit
 
 
+class SpecGuardTrip(Fault):
+    """A speculative fast-path access intersected a taint-range watch.
+
+    Not a guest-visible fault: the speculation controller
+    (:mod:`repro.spec`) catches it, rolls the machine back to the epoch
+    entry checkpoint and replays the slice in track mode.  It rides the
+    ``Fault`` plumbing so both engines' fused-block writeback and
+    ``_fault_pc`` protocols locate the tripping instruction for free;
+    the policy engine's fault hook ignores it (it only reacts to NaT
+    consumption).
+    """
+
+    def __init__(self, addr: int, size: int, reason: str = "range") -> None:
+        super().__init__(
+            f"speculation guard trip ({reason}) at {addr:#x}+{size}")
+        self.addr = addr
+        self.size = size
+        self.reason = reason
+
+
 class IllegalInstructionFault(Fault):
     """Undefined operation or malformed break immediate."""
 

@@ -78,7 +78,7 @@ _PARAMS = ("gr, nats, pr, br, im, counters, close, pair_costs, RoleCost, "
            "mem_load, mem_store, cache_access, fwd, recent, cpu, to_signed, "
            "is_implemented, NaTConsumptionFault, Fault, "
            "IllegalInstructionFault, MemoryError_, tag_watch, "
-           "group, fn, handler, fns")
+           "spec_ranges, spec_check, group, fn, handler, fns")
 
 
 def _render(lines: List[str], cells=("cost",)) -> str:
@@ -364,7 +364,8 @@ def _shared_args(cpu: CPU, fwd) -> tuple:
             counters.pair_costs, RoleCost, cpu.memory.load, cpu.memory.store,
             cpu.caches.access, fwd, cpu._recent_stores, cpu, to_signed,
             is_implemented, NaTConsumptionFault, Fault,
-            IllegalInstructionFault, MemoryError_, cpu.tag_watch, im._group)
+            IllegalInstructionFault, MemoryError_, cpu.tag_watch,
+            cpu.spec_ranges, cpu.spec_check, im._group)
 
 
 def _make_fallback(cpu: CPU, instr: Instruction) -> Uop:
@@ -465,7 +466,9 @@ def predecode(cpu: CPU) -> List[Uop]:
                                f"nats[{dest}] = True"]
                               + _acct_lines(meta, key, cfg)
                               + ["return pc + 1"])
-                    + [f"value = mem_load(addr, {size})",
+                    + ["if spec_ranges:",
+                       f"    spec_check(addr, {size})",
+                       f"value = mem_load(addr, {size})",
                        f"stall = cache_access(addr, {size})",
                        f"gr[{dest}] = value",
                        f"nats[{dest}] = False"]
@@ -484,7 +487,9 @@ def predecode(cpu: CPU) -> List[Uop]:
                 body = (
                     [f"addr = {addr}"]
                     + nat_line
-                    + ["try:",
+                    + ["if spec_ranges:",
+                       f"    spec_check(addr, {size})",
+                       "try:",
                        f"    value = mem_load(addr, {size})",
                        "except MemoryError_ as exc:",
                        "    raise Fault(f\"load fault: {exc}\") from exc",
@@ -518,6 +523,8 @@ def predecode(cpu: CPU) -> List[Uop]:
             elif iv:
                 body += [f"if nats[{iv}]:",
                          "    raise NaTConsumptionFault(\"store_value\")"]
+            body += ["if spec_ranges:",
+                     f"    spec_check(addr, {size})"]
             if cpu.tag_watch is not None:
                 body += [f"if addr < {cpu.tag_limit}:",
                          f"    tag_watch(addr, {size}, {_s(_gr_src(iv))})"]
@@ -892,16 +899,20 @@ def predecode_fused(cpu: CPU) -> List[Optional[Uop]]:
                 if op == "ld8.s":
                     defer = (f"nats[{ia}] or not is_implemented(addr)"
                              if ia else "not is_implemented(addr)")
-                    sem = [f"addr = {addr}",
+                    sem = [f"ipc = pc + {j}",
+                           f"addr = {addr}",
                            f"if {defer}:",
                            f"    gr[{dest}] = 0",
                            f"    nats[{dest}] = True",
                            "    stall = 0.0",
                            "else:",
+                           "    if spec_ranges:",
+                           f"        spec_check(addr, {size})",
                            f"    value = mem_load(addr, {size})",
                            f"    stall = cache_access(addr, {size})",
                            f"    gr[{dest}] = value",
                            f"    nats[{dest}] = False"]
+                    state["faultable"] = True
                 else:
                     nat_dest = (
                         f"nats[{dest}] = bool((cpu.unat >> ((addr >> 3)"
@@ -912,7 +923,9 @@ def predecode_fused(cpu: CPU) -> List[Optional[Uop]]:
                         sem += [f"if nats[{ia}]:",
                                 "    raise NaTConsumptionFault"
                                 "(\"load_addr\")"]
-                    sem += ["try:",
+                    sem += ["if spec_ranges:",
+                            f"    spec_check(addr, {size})",
+                            "try:",
                             f"    value = mem_load(addr, {size})",
                             "except MemoryError_ as exc:",
                             "    raise Fault(f\"load fault: {exc}\")"
@@ -947,6 +960,8 @@ def predecode_fused(cpu: CPU) -> List[Optional[Uop]]:
                     sem += [f"if nats[{iv}]:",
                             "    raise NaTConsumptionFault"
                             "(\"store_value\")"]
+                sem += ["if spec_ranges:",
+                        f"    spec_check(addr, {size})"]
                 if cpu.tag_watch is not None:
                     sem += [f"if addr < {cpu.tag_limit}:",
                             f"    tag_watch(addr, {size}, "

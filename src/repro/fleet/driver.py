@@ -56,8 +56,9 @@ class FleetConfig:
     tracing: bool = False
     #: Shared trace path; each worker's machine id derives its own file.
     trace_path: Optional[str] = None
-    #: Per-worker on-demand tracking (repro.adaptive): "none", "on" or
-    #: "track" — see :data:`repro.harness.runners.ADAPTIVE_MODES`.
+    #: Per-worker on-demand tracking (repro.adaptive): "none", "on",
+    #: "track" or "speculate" (repro.spec fast-path execution) — see
+    #: :data:`repro.harness.runners.ADAPTIVE_MODES`.
     adaptive: str = "none"
     max_instructions: int = MAX_INSTRUCTIONS
 
@@ -140,6 +141,15 @@ def run_worker(config: FleetConfig, worker_id: str,
         ],
         "responses": [bytes(c.outbound) for c in machine.net.completed],
         "metrics": machine.metrics().to_dict(),
+        "spec": (None if machine.spec is None else {
+            "epochs": machine.spec.epochs,
+            "commits": machine.spec.commits,
+            "rollbacks": machine.spec.rollbacks,
+            "committed_instructions": machine.spec.committed_instructions,
+            "wasted_instructions": machine.spec.wasted_instructions,
+            "deferred_sends": machine.spec.deferred_sends,
+            "deferred_bytes": machine.spec.deferred_bytes,
+        }),
         "trace_path": machine.trace_path,
     }
     return summary, machine

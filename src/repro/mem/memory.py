@@ -246,3 +246,21 @@ class SparseMemory:
         # checkpoint chain (tokens are compared only for equality).
         if epoch > self._epoch_counter:
             self._epoch_counter = epoch
+
+    def readopt_epoch(self, epoch: int, pages) -> None:
+        """Re-adopt an older epoch, unioning ``pages`` into the dirty set.
+
+        The speculation subsystem (repro.spec) opens a private epoch for
+        its entry checkpoint; on commit or rollback it hands epoch
+        continuity back to the enclosing resilience chain by declaring
+        "everything dirtied since *your* checkpoint is what I captured
+        (``pages``) plus whatever is dirty now".  Unlike
+        :meth:`rebind_epoch`, the current dirty set is kept, so the
+        parent's next delta capture still sees every page written since
+        the parent was taken.
+        """
+        self._dirty.update(pages)
+        self._dirty_last = -1
+        self.dirty_epoch = epoch
+        if epoch > self._epoch_counter:
+            self._epoch_counter = epoch

@@ -173,6 +173,22 @@ class AdaptiveSwitchEvent(Event):
 
 
 @dataclass
+class SpecEvent(Event):
+    """The speculation controller entered, committed or rolled back an
+    epoch (repro.spec)."""
+
+    KIND: ClassVar[str] = "spec"
+
+    action: str  # 'enter' | 'commit' | 'rollback'
+    epoch: int  # speculation epoch id (monotonic per machine)
+    trigger_pc: int = -1  # pc at entry / the guard-tripping access
+    guarded_bytes: int = 0  # total bytes covered by the watch ranges
+    ranges: int = 0  # number of merged watch ranges
+    reason: str = ""  # commit/rollback trigger ('boundary', 'guard', ...)
+    instruction_count: int = 0
+
+
+@dataclass
 class ServeRequestEvent(Event):
     """One open-loop request completed its lifecycle (repro.serve).
 
@@ -248,6 +264,7 @@ EVENT_TYPES: Tuple[type, ...] = (
     QuarantineEvent,
     InjectionEvent,
     AdaptiveSwitchEvent,
+    SpecEvent,
     ServeRequestEvent,
     ScaleEvent,
     WorkerCrashEvent,

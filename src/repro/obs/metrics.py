@@ -204,6 +204,33 @@ def collect_machine(machine, registry: Optional[MetricsRegistry] = None) -> Metr
         reg.counter("adaptive.switches_to_track",
                     "fast -> track mode switches").value = adaptive.switches_to_track
 
+    spec = getattr(machine, "spec", None)
+    if spec is not None:
+        reg.counter("adaptive.spec.epochs",
+                    "speculation epochs entered").value = spec.epochs
+        reg.counter("adaptive.spec.commits",
+                    "epochs committed").value = spec.commits
+        reg.counter("adaptive.spec.rollbacks",
+                    "epochs rolled back and replayed in track").value = \
+            spec.rollbacks
+        reg.counter("adaptive.spec.committed_instructions",
+                    "fast-path instructions retired under committed "
+                    "epochs").value = spec.committed_instructions
+        reg.counter("adaptive.spec.wasted_instructions",
+                    "speculative instructions discarded by rollbacks").value = \
+            spec.wasted_instructions
+        reg.counter("adaptive.spec.deferred_sends",
+                    "network sends buffered until commit").value = \
+            spec.deferred_sends
+        reg.counter("adaptive.spec.deferred_bytes",
+                    "send bytes buffered until commit").value = \
+            spec.deferred_bytes
+        reg.gauge("adaptive.spec.active",
+                  "1 while an epoch is open").set(1 if spec.active else 0)
+        reg.gauge("adaptive.spec.watch_ranges",
+                  "merged guard ranges of the live epoch").set(
+            spec.watch_ranges)
+
     net = machine.net
     reg.gauge("net.pending", "connections still queued").set(len(net.pending))
     reg.counter("net.completed", "connections accepted").value = len(net.completed)

@@ -208,6 +208,15 @@ class ResilienceSupervisor:
         no request was pending at the checkpoint (the abort would recur
         deterministically), or the recovery backstop is exhausted.
         """
+        spec = getattr(self.machine, "spec", None)
+        if spec is not None and spec.active:
+            # The abort happened inside a speculation epoch: roll back
+            # to the *epoch* entry and replay the slice under full
+            # tracking instead of quarantining.  A genuine alert/fault
+            # re-fires during the replay with the epoch closed and
+            # recovery proceeds normally then.
+            spec.handle_trip(exc)
+            return
         cp = self._checkpoint
         if (cp is None or cp.pending_head_index < 0
                 or self.recoveries >= self.max_recoveries):

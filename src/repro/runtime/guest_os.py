@@ -173,6 +173,12 @@ class GuestOS:
             raise IllegalInstructionFault(f"native {names[index]!r} not provided")
         if self.machine.obs is not None:
             self._trace_call(names[index])
+        spec = getattr(self.machine, "spec", None)
+        if spec is not None:
+            # Pre-dispatch: the pc still sits on the break, so an epoch
+            # entered here checkpoints *before* the handler's effects —
+            # a rollback re-executes this native exactly once.
+            spec.before_native(cpu, names[index])
         self._charge(cpu, self.costs.native_base)
         handler(cpu)
         # Adaptive mode-switch point: the pc sits in the shared native
@@ -182,6 +188,8 @@ class GuestOS:
         adaptive = getattr(self.machine, "adaptive", None)
         if adaptive is not None:
             adaptive.on_boundary(cpu)
+        if spec is not None:
+            spec.on_boundary(cpu)
 
     def _register_natives(self) -> None:
         n = self._natives
@@ -270,7 +278,15 @@ class GuestOS:
         fd, buf, length = (self._arg(cpu, i) for i in range(3))
         data = self.machine.memory.read_bytes(buf, length)
         if fd in (_FD_STDOUT, _FD_STDERR):
-            self.console.write(fd, data)
+            spec = getattr(self.machine, "spec", None)
+            if spec is not None and spec.active:
+                # Console output is externally visible: buffer it until
+                # the speculation epoch commits.  (File writes are not
+                # deferred — the checkpoint's fs/fd capture rewinds
+                # them on rollback.)
+                spec.defer_console(fd, data)
+            else:
+                self.console.write(fd, data)
             self._charge(cpu, self.costs.console_byte * length)
             self._ret(cpu, length)
             return
@@ -366,13 +382,23 @@ class GuestOS:
         data = self.machine.memory.read_bytes(buf, length)
         # Cross-site-scripting policy H5 checks outbound HTML here.
         self.machine.engine.check_use_point("html_output", buf, data, context="send")
+        outbound_tags = None
         if handle.conn.capture_taint:
             # Egress tagging (repro.fleet): remember the per-byte taint
             # of what was sent so the bytes can leave the machine as a
             # TaggedMessage with their tags still attached.
-            handle.conn.record_outbound_tags(
-                self.machine.taint_map.taint_flags(buf, length))
-        handle.conn.send(data)
+            outbound_tags = self.machine.taint_map.taint_flags(buf, length)
+        spec = getattr(self.machine, "spec", None)
+        if spec is not None and spec.active:
+            # Externally visible effect under speculation: the payload
+            # and its tags are computed *now* (machine state at send
+            # time), but nothing reaches the peer until commit — a
+            # rolled-back epoch must leave no phantom bytes on the wire.
+            spec.defer_send(handle.conn, data, outbound_tags)
+        else:
+            if outbound_tags is not None:
+                handle.conn.record_outbound_tags(outbound_tags)
+            handle.conn.send(data)
         self._charge(cpu, self.costs.net_base + self.costs.net_byte * length)
         self._ret(cpu, length)
 
@@ -468,7 +494,11 @@ class GuestOS:
     def _native_console_log(self, cpu: CPU) -> None:
         addr = self._arg(cpu, 0)
         text = self.machine.memory.read_cstring(addr)
-        self.console.write(1, text + b"\n")
+        spec = getattr(self.machine, "spec", None)
+        if spec is not None and spec.active:
+            spec.defer_console(1, text + b"\n")
+        else:
+            self.console.write(1, text + b"\n")
         self._ret(cpu, 0)
 
     # -- threading natives (paper 4.4 future work) ----------------------------

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 from repro.compiler.instrument import GRANULARITY_BYTE
 from repro.compiler.pipeline import CompiledProgram
 from repro.cpu.core import CPU, code_address
+from repro.cpu.faults import Fault, RunawayError
 from repro.cpu.perf import IssueConfig, PerfCounters
 from repro.isa.program import Program
 from repro.mem.address import REGION_DATA, make_address
@@ -28,8 +29,14 @@ from repro.mem.memory import SparseMemory
 from repro.runtime.devices import Console, DeviceCosts, SimFileSystem, SimNetwork
 from repro.runtime.guest_os import GuestOS
 from repro.taint.bitmap import TaintMap
-from repro.taint.engine import PolicyEngine
+from repro.taint.engine import PolicyEngine, SecurityAlert
 from repro.taint.policy import PolicyConfig
+
+#: Aborts that a live speculation epoch absorbs into rollback + replay:
+#: guard trips (SpecGuardTrip is a Fault), guest faults, raise-mode
+#: security alerts, and watchdog runaways.  Anything else (host bugs,
+#: KeyboardInterrupt) propagates even mid-epoch.
+_SPEC_REPLAYABLE = (Fault, SecurityAlert, RunawayError)
 
 #: Where static data is placed in the data region.
 DATA_BASE = make_address(REGION_DATA, 0x10000)
@@ -105,6 +112,7 @@ class Machine:
         machine_id: Optional[str] = None,
         net_capacity: Optional[int] = None,
         adaptive: bool = True,
+        speculative: bool = False,
     ) -> None:
         #: Stable identity used for per-machine trace filenames and
         #: fleet incident attribution ("worker w3 quarantined request 5").
@@ -213,6 +221,17 @@ class Machine:
                 max_recoveries=recover_max_recoveries,
                 label=self.machine_id)
 
+        #: Speculation controller (repro.spec): runs the fast copy
+        #: under taint-range guards while taint is live but contained,
+        #: with checkpoint rollback + replay-in-track on guard trips.
+        #: Requires the adaptive controller (it switches between the
+        #: same two program copies).
+        self.spec = None
+        if speculative and self.adaptive is not None:
+            from repro.spec import SpeculationController
+
+            self.spec = SpeculationController(self)
+
     # -- loading --------------------------------------------------------
 
     def _load_data(self) -> None:
@@ -273,13 +292,34 @@ class Machine:
         the caller when the policy engine runs in ``raise`` mode.
         """
         try:
-            if self.resil is not None:
-                return self.resil.run_supervised(
-                    max_instructions=max_instructions)
-            if "thread_create" in self.program.natives:
-                return self.threads.run_all(max_instructions=max_instructions)
-            self.cpu.run(max_instructions=max_instructions)
-            return self.cpu.exit_code
+            while True:
+                try:
+                    if self.resil is not None:
+                        code = self.resil.run_supervised(
+                            max_instructions=max_instructions)
+                    elif "thread_create" in self.program.natives:
+                        code = self.threads.run_all(
+                            max_instructions=max_instructions)
+                    else:
+                        self.cpu.run(max_instructions=max_instructions)
+                        code = self.cpu.exit_code
+                except BaseException as exc:
+                    # A guard trip — or any abort raised while a
+                    # speculation epoch is open — rolls the epoch back
+                    # and resumes so the slice replays under tracking.
+                    # Replayed aborts arrive here again with the epoch
+                    # closed (rollback sets an entry cooldown) and
+                    # propagate normally.
+                    if self.spec is not None and self.spec.active and \
+                            isinstance(exc, _SPEC_REPLAYABLE):
+                        self.spec.handle_trip(exc)
+                        continue
+                    raise
+                if self.spec is not None and not self.spec.finalize():
+                    # The final epoch rolled back at exit: the restore
+                    # un-halted the guest, run on to replay the tail.
+                    continue
+                return code
         except BaseException as exc:
             # Aborts that never went through the fault/alert tracing
             # paths (RunawayError, DeadlockError, host errors) would

@@ -101,6 +101,9 @@ class ServiceCost:
     alerts: int = 0
     response_sha: str = ""
     error: str = ""
+    #: repro.spec activity during the measurement (speculate workers).
+    spec_commits: int = 0
+    spec_rollbacks: int = 0
 
     @property
     def fatal(self) -> bool:
@@ -189,6 +192,9 @@ class ServiceModel:
                                        [(payload, tags)])
         cycles = max(1.0, float(summary["cycles"]) - float(boot["cycles"]))
         policy_ids = tuple(a["policy_id"] for a in summary["alerts"])
+        spec = summary.get("spec") or {}
+        spec_commits = spec.get("commits", 0)
+        spec_rollbacks = spec.get("rollbacks", 0)
         response_sha = ""
         if summary["responses"]:
             response_sha = hashlib.sha256(
@@ -197,7 +203,8 @@ class ServiceModel:
             return ServiceCost(
                 cycles=cycles, outcome="fatal", policy_ids=policy_ids,
                 alerts=len(summary["alerts"]),
-                error=summary["error"]["message"])
+                error=summary["error"]["message"],
+                spec_commits=spec_commits, spec_rollbacks=spec_rollbacks)
         if summary["quarantined"]:
             burned = 0.0
             if summary["incidents"]:
@@ -206,11 +213,13 @@ class ServiceModel:
             return ServiceCost(
                 cycles=max(cycles, float(burned), 1.0),
                 outcome="quarantined", policy_ids=policy_ids,
-                alerts=len(summary["alerts"]))
+                alerts=len(summary["alerts"]),
+                spec_commits=spec_commits, spec_rollbacks=spec_rollbacks)
         outcome = "served" if summary["served"] else "noop"
         return ServiceCost(
             cycles=cycles, outcome=outcome, policy_ids=policy_ids,
-            alerts=len(summary["alerts"]), response_sha=response_sha)
+            alerts=len(summary["alerts"]), response_sha=response_sha,
+            spec_commits=spec_commits, spec_rollbacks=spec_rollbacks)
 
     def mean_cycles(self, payloads: Sequence[bytes]) -> float:
         """Mean measured budget over a payload set (capacity planning)."""
@@ -242,6 +251,9 @@ class RequestRecord:
     #: True when the request changed workers via live migration (its
     #: draining worker shipped it, still queued, inside the state blob).
     migrated: bool = False
+    #: repro.spec activity measured for this payload (speculate workers).
+    spec_commits: int = 0
+    spec_rollbacks: int = 0
 
     @property
     def latency(self) -> float:
@@ -262,6 +274,8 @@ class RequestRecord:
             "outcome": self.outcome, "policy_ids": list(self.policy_ids),
             "alerts": self.alerts, "response_sha": self.response_sha,
             "rerouted": self.rerouted, "migrated": self.migrated,
+            "spec_commits": self.spec_commits,
+            "spec_rollbacks": self.spec_rollbacks,
         }
 
 
@@ -491,6 +505,15 @@ class ServeResult:
             1 for e in self.scale_events if e["action"] == "migrate")
         reg.counter("serve.false_alerts",
                     "alerts on clean traffic").value = self.false_alerts
+        spec_commits = sum(r.spec_commits for r in self.records)
+        spec_rollbacks = sum(r.spec_rollbacks for r in self.records)
+        if spec_commits or spec_rollbacks:
+            reg.counter("serve.spec.commits",
+                        "speculation epochs committed across the "
+                        "fleet").value = spec_commits
+            reg.counter("serve.spec.rollbacks",
+                        "speculation epochs rolled back and "
+                        "replayed").value = spec_rollbacks
         reg.counter("serve.shed",
                     "arrivals refused by admission control").value = self.shed
         reg.counter("serve.replayed",
@@ -807,6 +830,8 @@ class ServeSim:
             record.policy_ids = cost.policy_ids
             record.alerts = cost.alerts
             record.response_sha = cost.response_sha
+            record.spec_commits = cost.spec_commits
+            record.spec_rollbacks = cost.spec_rollbacks
             if self.tracer is not None:
                 from repro.obs.events import ServeRequestEvent
 

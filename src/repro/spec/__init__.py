@@ -1,0 +1,40 @@
+"""Speculative fast-path execution with taint-range guards (repro.spec).
+
+The paper's central bet is that taint tracking is *usually* idle: most
+requests never touch tainted data, so the expensive instrumented copy
+of the program runs for nothing.  ``repro.adaptive`` already exploits
+the all-clean case (drop to the fast copy when zero granules are
+live); this package extends the bet to the *contained-taint* case —
+taint exists, but in a handful of address ranges the current request
+will not touch.
+
+The machine **speculates** that the request stays outside those
+ranges: it runs the uninstrumented fast copy under a cheap per-access
+guard (:class:`TaintWatch`), buffers externally visible effects, and
+commits at the next request boundary.  If the guard trips — any load
+or store intersects a watched range, or a taint source fires — the
+epoch's :class:`~repro.resil.checkpoint.DeltaCheckpoint` is rolled
+back in place and the same slice replays under full tracking, so
+alerts, pcs and provenance are bit-identical to an always-on run.
+
+See DESIGN.md section 15 for the entry policy and the commit/rollback
+invariants.
+"""
+
+from repro.spec.controller import (
+    COMMIT_NATIVES,
+    SPEC_MAX_LIVE_GRANULES,
+    SPEC_MAX_RANGES,
+    SpeculationController,
+    SpeculationState,
+)
+from repro.spec.watch import TaintWatch
+
+__all__ = [
+    "COMMIT_NATIVES",
+    "SPEC_MAX_LIVE_GRANULES",
+    "SPEC_MAX_RANGES",
+    "SpeculationController",
+    "SpeculationState",
+    "TaintWatch",
+]

@@ -101,6 +101,17 @@ class TaintMap:
         #: ``live_granules == 0`` short-circuit :meth:`any_tainted`
         #: (a bare TaintMap over a hand-driven CPU stays conservative).
         self.counter_authoritative = False
+        #: Monotonic stamp bumped on every *real* tag change (writes
+        #: that leave the bitmap identical don't count).  The
+        #: speculation subsystem compares stamps to prove "no taint
+        #: moved while I ran fast" — granule-count equality alone is
+        #: unsound (a copy can clear one range and taint another).
+        self.mutations = 0
+        #: Optional hook called with ``(tag_byte_addr, length)`` after
+        #: every real tag change; repro.spec uses it to trip (or note)
+        #: taint motion the instant a host-side source or summary fires
+        #: inside a speculative epoch.  May raise.
+        self.mutation_hook = None
 
     @property
     def live_bytes(self) -> int:
@@ -168,6 +179,9 @@ class TaintMap:
         else:
             self.live_granules += new.bit_count() - old.bit_count()
         self.memory.store(byte_addr, 1, new)
+        self.mutations += 1
+        if self.mutation_hook is not None:
+            self.mutation_hook(byte_addr, 1)
 
     def _write_tag_bytes(self, byte_addr: int, data: bytes,
                          old: Optional[bytes] = None) -> None:
@@ -177,6 +191,9 @@ class TaintMap:
             return
         self.live_granules += self._popcount(data) - self._popcount(old)
         self.memory.write_bytes(byte_addr, data)
+        self.mutations += 1
+        if self.mutation_hook is not None:
+            self.mutation_hook(byte_addr, len(data))
 
     # -- batched internals -------------------------------------------------
 
@@ -493,3 +510,6 @@ class TaintMap:
             self.live_granules += delta
         else:
             self.live_granules += value.bit_count() - old.bit_count()
+        self.mutations += 1
+        if self.mutation_hook is not None:
+            self.mutation_hook(addr, size)
